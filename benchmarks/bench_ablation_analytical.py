@@ -1,0 +1,76 @@
+"""Ablation: fidelity/cost trade-off of the analytical model family.
+
+Compares the exact linear solve (the paper's baseline), the row/column-
+decoupled IR-drop approximation at 1 and 3 sweeps, and the scalar-alpha
+model against full circuit simulation on held-out operating points. More
+modelling effort should buy monotonically more fidelity; the bench also
+times each model's prediction cost.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analytical import (
+    AnalyticalLinearModel,
+    DecoupledIrDropModel,
+    ScalarAlphaModel,
+)
+from repro.core.dataset import build_geniex_dataset
+from repro.core.metrics import rmse_of_nf
+from repro.core.sampling import SamplingSpec
+from repro.experiments.common import format_table, get_profile
+
+
+def run_ablation():
+    profile = get_profile()
+    config = profile.crossbar(rows=16)
+    # Linear-circuit reference: the fidelity question for this family is
+    # "how well do they solve the *linear* parasitic network" — against the
+    # full non-linear truth all linear models share an irreducible bias and
+    # their ordering is coincidental.
+    test = build_geniex_dataset(
+        config, SamplingSpec(n_g_matrices=6, n_v_per_g=10, seed=77),
+        mode="linear")
+
+    calibration_rows = np.nonzero(test.group_index == 0)[0]
+    models = [
+        AnalyticalLinearModel(config),
+        DecoupledIrDropModel(config, n_sweeps=3),
+        DecoupledIrDropModel(config, n_sweeps=1),
+        ScalarAlphaModel(config).fit(
+            test.voltages_v[calibration_rows], test.conductances_s[0],
+            test.i_nonideal_a[calibration_rows]),
+    ]
+    names = ["exact-linear", "decoupled-3sweep", "decoupled-1sweep",
+             "scalar-alpha"]
+    rows = []
+    for name, model in zip(names, models):
+        start = time.perf_counter()
+        prediction = np.empty_like(test.i_nonideal_a)
+        for group in range(6):
+            sel = np.nonzero(test.group_index == group)[0]
+            prediction[sel] = model.predict_currents(
+                test.voltages_v[sel], test.conductances_s[group])
+        elapsed = time.perf_counter() - start
+        rows.append([name,
+                     rmse_of_nf(test.i_ideal_a, test.i_nonideal_a,
+                                prediction),
+                     f"{elapsed * 1e3:.1f} ms"])
+    return rows
+
+
+def test_analytical_fidelity_ordering(run_once):
+    rows = run_once(run_ablation)
+    print("\n" + format_table(
+        "Ablation: analytical model family vs linear circuit solve",
+        ["model", "RMSE of NF", "predict time"], rows))
+    rmse = {row[0]: row[1] for row in rows}
+    # The exact solve reproduces the linear network (RMSE ~ 0); the
+    # decoupled approximations sit within a few tenths of a percent of it
+    # (their sweeps over/under-correct non-monotonically, so no ordering is
+    # asserted between sweep counts); the scalar model is the crudest by a
+    # wide margin.
+    assert rmse["exact-linear"] < 1e-6
+    assert max(rmse["decoupled-3sweep"], rmse["decoupled-1sweep"]) < \
+        rmse["scalar-alpha"]

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the performance-critical kernels.
+
+Unlike the figure benches these use pytest-benchmark's statistical timing:
+they are cheap, and their numbers are what you would profile when porting
+the library to a bigger machine.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.simulator import CrossbarCircuitSimulator
+from repro.funcsim import FuncSimConfig, make_engine
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+from repro.xbar.config import CrossbarConfig
+
+
+@pytest.fixture(scope="module")
+def cfg32():
+    return CrossbarConfig(rows=32, cols=32)
+
+
+def test_circuit_full_solve_32(benchmark, cfg32):
+    sim = CrossbarCircuitSimulator(cfg32)
+    rng = np.random.default_rng(0)
+    g = rng.uniform(cfg32.g_off_s, cfg32.g_on_s, size=(32, 32))
+    v = rng.uniform(0, cfg32.v_supply_v, size=32)
+    benchmark(lambda: sim.solve(v, g, mode="full"))
+
+
+def test_circuit_linear_batch_32(benchmark, cfg32):
+    sim = CrossbarCircuitSimulator(cfg32)
+    rng = np.random.default_rng(0)
+    g = rng.uniform(cfg32.g_off_s, cfg32.g_on_s, size=(32, 32))
+    vs = rng.uniform(0, cfg32.v_supply_v, size=(64, 32))
+    benchmark(lambda: sim.solve_batch(vs, g, mode="linear"))
+
+
+def test_conv2d_forward_backward(benchmark):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.normal(size=(16, 8, 12, 12)).astype(np.float32),
+               requires_grad=True)
+    w = Tensor(rng.normal(size=(16, 8, 3, 3)).astype(np.float32) * 0.1,
+               requires_grad=True)
+
+    def step():
+        out = F.conv2d(x, w, None, padding=1)
+        out.sum().backward()
+        x.grad = None
+        w.grad = None
+
+    benchmark(step)
+
+
+def test_exact_engine_matmul(benchmark, cfg32):
+    engine = make_engine("exact", cfg32, FuncSimConfig())
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 72)) * 0.4
+    prepared = engine.prepare(rng.normal(size=(72, 16)) * 0.3)
+    benchmark(lambda: engine.matmul(x, prepared))

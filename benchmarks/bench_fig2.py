@@ -1,0 +1,26 @@
+"""Figure 2: NF vs crossbar size / ON resistance / ON-OFF ratio.
+
+Shape checks mirror the paper's findings: NF medians increase with crossbar
+size and decrease with ON resistance and with ON/OFF ratio.
+"""
+
+from repro.experiments.fig2_nf_analysis import run_fig2
+
+
+def test_fig2(run_once):
+    result = run_once(run_fig2)
+    print("\n" + result.format())
+
+    medians_size = [s.median for s in result.by_size]
+    assert medians_size == sorted(medians_size), \
+        "NF should grow with crossbar size"
+
+    medians_r_on = [s.median for s in result.by_r_on]
+    assert medians_r_on == sorted(medians_r_on, reverse=True), \
+        "NF should shrink with ON resistance"
+
+    medians_onoff = [s.median for s in result.by_onoff]
+    assert medians_onoff == sorted(medians_onoff, reverse=True), \
+        "NF should shrink with ON/OFF ratio"
+
+    assert result.correlation > 0.9

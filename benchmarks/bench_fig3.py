@@ -1,0 +1,14 @@
+"""Figure 3: non-linear non-ideality grows with supply voltage."""
+
+from repro.experiments.fig3_nonlinearity import run_fig3
+
+
+def test_fig3(run_once):
+    result = run_once(run_fig3)
+    print("\n" + result.format())
+
+    errors = [mean for _, mean, _ in result.relative_error]
+    assert errors == sorted(errors), \
+        "linear-vs-nonlinear gap should grow monotonically with Vsupply"
+    # Prominent at 0.5 V (paper's motivating observation).
+    assert errors[-1] > 3 * errors[0]

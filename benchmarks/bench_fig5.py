@@ -1,0 +1,20 @@
+"""Figure 5: RMSE of NF — GENIEx vs the analytical model, vs the circuit.
+
+Shape checks: GENIEx must beat the analytical baseline at both supply
+voltages, and the analytical model must degrade more at 0.5 V than 0.25 V
+(its error comes from unmodelled, voltage-dependent non-linearity).
+"""
+
+from repro.experiments.fig5_rmse import run_fig5
+
+
+def test_fig5(run_once):
+    result = run_once(run_fig5)
+    print("\n" + result.format())
+
+    low, high = result.rows
+    assert low.rmse_geniex < low.rmse_analytical
+    assert high.rmse_geniex < high.rmse_analytical
+    assert high.rmse_analytical > low.rmse_analytical
+    # The advantage should widen at the higher supply voltage.
+    assert high.ratio >= 0.8 * low.ratio

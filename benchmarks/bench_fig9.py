@@ -1,0 +1,16 @@
+"""Figure 9: bit-slicing configuration (stream/slice widths)."""
+
+from repro.experiments.fig9_bitslicing import run_fig9
+
+
+def test_fig9(run_once):
+    result = run_once(run_fig9)
+    print("\n" + result.format())
+
+    accs = {(st, sl): acc for st, sl, acc in result.rows}
+    # Narrow streams/slices recover near-ideal accuracy; 4-bit x 4-bit is
+    # the worst configuration (paper: ~12% degradation on CIFAR-100).
+    narrow_best = max(accs[(1, 1)], accs[(2, 2)], accs[(1, 2)],
+                      accs[(2, 1)])
+    assert accs[(4, 4)] <= narrow_best + 0.02
+    assert narrow_best >= result.ideal_accuracy - 0.08

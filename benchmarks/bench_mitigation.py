@@ -1,0 +1,83 @@
+"""Extension bench: mitigation techniques on non-ideal inference.
+
+Not a numbered paper figure — the paper motivates non-ideality modelling as
+the foundation for mitigation; this bench closes the loop on our substrate:
+clean training vs technology-aware noise training vs post-hoc output
+calibration, all evaluated through the analytical crossbar engine (chosen
+over GENIEx here so the bench has no model-zoo dependency and measures the
+mitigations against a deterministic distortion).
+"""
+
+import numpy as np
+
+from repro.datasets import make_shapes_split
+from repro.experiments.common import format_table, get_profile
+from repro.funcsim import FuncSimConfig, convert_to_mvm, make_engine
+from repro.mitigation import NoiseSpec, fit_output_calibration, \
+    train_with_noise
+from repro.models import LeNet
+from repro.nn.losses import accuracy
+from repro.nn.tensor import Tensor, no_grad
+
+
+def _crossbar_accuracy(model, engine, x, y):
+    converted = convert_to_mvm(model, engine)
+    with no_grad():
+        logits = converted(Tensor(x))
+    return accuracy(logits, y), converted
+
+
+def run_mitigation():
+    profile = get_profile()
+    x_train, y_train, x_test, y_test = make_shapes_split(
+        1200, 192, image_size=10, num_classes=6, seed=3)
+    # Harsh crossbar: low ON/OFF so the distortion actually bites.
+    config = profile.crossbar(rows=16, onoff_ratio=2.0)
+    engine = make_engine("analytical", config,
+                         FuncSimConfig().with_precision(8))
+
+    clean = LeNet(in_channels=1, num_classes=6, image_size=10, width=6,
+                  seed=0)
+    train_with_noise(clean, x_train, y_train, NoiseSpec(weight_sigma=0.0),
+                     epochs=8, seed=0)
+    with no_grad():
+        clean_float = accuracy(clean(Tensor(x_test)).data, y_test)
+    clean_xbar, converted = _crossbar_accuracy(clean, engine, x_test,
+                                               y_test)
+
+    robust = LeNet(in_channels=1, num_classes=6, image_size=10, width=6,
+                   seed=0)
+    train_with_noise(robust, x_train, y_train,
+                     NoiseSpec(weight_sigma=0.08), epochs=8, seed=0)
+    with no_grad():
+        robust_float = accuracy(robust(Tensor(x_test)).data, y_test)
+    robust_xbar, _ = _crossbar_accuracy(robust, engine, x_test, y_test)
+
+    calibrated = fit_output_calibration(converted, clean.eval(),
+                                        x_train[:96])
+    with no_grad():
+        calibrated_acc = accuracy(calibrated(Tensor(x_test)).data, y_test)
+
+    return {
+        "clean": (clean_float, clean_xbar),
+        "noise-trained": (robust_float, robust_xbar),
+        "clean+calibration": (clean_float, calibrated_acc),
+    }
+
+
+def test_mitigation(run_once):
+    results = run_once(run_mitigation)
+    rows = [[name, flt, xbar] for name, (flt, xbar) in results.items()]
+    print("\n" + format_table(
+        "Mitigation on a low-ON/OFF crossbar (analytical engine, 8-bit)",
+        ["strategy", "float acc", "crossbar acc"], rows))
+
+    clean_float, clean_xbar = results["clean"]
+    _, robust_xbar = results["noise-trained"]
+    _, calibrated = results["clean+calibration"]
+    # Mitigations must not make things worse, and at least one must help
+    # whenever the distortion costs accuracy.
+    assert robust_xbar >= clean_xbar - 0.03
+    assert calibrated >= clean_xbar - 0.03
+    if clean_float - clean_xbar > 0.05:
+        assert max(robust_xbar, calibrated) > clean_xbar

@@ -1,0 +1,10 @@
+"""Table 1: related-work capability matrix (verified qualitative table)."""
+
+from repro.experiments.table1_comparison import run_table1
+
+
+def test_table1(run_once):
+    result = run_once(run_table1)
+    print("\n" + result.format())
+    ours = result.rows[-1]
+    assert ours == ["this reproduction", "yes", "yes", "yes"]

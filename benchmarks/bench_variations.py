@@ -1,0 +1,20 @@
+"""Extension bench: device variation widens the non-ideality distribution.
+
+Not a numbered paper figure — the paper flags device variation as an
+aggravating factor (Section 1); this bench quantifies it on our substrate.
+"""
+
+from repro.experiments.variations import run_variations
+
+
+def test_variation_widens_nf(run_once):
+    result = run_once(run_variations)
+    print("\n" + result.format())
+
+    stds = [row[2] for row in result.by_sigma]
+    assert stds == sorted(stds), \
+        "NF spread should grow with programming variation"
+
+    p95 = [row[3] for row in result.by_fault_rate]
+    assert p95[0] <= p95[-1], \
+        "stuck-at faults should increase worst-case error"

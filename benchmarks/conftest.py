@@ -1,0 +1,26 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at the active
+profile (``REPRO_PROFILE=quick|full``) and prints the resulting rows, so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation section
+end to end. Results (trained GENIEx models, reference CNNs) are cached under
+``REPRO_CACHE_DIR`` (default ``~/.cache/repro``), so the first run pays the
+training cost and subsequent runs are fast.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Paper-figure experiments are far too heavy for statistical repetition;
+    one round still records wall-clock in the benchmark table.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+
+    return runner

@@ -1,0 +1,87 @@
+"""Characterise crossbar non-ideality across design parameters.
+
+Reproduces the paper's Section 3 analysis (Figure 2) for a configurable
+family of crossbars: how the non-ideality factor NF = (I_ideal -
+I_nonideal) / I_ideal moves with crossbar size, ON resistance and
+conductance ON/OFF ratio, plus the voltage dependence of the non-linear
+effects (Figure 3b). Useful as a first step when targeting a new device
+technology: plug in your device's R_on / ON-OFF / parasitics and see where
+the degradation cliffs are.
+
+Run:  python examples/characterize_crossbar.py
+"""
+
+import numpy as np
+
+from repro import CrossbarConfig, CrossbarCircuitSimulator
+from repro.core.sampling import SamplingSpec, VgSampler
+from repro.core.metrics import nonideality_factor, valid_mask
+from repro.experiments.common import format_table
+from repro.xbar.ideal import ideal_mvm
+
+
+def nf_quartiles(config: CrossbarConfig, n_g=4, n_v=8, seed=7):
+    """Median and quartiles of NF over a stratified operating-point set."""
+    spec = SamplingSpec(n_g_matrices=n_g, n_v_per_g=n_v, seed=seed)
+    voltages, conductances, groups = VgSampler(config, spec).sample()
+    simulator = CrossbarCircuitSimulator(config)
+    nf_values = []
+    for g in range(n_g):
+        rows = np.nonzero(groups == g)[0]
+        i_ideal = ideal_mvm(voltages[rows], conductances[g])
+        i_full = simulator.solve_batch(voltages[rows], conductances[g],
+                                       mode="full")
+        mask = valid_mask(i_ideal)
+        nf_values.append(nonideality_factor(i_ideal, i_full)[mask])
+    nf = np.concatenate(nf_values)
+    return [float(np.percentile(nf, 25)), float(np.median(nf)),
+            float(np.percentile(nf, 75))]
+
+
+def main():
+    base = dict(r_on_ohm=100e3, onoff_ratio=6.0, v_supply_v=0.25)
+
+    rows = [[f"{size}x{size}",
+             *nf_quartiles(CrossbarConfig(rows=size, cols=size, **base))]
+            for size in (8, 16, 32, 64)]
+    print(format_table("NF vs crossbar size",
+                       ["size", "q1", "median", "q3"], rows))
+
+    rows = [[f"{r_on / 1e3:g}k",
+             *nf_quartiles(CrossbarConfig(rows=32, cols=32,
+                                          **{**base, "r_on_ohm": r_on}))]
+            for r_on in (50e3, 100e3, 300e3)]
+    print("\n" + format_table("NF vs ON resistance (32x32)",
+                              ["R_on", "q1", "median", "q3"], rows))
+
+    rows = [[f"{ratio:g}",
+             *nf_quartiles(CrossbarConfig(
+                 rows=32, cols=32, **{**base, "onoff_ratio": ratio}))]
+            for ratio in (2.0, 6.0, 10.0)]
+    print("\n" + format_table("NF vs ON/OFF ratio (32x32)",
+                              ["ON/OFF", "q1", "median", "q3"], rows))
+
+    rows = []
+    for v_supply in (0.1, 0.25, 0.4, 0.5):
+        config = CrossbarConfig(rows=32, cols=32,
+                                **{**base, "v_supply_v": v_supply})
+        simulator = CrossbarCircuitSimulator(config)
+        spec = SamplingSpec(n_g_matrices=3, n_v_per_g=6, seed=3)
+        voltages, conductances, groups = VgSampler(config, spec).sample()
+        rel = []
+        for g in range(3):
+            sel = np.nonzero(groups == g)[0]
+            lin = simulator.solve_batch(voltages[sel], conductances[g],
+                                        mode="linear")
+            full = simulator.solve_batch(voltages[sel], conductances[g],
+                                         mode="full")
+            mask = np.abs(lin) > 1e-12
+            rel.append(np.abs(full[mask] - lin[mask]) / np.abs(lin[mask]))
+        rows.append([f"{v_supply:g} V", float(np.concatenate(rel).mean())])
+    print("\n" + format_table(
+        "Non-linear (data-dependent) share of the error vs supply voltage",
+        ["Vsupply", "mean |full-linear|/linear"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Design-space exploration: pick a crossbar + bit-slicing configuration.
+
+The paper's conclusion — "packing lower bits per device as well as using low
+crossbar sizes with higher ON resistances is necessary to minimize the
+impact of non-idealities" — turned into a tool: sweep (crossbar size, slice
+width) pairs for a fixed 16-bit workload, measure MVM fidelity through the
+functional simulator with GENIEx non-idealities, and print the trade-off
+table together with a crude cost proxy (number of crossbar readouts per
+MVM, which tracks ADC energy).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro.experiments.common import format_table, get_profile, shared_zoo
+from repro.funcsim import FuncSimConfig, IdealMvmEngine, make_engine
+from repro.funcsim.cost import matmul_cost
+
+N_IN, N_OUT = 96, 32
+
+
+def mvm_fidelity(engine, reference_engine, rng, n_in=N_IN, n_out=N_OUT,
+                 batch=64):
+    """Relative output error of a random (but realistic-scale) MVM."""
+    x = np.abs(rng.normal(size=(batch, n_in))) * 0.3  # post-ReLU-like
+    w = rng.normal(size=(n_in, n_out)) * 0.2
+    ref = reference_engine.matmul(x, reference_engine.prepare(w))
+    out = engine.matmul(x, engine.prepare(w))
+    return float(np.abs(out - ref).mean() / np.abs(ref).mean())
+
+
+def main():
+    profile = get_profile()
+    zoo = shared_zoo()
+    rng = np.random.default_rng(0)
+
+    rows = []
+    for size in (8, 16, 32):
+        for slice_bits in (1, 2, 4):
+            sim = FuncSimConfig(slice_bits=slice_bits)
+            config = profile.crossbar(rows=size)
+            emulator = zoo.get_or_train(config, profile.sampling_spec(0),
+                                        profile.dnn_train_spec(0),
+                                        progress=True)
+            engine = make_engine("geniex", config, sim, emulator=emulator)
+            ideal = IdealMvmEngine(sim)
+            error = mvm_fidelity(engine, ideal, rng)
+            cost = matmul_cost(N_IN, N_OUT, config, sim)
+            rows.append([f"{size}x{size}", f"{slice_bits}-bit",
+                         error, cost.adc_conversions])
+
+    rows.sort(key=lambda r: r[2])
+    print("\n" + format_table(
+        "Design space: MVM error (vs ideal FxP) and ADC-conversion cost",
+        ["crossbar", "slice width", "mean rel. error",
+         "ADC conversions/MVM"], rows))
+    best = rows[0]
+    print(f"\nmost faithful point: {best[0]} crossbar, {best[1]} slices "
+          f"(error {best[2]:.4f})")
+
+
+if __name__ == "__main__":
+    main()

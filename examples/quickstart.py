@@ -1,0 +1,88 @@
+"""Quickstart: simulate a non-ideal crossbar and train GENIEx on it.
+
+Walks the full pipeline on a small (16x16) crossbar in about a minute:
+
+1. configure a crossbar with the paper's non-ideality parameters;
+2. solve one MVM operating point in ideal / linear / full-circuit modes;
+3. generate a (V, G) -> fR dataset from the circuit simulator;
+4. train a GENIEx model and compare its fidelity against the analytical
+   (linear-only) baseline on held-out operating points.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AnalyticalLinearModel, CrossbarCircuitSimulator, \
+    CrossbarConfig
+from repro.core import (
+    GeniexEmulator,
+    SamplingSpec,
+    TrainSpec,
+    build_geniex_dataset,
+    nonideality_factor,
+    rmse_of_nf,
+    train_geniex,
+)
+from repro.xbar.ideal import ideal_mvm
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # 1. A 16x16 crossbar with the paper's nominal non-idealities.
+    config = CrossbarConfig(rows=16, cols=16, r_on_ohm=100e3,
+                            onoff_ratio=6.0, v_supply_v=0.25)
+    simulator = CrossbarCircuitSimulator(config)
+
+    # 2. One operating point, three fidelity levels.
+    conductances = rng.uniform(config.g_off_s, config.g_on_s,
+                               size=config.shape)
+    voltages = rng.uniform(0.0, config.v_supply_v, size=config.rows)
+
+    i_ideal = ideal_mvm(voltages, conductances)
+    i_linear = simulator.solve(voltages, conductances, mode="linear")
+    i_full = simulator.solve(voltages, conductances, mode="full")
+    print("mean NF (linear-only non-idealities):",
+          f"{nonideality_factor(i_ideal, i_linear.currents_a).mean():.4f}")
+    print("mean NF (incl. device non-linearity):",
+          f"{nonideality_factor(i_ideal, i_full.currents_a).mean():.4f}")
+
+    # 3. Characterise the crossbar: stratified (V, G) sweep -> fR labels.
+    print("\nbuilding GENIEx dataset (circuit sweeps)...")
+    dataset = build_geniex_dataset(
+        config, SamplingSpec(n_g_matrices=30, n_v_per_g=15, seed=1))
+
+    # 4. Fit GENIEx and compare with the analytical model.
+    print("training GENIEx...")
+    model, history = train_geniex(
+        dataset, TrainSpec(hidden=128, hidden_layers=2, epochs=120,
+                           batch_size=128, lr=2e-3, patience=40, seed=0))
+    print(f"  best validation RMSE (normalised fR): "
+          f"{history.best_val_rmse:.4f}")
+
+    emulator = GeniexEmulator(model)
+    analytical = AnalyticalLinearModel(config)
+    test = build_geniex_dataset(
+        config, SamplingSpec(n_g_matrices=5, n_v_per_g=10, seed=99))
+
+    i_geniex = np.empty_like(test.i_nonideal_a)
+    i_analytical = np.empty_like(test.i_nonideal_a)
+    for group in range(5):
+        rows = np.nonzero(test.group_index == group)[0]
+        g = test.conductances_s[group]
+        i_geniex[rows] = emulator.for_matrix(g).predict_currents(
+            test.voltages_v[rows])
+        i_analytical[rows] = analytical.predict_currents(
+            test.voltages_v[rows], g)
+
+    rmse_geniex = rmse_of_nf(test.i_ideal_a, test.i_nonideal_a, i_geniex)
+    rmse_analytical = rmse_of_nf(test.i_ideal_a, test.i_nonideal_a,
+                                 i_analytical)
+    print(f"\nRMSE of NF vs circuit:  GENIEx {rmse_geniex:.4f}   "
+          f"analytical {rmse_analytical:.4f}   "
+          f"({rmse_analytical / rmse_geniex:.1f}x better)")
+
+
+if __name__ == "__main__":
+    main()

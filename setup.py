@@ -1,0 +1,8 @@
+"""Setup shim for environments whose pip cannot do PEP 517 editable installs.
+
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

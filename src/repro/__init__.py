@@ -1,0 +1,20 @@
+"""GENIEx reproduction: emulating non-ideality in memristive crossbars.
+
+Public API surface of the reproduction of *GENIEx: A Generalized Approach to
+Emulating Non-Ideality in Memristive Xbars using Neural Networks*
+(Chakraborty et al., DAC 2020). See README.md for a tour and DESIGN.md for
+the system inventory.
+"""
+
+from repro.xbar.config import CrossbarConfig
+from repro.circuit.simulator import CrossbarCircuitSimulator
+from repro.analytical.linear_model import AnalyticalLinearModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrossbarConfig",
+    "CrossbarCircuitSimulator",
+    "AnalyticalLinearModel",
+    "__version__",
+]

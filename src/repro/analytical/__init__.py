@@ -1,0 +1,16 @@
+"""Analytical (non-data-dependent) crossbar models.
+
+These capture only the *linear* non-idealities — parasitic source, sink and
+wire resistances — exactly like the baseline the paper compares GENIEx
+against. They cannot represent the data-dependent access-transistor and RRAM
+I-V effects, which is precisely the modelling gap GENIEx closes.
+"""
+
+from repro.analytical.linear_model import AnalyticalLinearModel
+from repro.analytical.fast_model import DecoupledIrDropModel, ScalarAlphaModel
+
+__all__ = [
+    "AnalyticalLinearModel",
+    "DecoupledIrDropModel",
+    "ScalarAlphaModel",
+]

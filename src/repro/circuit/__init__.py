@@ -1,0 +1,28 @@
+"""Circuit-level crossbar simulation (the HSPICE substitute).
+
+This package solves the DC operating point of the full parasitic crossbar
+network: source/sink/wire resistances plus the non-linear 1T1R cell stack at
+every junction. It exposes three simulation modes:
+
+* ``ideal``  — no non-idealities, plain MVM (reference numerator for fR);
+* ``linear`` — parasitic resistances with ohmic cells: the *exact linear
+  model*, equivalent to the matrix-inversion analytical baseline (CxDNN);
+* ``full``   — parasitics plus the non-linear access transistor and RRAM
+  I-V, solved with damped Newton-Raphson on the sparse nodal system. This is
+  the ground truth that stands in for the paper's HSPICE runs.
+"""
+
+from repro.circuit.topology import CrossbarTopology
+from repro.circuit.linear_solver import LinearCrossbarSolver
+from repro.circuit.newton import NewtonOptions, NewtonResult, solve_newton
+from repro.circuit.simulator import CrossbarCircuitSimulator, CrossbarSolution
+
+__all__ = [
+    "CrossbarTopology",
+    "LinearCrossbarSolver",
+    "NewtonOptions",
+    "NewtonResult",
+    "solve_newton",
+    "CrossbarCircuitSimulator",
+    "CrossbarSolution",
+]

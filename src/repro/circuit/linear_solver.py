@@ -1,0 +1,81 @@
+"""Exact linear solve of the parasitic crossbar with ohmic cells.
+
+With every cell reduced to a fixed conductance the nodal system is linear, so
+a single sparse LU factorisation per conductance matrix answers any number of
+input-voltage vectors. This is simultaneously:
+
+* the *linear simulation mode* of the circuit simulator ("case (i): only
+  linear non-idealities" in the paper's Section 3 analysis), and
+* the paper's *analytical baseline model* (matrix-inversion modelling of
+  parasitic resistances, cf. Jain et al., CxDNN), wrapped with a friendlier
+  API in :mod:`repro.analytical.linear_model`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import splu
+
+from repro.utils.validation import check_matrix
+from repro.xbar.config import CrossbarConfig
+from repro.circuit.topology import CrossbarTopology
+
+
+class LinearCrossbarSolver:
+    """Sparse direct solver for the linear parasitic crossbar."""
+
+    def __init__(self, config: CrossbarConfig):
+        self.config = config
+        self.topology = CrossbarTopology(config)
+
+    def system_matrix(self, conductance_s: np.ndarray) -> sparse.csc_matrix:
+        """Nodal matrix with the given ohmic cell conductances stamped in."""
+        topo = self.topology
+        g = np.asarray(conductance_s, dtype=float).ravel()
+        an, bn = topo.cell_row_nodes, topo.cell_col_nodes
+        rows = np.concatenate([topo.parasitic_rows, an, bn, an, bn])
+        cols = np.concatenate([topo.parasitic_cols, an, bn, bn, an])
+        vals = np.concatenate([topo.parasitic_vals, g, g, -g, -g])
+        shape = (topo.n_nodes, topo.n_nodes)
+        return sparse.coo_matrix((vals, (rows, cols)), shape=shape).tocsc()
+
+    def solve_node_voltages(self, voltages_v, conductance_s) -> np.ndarray:
+        """Full nodal solution; accepts a single vector or a batch.
+
+        Returns shape ``(n_nodes,)`` for 1-D input or ``(batch, n_nodes)``
+        for 2-D input. The factorisation is shared across the batch.
+        """
+        conductance_s = check_matrix("conductance_s", conductance_s,
+                                     self.config.shape)
+        voltages_v = np.asarray(voltages_v, dtype=float)
+        lu = splu(self.system_matrix(conductance_s))
+        rhs = self.topology.rhs_for_inputs(voltages_v)
+        if rhs.ndim == 1:
+            return lu.solve(rhs)
+        # splu solves column-wise: stack the batch as columns.
+        return lu.solve(rhs.T).T
+
+    def solve(self, voltages_v, conductance_s) -> np.ndarray:
+        """Bit-line output currents for one voltage vector or a batch."""
+        node_v = self.solve_node_voltages(voltages_v, conductance_s)
+        return self.topology.output_currents(node_v)
+
+    def transfer_matrix(self, conductance_s) -> np.ndarray:
+        """The linear map ``I = V @ T`` of the parasitic network.
+
+        Because the network is linear, solving one unit-voltage problem per
+        input row yields a ``(rows, cols)`` transfer matrix ``T`` that
+        answers any number of input vectors with a plain matmul — this is
+        the "matrix inversion" formulation of the analytical baseline
+        (CxDNN) and what makes the analytical MVM engine fast.
+        """
+        conductance_s = check_matrix("conductance_s", conductance_s,
+                                     self.config.shape)
+        topo = self.topology
+        lu = splu(self.system_matrix(conductance_s))
+        rhs = np.zeros((topo.n_nodes, self.config.rows))
+        rhs[topo.source_nodes, np.arange(self.config.rows)] = \
+            topo.g_source_s
+        node_v = lu.solve(rhs)  # (n_nodes, rows)
+        return (topo.g_sink_s * node_v[topo.sink_nodes, :]).T

@@ -1,0 +1,185 @@
+"""Full non-linear crossbar DC simulator (the HSPICE stand-in).
+
+For a given conductance matrix the simulator programs a filamentary RRAM
+device per cell (optionally behind an access transistor), assembles the
+parasitic nodal system, and solves the non-linear DC operating point with
+damped Newton-Raphson, seeded from the exact linear solution. The public API
+deliberately mirrors what the paper extracts from HSPICE: bit-line output
+currents for (V, G) pairs, in ``ideal``, ``linear`` and ``full`` modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.devices import (
+    AccessTransistor,
+    FilamentaryRram,
+    SeriesStack,
+    TwoTerminalDevice,
+)
+from repro.errors import ConfigError
+from repro.utils.validation import check_matrix, check_vector
+from repro.xbar.config import CrossbarConfig
+from repro.xbar.ideal import ideal_mvm
+from repro.circuit.linear_solver import LinearCrossbarSolver
+from repro.circuit.newton import NewtonOptions, solve_newton
+from repro.circuit.topology import CrossbarTopology
+
+MODES = ("ideal", "linear", "full")
+
+
+@dataclass
+class CrossbarSolution:
+    """Result of one non-ideal crossbar solve.
+
+    Attributes:
+        currents_a: Bit-line output currents, shape ``(cols,)``.
+        node_voltages_v: Full nodal solution (``None`` in ideal mode).
+        iterations: Newton iterations used (0 for linear/ideal modes).
+        mode: Simulation mode that produced this solution.
+    """
+
+    currents_a: np.ndarray
+    node_voltages_v: np.ndarray | None
+    iterations: int
+    mode: str
+
+
+class CrossbarCircuitSimulator:
+    """DC operating-point simulator for one crossbar configuration."""
+
+    def __init__(self, config: CrossbarConfig,
+                 newton_options: NewtonOptions | None = None):
+        self.config = config
+        self.topology = CrossbarTopology(config)
+        self.linear_solver = LinearCrossbarSolver(config)
+        self.newton_options = newton_options or NewtonOptions()
+
+    # ------------------------------------------------------------------
+    # Device construction
+    # ------------------------------------------------------------------
+    def make_cell_device(self, conductance_s: np.ndarray) -> TwoTerminalDevice:
+        """Build the vectorised per-cell device stack for a G matrix."""
+        g_flat = np.asarray(conductance_s, dtype=float).ravel()
+        cfg = self.config
+        if not cfg.with_access_transistor:
+            return FilamentaryRram.from_conductance(
+                g_flat, cfg.rram, v_ref=cfg.programming_v_ref_v)
+        # With an access transistor the program-and-verify loop sees the
+        # *stack* conductance; compensate so the stack's small-signal
+        # conductance equals the target (series g: 1/g = 1/g_t + 1/g_r).
+        transistor = AccessTransistor(r_on_ohm=cfg.access_r_on_ohm,
+                                      v_ov_v=cfg.access_v_ov_v,
+                                      gmin_s=cfg.gmin_s)
+        g_t = transistor.small_signal_conductance()
+        if np.any(g_flat >= g_t):
+            raise ConfigError(
+                "target cell conductance exceeds the access transistor's "
+                "on-conductance; lower g_on or the transistor resistance")
+        g_rram = g_flat * g_t / (g_t - g_flat)
+        rram = FilamentaryRram.from_conductance(
+            g_rram, cfg.rram, v_ref=cfg.programming_v_ref_v)
+        return SeriesStack(transistor, rram)
+
+    # ------------------------------------------------------------------
+    # Solvers
+    # ------------------------------------------------------------------
+    def solve(self, voltages_v, conductance_s,
+              mode: str = "full") -> CrossbarSolution:
+        """Solve one (V, G) operating point in the requested mode."""
+        if mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+        conductance_s = check_matrix("conductance_s", conductance_s,
+                                     self.config.shape)
+        voltages_v = check_vector("voltages_v", voltages_v, self.config.rows)
+
+        if mode == "ideal":
+            return CrossbarSolution(ideal_mvm(voltages_v, conductance_s),
+                                    None, 0, mode)
+        if mode == "linear":
+            node_v = self.linear_solver.solve_node_voltages(voltages_v,
+                                                            conductance_s)
+            return CrossbarSolution(self.topology.output_currents(node_v),
+                                    node_v, 0, mode)
+        return self._solve_full(voltages_v, conductance_s)
+
+    def solve_batch(self, voltages_v, conductance_s,
+                    mode: str = "full") -> np.ndarray:
+        """Output currents for a batch of voltage vectors, shape (B, cols).
+
+        The conductance matrix is shared across the batch, as it is during
+        inference on a programmed crossbar. Linear and ideal modes share one
+        factorisation / one matmul; full mode solves each operating point.
+        """
+        if mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+        conductance_s = check_matrix("conductance_s", conductance_s,
+                                     self.config.shape)
+        voltages_v = np.asarray(voltages_v, dtype=float)
+        if voltages_v.ndim == 1:
+            voltages_v = voltages_v[None, :]
+        if mode == "ideal":
+            return ideal_mvm(voltages_v, conductance_s)
+        if mode == "linear":
+            return self.linear_solver.solve(voltages_v, conductance_s)
+        device = self.make_cell_device(conductance_s)
+        out = np.empty((voltages_v.shape[0], self.config.cols))
+        for k, v in enumerate(voltages_v):
+            out[k] = self._solve_full(v, conductance_s, device=device).currents_a
+        return out
+
+    def cell_voltage_matrix(self, solution: CrossbarSolution) -> np.ndarray:
+        """Per-cell voltage differences ``V_a(i,j) - V_b(i,j)``.
+
+        The (rows, cols) map of effective device drive after IR drops —
+        the spatial signature of the linear non-idealities (cells far from
+        the driver and the sink see the least voltage).
+        """
+        if solution.node_voltages_v is None:
+            raise ConfigError(
+                "ideal-mode solutions carry no node voltages")
+        x = solution.node_voltages_v
+        topo = self.topology
+        return (x[topo.cell_row_nodes]
+                - x[topo.cell_col_nodes]).reshape(self.config.shape)
+
+    def _residual_and_jacobian_factory(self, device, rhs):
+        topo = self.topology
+        an, bn = topo.cell_row_nodes, topo.cell_col_nodes
+        shape = (topo.n_nodes, topo.n_nodes)
+        para = sparse.coo_matrix(
+            (topo.parasitic_vals, (topo.parasitic_rows, topo.parasitic_cols)),
+            shape=shape).tocsr()
+        stamp_rows = np.concatenate([an, bn, an, bn])
+        stamp_cols = np.concatenate([an, bn, bn, an])
+
+        def residual_and_jacobian(x):
+            vd = x[an] - x[bn]
+            i_dev, g_dev = device.current_and_conductance(vd)
+            f = para @ x - rhs
+            f[an] += i_dev
+            f[bn] -= i_dev
+            vals = np.concatenate([g_dev, g_dev, -g_dev, -g_dev])
+            jac = para + sparse.coo_matrix(
+                (vals, (stamp_rows, stamp_cols)), shape=shape).tocsr()
+            return f, jac
+
+        return residual_and_jacobian
+
+    def _solve_full(self, voltages_v, conductance_s,
+                    device: TwoTerminalDevice | None = None) -> CrossbarSolution:
+        if device is None:
+            device = self.make_cell_device(conductance_s)
+        # Seed Newton with the exact solution of the small-signal linear
+        # network; for on-state 1T1R stacks this is already very close.
+        x0 = self.linear_solver.solve_node_voltages(voltages_v, conductance_s)
+        rhs = self.topology.rhs_for_inputs(voltages_v)
+        fn = self._residual_and_jacobian_factory(device, rhs)
+        scale = float(np.max(np.abs(rhs))) if rhs.size else 0.0
+        result = solve_newton(fn, x0, self.newton_options, scale=scale)
+        currents = self.topology.output_currents(result.x)
+        return CrossbarSolution(currents, result.x, result.iterations, "full")

@@ -1,0 +1,129 @@
+"""Node numbering and parasitic netlist of the crossbar grid.
+
+Every cell (i, j) contributes two rail nodes: ``a(i, j)`` on the word line
+(row rail) and ``b(i, j)`` on the bit line (column rail). The parasitic
+network is:
+
+* word-line segments ``a(i, j) -- a(i, j+1)`` with resistance ``R_wire``;
+* bit-line segments ``b(i, j) -- b(i+1, j)`` with resistance ``R_wire``;
+* the input driver ``V_i --R_source-- a(i, 0)``;
+* the sense path ``b(rows-1, j) --R_sink-- ground``.
+
+The cell device itself connects ``a(i, j)`` to ``b(i, j)`` and is stamped by
+the solvers, not here. The class precomputes COO index/value arrays for the
+constant parasitic part of the nodal matrix so solvers can assemble systems
+with a single concatenation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.xbar.config import CrossbarConfig
+
+# Wire conductance is clamped so r_wire_ohm = 0 ("no wire resistance") stays
+# numerically well-posed; 1e9 S is > 13 orders of magnitude above g_on.
+_MAX_WIRE_CONDUCTANCE_S = 1e9
+
+
+class CrossbarTopology:
+    """Indexing and constant parasitic stamps for one crossbar geometry."""
+
+    def __init__(self, config: CrossbarConfig):
+        self.config = config
+        self.rows = config.rows
+        self.cols = config.cols
+        self.n_nodes = 2 * self.rows * self.cols
+
+        ii, jj = np.meshgrid(np.arange(self.rows), np.arange(self.cols),
+                             indexing="ij")
+        self.cell_row_nodes = self.row_node(ii, jj).ravel()
+        self.cell_col_nodes = self.col_node(ii, jj).ravel()
+        self.source_nodes = self.row_node(np.arange(self.rows), 0)
+        self.sink_nodes = self.col_node(self.rows - 1, np.arange(self.cols))
+
+        self.g_source_s = 1.0 / config.r_source_ohm
+        self.g_sink_s = 1.0 / config.r_sink_ohm
+        if config.r_wire_ohm > 0:
+            self.g_wire_s = min(1.0 / config.r_wire_ohm,
+                                _MAX_WIRE_CONDUCTANCE_S)
+        else:
+            self.g_wire_s = _MAX_WIRE_CONDUCTANCE_S
+
+        self._build_parasitic_stamps()
+
+    def row_node(self, i, j):
+        """Nodal index of the word-line rail at cell (i, j)."""
+        return np.asarray(i) * self.cols + np.asarray(j)
+
+    def col_node(self, i, j):
+        """Nodal index of the bit-line rail at cell (i, j)."""
+        return self.rows * self.cols + np.asarray(i) * self.cols + np.asarray(j)
+
+    @staticmethod
+    def _two_terminal_stamp(n1, n2, g):
+        """COO entries for a conductance g between nodes n1 and n2."""
+        n1 = np.asarray(n1).ravel()
+        n2 = np.asarray(n2).ravel()
+        g = np.broadcast_to(np.asarray(g, dtype=float), n1.shape).ravel()
+        rows = np.concatenate([n1, n2, n1, n2])
+        cols = np.concatenate([n1, n2, n2, n1])
+        vals = np.concatenate([g, g, -g, -g])
+        return rows, cols, vals
+
+    def _build_parasitic_stamps(self):
+        rows_list, cols_list, vals_list = [], [], []
+
+        if self.cols > 1:
+            ii, jj = np.meshgrid(np.arange(self.rows),
+                                 np.arange(self.cols - 1), indexing="ij")
+            r, c, v = self._two_terminal_stamp(
+                self.row_node(ii, jj), self.row_node(ii, jj + 1),
+                self.g_wire_s)
+            rows_list.append(r)
+            cols_list.append(c)
+            vals_list.append(v)
+
+        if self.rows > 1:
+            ii, jj = np.meshgrid(np.arange(self.rows - 1),
+                                 np.arange(self.cols), indexing="ij")
+            r, c, v = self._two_terminal_stamp(
+                self.col_node(ii, jj), self.col_node(ii + 1, jj),
+                self.g_wire_s)
+            rows_list.append(r)
+            cols_list.append(c)
+            vals_list.append(v)
+
+        # Grounded one-terminal stamps only touch the diagonal: the source
+        # resistor's far terminal is the ideal voltage source (handled via
+        # the RHS) and the sink resistor's far terminal is ground.
+        rows_list.append(self.source_nodes)
+        cols_list.append(self.source_nodes)
+        vals_list.append(np.full(self.rows, self.g_source_s))
+
+        rows_list.append(self.sink_nodes)
+        cols_list.append(self.sink_nodes)
+        vals_list.append(np.full(self.cols, self.g_sink_s))
+
+        self.parasitic_rows = np.concatenate(rows_list)
+        self.parasitic_cols = np.concatenate(cols_list)
+        self.parasitic_vals = np.concatenate(vals_list)
+
+    def rhs_for_inputs(self, voltages_v: np.ndarray) -> np.ndarray:
+        """Right-hand side vector(s) for input voltages.
+
+        Accepts shape ``(rows,)`` or ``(batch, rows)``; returns shape
+        ``(n_nodes,)`` or ``(batch, n_nodes)``.
+        """
+        voltages_v = np.asarray(voltages_v, dtype=float)
+        if voltages_v.ndim == 1:
+            rhs = np.zeros(self.n_nodes)
+            rhs[self.source_nodes] = self.g_source_s * voltages_v
+            return rhs
+        rhs = np.zeros((voltages_v.shape[0], self.n_nodes))
+        rhs[:, self.source_nodes] = self.g_source_s * voltages_v
+        return rhs
+
+    def output_currents(self, node_voltages: np.ndarray) -> np.ndarray:
+        """Bit-line currents flowing through the sink resistors."""
+        return self.g_sink_s * node_voltages[..., self.sink_nodes]

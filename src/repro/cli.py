@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``characterize`` — NF statistics of a crossbar configuration;
+* ``train-geniex`` — characterise + fit a GENIEx model (cached in the zoo);
+* ``fig`` — regenerate one of the paper's figures/tables from the terminal.
+
+Every option maps 1:1 onto :class:`repro.xbar.config.CrossbarConfig` and the
+experiment profiles, so the CLI is a thin, scriptable veneer over the same
+API the benches use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_crossbar_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--rows", type=int, default=32)
+    parser.add_argument("--cols", type=int, default=None,
+                        help="defaults to --rows")
+    parser.add_argument("--r-on", type=float, default=100e3,
+                        help="ON resistance in Ohm")
+    parser.add_argument("--onoff", type=float, default=6.0,
+                        help="conductance ON/OFF ratio")
+    parser.add_argument("--vdd", type=float, default=0.25,
+                        help="supply voltage in V")
+
+
+def _crossbar_from_args(args):
+    from repro.xbar.config import CrossbarConfig
+    return CrossbarConfig(rows=args.rows,
+                          cols=args.cols if args.cols else args.rows,
+                          r_on_ohm=args.r_on, onoff_ratio=args.onoff,
+                          v_supply_v=args.vdd)
+
+
+def _cmd_characterize(args) -> int:
+    from repro.circuit.simulator import CrossbarCircuitSimulator
+    from repro.core.metrics import nonideality_factor, valid_mask
+    from repro.core.sampling import SamplingSpec, VgSampler
+    from repro.xbar.ideal import ideal_mvm
+
+    config = _crossbar_from_args(args)
+    spec = SamplingSpec(n_g_matrices=args.samples, n_v_per_g=8,
+                        seed=args.seed)
+    voltages, conductances, groups = VgSampler(config, spec).sample()
+    simulator = CrossbarCircuitSimulator(config)
+    values = []
+    for g in range(spec.n_g_matrices):
+        rows = np.nonzero(groups == g)[0]
+        i_ideal = ideal_mvm(voltages[rows], conductances[g])
+        i_real = simulator.solve_batch(voltages[rows], conductances[g],
+                                       mode="full")
+        values.append(nonideality_factor(i_ideal,
+                                         i_real)[valid_mask(i_ideal)])
+    nf = np.concatenate(values)
+    print(f"crossbar {config.rows}x{config.cols}  R_on "
+          f"{config.r_on_ohm / 1e3:g}k  ON/OFF {config.onoff_ratio:g}  "
+          f"Vdd {config.v_supply_v:g} V")
+    print(f"NF over {nf.size} column readouts: "
+          f"mean {nf.mean():+.4f}  median {np.median(nf):+.4f}  "
+          f"q1 {np.percentile(nf, 25):+.4f}  "
+          f"q3 {np.percentile(nf, 75):+.4f}")
+    return 0
+
+
+def _cmd_train_geniex(args) -> int:
+    from repro.core.sampling import SamplingSpec
+    from repro.core.trainer import TrainSpec
+    from repro.core.zoo import GeniexZoo
+
+    config = _crossbar_from_args(args)
+    sampling = SamplingSpec(n_g_matrices=args.samples, n_v_per_g=20,
+                            seed=args.seed)
+    training = TrainSpec(hidden=args.hidden, hidden_layers=args.layers,
+                         epochs=args.epochs, batch_size=128, lr=2e-3,
+                         patience=max(10, args.epochs // 4), seed=args.seed)
+    zoo = GeniexZoo(verbose=True)
+    emulator = zoo.get_or_train(config, sampling, training, progress=True)
+    key = zoo.artifact_key(config, sampling, training, "full")
+    print(f"emulator ready: {emulator.rows}x{emulator.cols} "
+          f"hidden={emulator.model.hidden}x{emulator.model.hidden_layers} "
+          f"(cache key {key}, dir {zoo.cache_dir})")
+    return 0
+
+
+_FIG_RUNNERS = {
+    "table1": "repro.experiments.table1_comparison:run_table1",
+    "fig2": "repro.experiments.fig2_nf_analysis:run_fig2",
+    "fig3": "repro.experiments.fig3_nonlinearity:run_fig3",
+    "fig5": "repro.experiments.fig5_rmse:run_fig5",
+    "fig7": "repro.experiments.fig7_design_params:run_fig7",
+    "fig8": "repro.experiments.fig8_quantization:run_fig8",
+    "fig9": "repro.experiments.fig9_bitslicing:run_fig9",
+    "variations": "repro.experiments.variations:run_variations",
+}
+
+
+def _cmd_fig(args) -> int:
+    import importlib
+
+    module_name, func_name = _FIG_RUNNERS[args.name].split(":")
+    runner = getattr(importlib.import_module(module_name), func_name)
+    result = runner()
+    print(result.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GENIEx reproduction command-line interface")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_char = sub.add_parser("characterize",
+                            help="NF statistics of a crossbar design")
+    _add_crossbar_args(p_char)
+    p_char.add_argument("--samples", type=int, default=4,
+                        help="conductance matrices to simulate")
+    p_char.add_argument("--seed", type=int, default=0)
+    p_char.set_defaults(func=_cmd_characterize)
+
+    p_train = sub.add_parser("train-geniex",
+                             help="fit (or load) a GENIEx emulator")
+    _add_crossbar_args(p_train)
+    p_train.add_argument("--samples", type=int, default=60,
+                         help="conductance matrices in the training sweep")
+    p_train.add_argument("--hidden", type=int, default=256)
+    p_train.add_argument("--layers", type=int, default=2)
+    p_train.add_argument("--epochs", type=int, default=180)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.set_defaults(func=_cmd_train_geniex)
+
+    p_fig = sub.add_parser("fig", help="regenerate a paper figure/table")
+    p_fig.add_argument("name", choices=sorted(_FIG_RUNNERS))
+    p_fig.set_defaults(func=_cmd_fig)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""GENIEx: the neural-network crossbar non-ideality model.
+
+Workflow (paper Section 4): sample (V, G) operating points covering the
+sparse distributions produced by bit-sliced DNN workloads, run the circuit
+simulator (the HSPICE stand-in) to obtain non-ideal currents, form the
+distortion-ratio labels ``fR = I_ideal / I_nonideal``, train the
+``(N^2+N) x P x N`` MLP on normalised (V, G) -> fR pairs, then emulate any
+crossbar by ``I_nonideal = I_ideal / fR_predicted``.
+"""
+
+from repro.core.metrics import (
+    nonideality_factor,
+    ratio_fr,
+    rmse,
+    rmse_of_nf,
+)
+from repro.core.sampling import SamplingSpec, VgSampler
+from repro.core.dataset import GeniexDataset, build_geniex_dataset
+from repro.core.model import GeniexNet, Normalizer
+from repro.core.trainer import TrainSpec, TrainingHistory, train_geniex
+from repro.core.emulator import GeniexEmulator
+from repro.core.zoo import GeniexZoo
+
+__all__ = [
+    "nonideality_factor",
+    "ratio_fr",
+    "rmse",
+    "rmse_of_nf",
+    "SamplingSpec",
+    "VgSampler",
+    "GeniexDataset",
+    "build_geniex_dataset",
+    "GeniexNet",
+    "Normalizer",
+    "TrainSpec",
+    "TrainingHistory",
+    "train_geniex",
+    "GeniexEmulator",
+    "GeniexZoo",
+]

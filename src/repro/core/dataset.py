@@ -1,0 +1,147 @@
+"""GENIEx training-set construction: run the simulator, label with fR.
+
+``build_geniex_dataset`` drives the circuit simulator (the HSPICE stand-in)
+over a stratified sample of operating points and packages normalised inputs
+and labels. The dataset stores conductance matrices once per group and
+expands them lazily, because the flattened G component dominates memory for
+64x64 crossbars.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.simulator import CrossbarCircuitSimulator
+from repro.core.metrics import DEFAULT_EPS_CURRENT_A, ratio_fr, valid_mask
+from repro.core.sampling import SamplingSpec, VgSampler
+from repro.errors import ConfigError
+from repro.xbar.config import CrossbarConfig
+from repro.xbar.ideal import ideal_mvm
+from repro.xbar.mapping import normalize_conductances, normalize_voltages
+
+
+@dataclass
+class GeniexDataset:
+    """Normalised (V, G) -> fR dataset for one crossbar configuration.
+
+    Attributes:
+        config: The crossbar the data was generated for.
+        voltages_v: ``(n, rows)`` raw input voltages.
+        conductances_s: ``(n_groups, rows, cols)`` raw conductance matrices.
+        group_index: ``(n,)`` map from sample to conductance group.
+        i_ideal_a / i_nonideal_a: ``(n, cols)`` reference currents.
+        fr: ``(n, cols)`` raw distortion-ratio labels.
+        mask: ``(n, cols)`` True where fR is well defined (loss weighting).
+        fr_min / fr_max: Label normalisation range (from the masked data).
+    """
+
+    config: CrossbarConfig
+    voltages_v: np.ndarray
+    conductances_s: np.ndarray
+    group_index: np.ndarray
+    i_ideal_a: np.ndarray
+    i_nonideal_a: np.ndarray
+    fr: np.ndarray
+    mask: np.ndarray
+    fr_min: float
+    fr_max: float
+
+    def __len__(self) -> int:
+        return self.voltages_v.shape[0]
+
+    def features(self, indices=None) -> np.ndarray:
+        """Concatenated normalised inputs ``[V_norm | G_norm.ravel()]``.
+
+        Shape ``(n, rows + rows*cols)`` float32 — the paper's NN input
+        layout for an N x N crossbar: ``(N + N^2)``-dimensional.
+        """
+        if indices is None:
+            indices = np.arange(len(self))
+        indices = np.asarray(indices)
+        v_norm = normalize_voltages(self.voltages_v[indices], self.config)
+        g_norm = normalize_conductances(
+            self.conductances_s[self.group_index[indices]], self.config)
+        flat_g = g_norm.reshape(len(indices), -1)
+        return np.concatenate([v_norm, flat_g], axis=1).astype(np.float32)
+
+    def labels(self, indices=None) -> np.ndarray:
+        """fR labels normalised to [0, 1] over the training range."""
+        if indices is None:
+            indices = np.arange(len(self))
+        span = max(self.fr_max - self.fr_min, 1e-12)
+        norm = (self.fr[indices] - self.fr_min) / span
+        return np.clip(norm, 0.0, 1.0).astype(np.float32)
+
+    def weights(self, indices=None, current_weighting: bool = False,
+                floor: float = 0.1) -> np.ndarray:
+        """Loss weights: 0 where fR is undefined, 1 elsewhere.
+
+        With ``current_weighting`` the valid columns are additionally scaled
+        by ``floor + (I_ideal / max I_ideal)^2``. An fR error translates to
+        an *absolute* current error proportional to I_ideal, and the
+        functional simulator's shift-and-add amplifies exactly those
+        absolute errors — so weighting the fit by the squared normalised
+        current minimises the error that actually reaches the application.
+        (The paper trains unweighted; the ablation bench quantifies the
+        difference.)
+        """
+        if indices is None:
+            indices = np.arange(len(self))
+        base = self.mask[indices].astype(np.float32)
+        if not current_weighting:
+            return base
+        i_max = max(float(np.abs(self.i_ideal_a).max()), 1e-30)
+        i_norm = (self.i_ideal_a[indices] / i_max).astype(np.float32)
+        return base * (np.float32(floor) + i_norm ** 2)
+
+
+def build_geniex_dataset(config: CrossbarConfig,
+                         spec: SamplingSpec | None = None,
+                         mode: str = "full",
+                         eps_a: float = DEFAULT_EPS_CURRENT_A,
+                         progress: bool = False) -> GeniexDataset:
+    """Generate a labelled dataset by simulating every operating point.
+
+    Args:
+        config: Crossbar design to characterise.
+        spec: Sampling strategy; defaults to :class:`SamplingSpec` defaults.
+        mode: Simulator fidelity for the labels — ``full`` (non-linear,
+            the HSPICE stand-in) or ``linear`` (for ablations).
+        eps_a: Ideal-current threshold below which fR is masked out.
+        progress: Print per-group timing (useful for 64x64 full runs).
+    """
+    if mode not in ("full", "linear"):
+        raise ConfigError(f"label mode must be 'full' or 'linear', got {mode!r}")
+    spec = spec or SamplingSpec()
+    sampler = VgSampler(config, spec)
+    voltages, conductances, group_index = sampler.sample()
+
+    simulator = CrossbarCircuitSimulator(config)
+    n = voltages.shape[0]
+    i_nonideal = np.empty((n, config.cols))
+    i_ideal = np.empty((n, config.cols))
+    start = time.time()
+    for group in range(spec.n_g_matrices):
+        rows = np.nonzero(group_index == group)[0]
+        i_ideal[rows] = ideal_mvm(voltages[rows], conductances[group])
+        i_nonideal[rows] = simulator.solve_batch(
+            voltages[rows], conductances[group], mode=mode)
+        if progress:
+            done = (group + 1) / spec.n_g_matrices
+            elapsed = time.time() - start
+            print(f"  [geniex-dataset] group {group + 1}/"
+                  f"{spec.n_g_matrices} ({done:4.0%}) "
+                  f"elapsed {elapsed:6.1f}s", flush=True)
+    fr = ratio_fr(i_ideal, i_nonideal, eps_a)
+    mask = valid_mask(i_ideal, eps_a)
+    masked = fr[mask]
+    if masked.size == 0:
+        raise ConfigError(
+            "dataset contains no valid fR labels; inputs may be all-zero")
+    fr_min = float(masked.min())
+    fr_max = float(masked.max())
+    return GeniexDataset(config, voltages, conductances, group_index,
+                         i_ideal, i_nonideal, fr, mask, fr_min, fr_max)

@@ -1,0 +1,77 @@
+"""Non-ideality metrics: fR ratio, NF factor, and RMSE comparisons.
+
+Definitions from the paper:
+
+* ``NF = (I_ideal - I_nonideal) / I_ideal`` — the non-ideality factor used
+  throughout Section 3 and Figure 5 (0 = ideal, larger = worse; can be
+  negative when device non-linearity pushes currents above ideal).
+* ``fR = I_ideal / I_nonideal`` — the distortion ratio GENIEx learns; chosen
+  over raw currents so the network does not have to model the multiplicative
+  V x G interaction (Section 4, "NN Formulation").
+
+Columns whose ideal current is (numerically) zero carry no information about
+distortion; both metrics treat them via an explicit validity mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# An ideal current below this fraction of 1 LSB-ish scale is "zero" for the
+# purpose of ratio labels. Absolute threshold in Amperes: with g_off >= 1 uS /
+# 10 and V >= mV-scale steps, genuine signals sit many orders above 1e-15.
+DEFAULT_EPS_CURRENT_A = 1e-15
+
+
+def valid_mask(i_ideal_a, eps_a: float = DEFAULT_EPS_CURRENT_A) -> np.ndarray:
+    """Boolean mask of columns where ratio metrics are well defined."""
+    return np.abs(np.asarray(i_ideal_a, dtype=float)) > eps_a
+
+
+def ratio_fr(i_ideal_a, i_nonideal_a,
+             eps_a: float = DEFAULT_EPS_CURRENT_A) -> np.ndarray:
+    """Distortion ratio ``fR = I_ideal / I_nonideal``; 1.0 where undefined."""
+    i_ideal_a = np.asarray(i_ideal_a, dtype=float)
+    i_nonideal_a = np.asarray(i_nonideal_a, dtype=float)
+    mask = valid_mask(i_ideal_a, eps_a) & (np.abs(i_nonideal_a) > eps_a)
+    out = np.ones_like(i_ideal_a)
+    np.divide(i_ideal_a, i_nonideal_a, out=out, where=mask)
+    return out
+
+
+def nonideality_factor(i_ideal_a, i_nonideal_a,
+                       eps_a: float = DEFAULT_EPS_CURRENT_A) -> np.ndarray:
+    """``NF = (I_ideal - I_nonideal) / I_ideal``; 0.0 where undefined."""
+    i_ideal_a = np.asarray(i_ideal_a, dtype=float)
+    i_nonideal_a = np.asarray(i_nonideal_a, dtype=float)
+    mask = valid_mask(i_ideal_a, eps_a)
+    out = np.zeros_like(i_ideal_a)
+    np.divide(i_ideal_a - i_nonideal_a, i_ideal_a, out=out, where=mask)
+    return out
+
+
+def rmse(reference, value, mask=None) -> float:
+    """Root-mean-square error, optionally restricted to ``mask``."""
+    reference = np.asarray(reference, dtype=float)
+    value = np.asarray(value, dtype=float)
+    diff = reference - value
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if not mask.any():
+            return 0.0
+        diff = diff[mask]
+    return float(np.sqrt(np.mean(diff ** 2)))
+
+
+def rmse_of_nf(i_ideal_a, i_reference_a, i_model_a,
+               eps_a: float = DEFAULT_EPS_CURRENT_A) -> float:
+    """RMSE between reference and model *NF* values (Figure 5's metric).
+
+    ``i_reference_a`` plays the role of HSPICE; ``i_model_a`` is the model
+    under test (analytical or GENIEx). Only columns with meaningful ideal
+    current contribute.
+    """
+    mask = valid_mask(i_ideal_a, eps_a)
+    nf_ref = nonideality_factor(i_ideal_a, i_reference_a, eps_a)
+    nf_model = nonideality_factor(i_ideal_a, i_model_a, eps_a)
+    return rmse(nf_ref, nf_model, mask)

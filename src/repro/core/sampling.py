@@ -1,0 +1,151 @@
+"""Sparsity-stratified sampling of crossbar operating points.
+
+Bit-slicing makes the voltage and conductance vectors seen by a physical
+crossbar highly sparse and discrete (paper Section 4, "Dataset"): a t-bit
+input stream takes one of 2^t levels, a s-bit weight slice one of 2^s levels,
+and high-order slices of trained DNNs are mostly zero. The sampler therefore
+draws each training example from a grid of sparsity degrees and quantised
+levels, so the GENIEx training set covers exactly the distributions the
+functional simulator will query at inference time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import rng_from_seed
+from repro.xbar.config import CrossbarConfig
+from repro.xbar.mapping import conductances_from_levels, voltages_from_levels
+
+DEFAULT_SPARSITY_GRID = (0.0, 0.25, 0.5, 0.75, 0.9)
+# Weight slices of trained fixed-point networks are often *entirely* zero
+# (high-order slices of small weights), so the conductance grid must include
+# fully-sparse matrices — every cell at g_off — or the emulator would
+# extrapolate on exactly the tiles the functional simulator queries most.
+DEFAULT_G_SPARSITY_GRID = (0.0, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """How to draw (V, G) pairs for dataset generation.
+
+    Attributes:
+        n_g_matrices: Number of distinct conductance matrices.
+        n_v_per_g: Voltage vectors solved against each matrix (device
+            programming cost is amortised within a group).
+        v_levels: DAC resolution of sampled inputs (2^stream_bits); ``None``
+            draws continuous uniform voltages instead.
+        g_levels: Number of weight-slice levels (2^slice_bits); ``None``
+            draws continuous uniform conductances.
+        v_sparsity / g_sparsity: Grids of zero-fractions to stratify over.
+        seed: RNG seed.
+    """
+
+    n_g_matrices: int = 40
+    n_v_per_g: int = 25
+    v_levels: int | None = 16
+    g_levels: int | None = 16
+    v_sparsity: tuple = DEFAULT_SPARSITY_GRID
+    g_sparsity: tuple = DEFAULT_G_SPARSITY_GRID
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_g_matrices < 1 or self.n_v_per_g < 1:
+            raise ConfigError("sample counts must be >= 1")
+        for name, levels in (("v_levels", self.v_levels),
+                             ("g_levels", self.g_levels)):
+            if levels is not None and levels < 2:
+                raise ConfigError(f"{name} must be >= 2 or None")
+        if not self.v_sparsity or any(
+                not 0.0 <= s < 1.0 for s in self.v_sparsity):
+            raise ConfigError(
+                f"v_sparsity entries must lie in [0, 1), got "
+                f"{self.v_sparsity}")
+        if not self.g_sparsity or any(
+                not 0.0 <= s <= 1.0 for s in self.g_sparsity):
+            raise ConfigError(
+                f"g_sparsity entries must lie in [0, 1], got "
+                f"{self.g_sparsity}")
+
+    @property
+    def n_samples(self) -> int:
+        return self.n_g_matrices * self.n_v_per_g
+
+
+class VgSampler:
+    """Draws stratified voltage vectors and conductance matrices."""
+
+    def __init__(self, config: CrossbarConfig, spec: SamplingSpec):
+        self.config = config
+        self.spec = spec
+
+    def _sparse_levels(self, rng, shape, sparsity: float,
+                       n_levels: int | None) -> np.ndarray:
+        """Quantised (or continuous) non-negative values with given sparsity.
+
+        Non-zero entries are drawn uniformly over the *non-zero* levels, so
+        the sparsity knob is independent of the level distribution.
+        """
+        active = rng.random(shape) >= sparsity
+        if n_levels is None:
+            values = rng.uniform(0.0, 1.0, size=shape)
+        else:
+            values = rng.integers(1, n_levels, size=shape) / (n_levels - 1)
+        return np.where(active, values, 0.0)
+
+    def sample_voltages(self, rng, n: int) -> np.ndarray:
+        """``(n, rows)`` input voltage vectors in Volts."""
+        spec, cfg = self.spec, self.config
+        out = np.empty((n, cfg.rows))
+        sparsities = rng.choice(spec.v_sparsity, size=n)
+        for k in range(n):
+            frac = self._sparse_levels(rng, cfg.rows, sparsities[k],
+                                       spec.v_levels)
+            out[k] = frac * cfg.v_supply_v
+        return out
+
+    def sample_conductances(self, rng, n: int) -> np.ndarray:
+        """``(n, rows, cols)`` conductance matrices in Siemens.
+
+        A "zero" weight-slice cell still has conductance ``g_off`` — that is
+        the physical floor of the device, exactly as the mapping in
+        :mod:`repro.xbar.mapping` defines it.
+        """
+        spec, cfg = self.spec, self.config
+        out = np.empty((n, cfg.rows, cfg.cols))
+        sparsities = rng.choice(spec.g_sparsity, size=n)
+        for k in range(n):
+            frac = self._sparse_levels(rng, (cfg.rows, cfg.cols),
+                                       sparsities[k], spec.g_levels)
+            if spec.g_levels is None:
+                out[k] = conductances_from_weights_frac(frac, cfg)
+            else:
+                levels = np.rint(frac * (spec.g_levels - 1)).astype(int)
+                out[k] = conductances_from_levels(levels, spec.g_levels, cfg)
+        return out
+
+    def sample(self):
+        """Full stratified draw.
+
+        Returns:
+            ``(voltages, conductances, group_index)`` where ``voltages`` has
+            shape ``(n_samples, rows)``, ``conductances`` has shape
+            ``(n_g_matrices, rows, cols)`` and ``group_index[k]`` maps sample
+            ``k`` to its conductance matrix.
+        """
+        rng = rng_from_seed(self.spec.seed)
+        n_total = self.spec.n_samples
+        voltages = self.sample_voltages(rng, n_total)
+        conductances = self.sample_conductances(rng, self.spec.n_g_matrices)
+        group_index = np.repeat(np.arange(self.spec.n_g_matrices),
+                                self.spec.n_v_per_g)
+        return voltages, conductances, group_index
+
+
+def conductances_from_weights_frac(frac: np.ndarray,
+                                   config: CrossbarConfig) -> np.ndarray:
+    """Continuous fraction [0, 1] -> conductance window (helper)."""
+    return config.g_off_s + frac * (config.g_on_s - config.g_off_s)

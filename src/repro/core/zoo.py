@@ -1,0 +1,126 @@
+"""Disk-backed registry of trained GENIEx models.
+
+Characterising a crossbar (circuit sweeps + MLP training) costs minutes;
+every experiment that touches the same configuration should pay it once.
+The zoo keys artifacts by a hash of (crossbar config, sampling spec, train
+spec, label mode) and stores the model state dict plus the normaliser in a
+single ``.npz``, so cached models reload in milliseconds and are fully
+self-contained.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+
+from repro.core.dataset import build_geniex_dataset
+from repro.core.emulator import GeniexEmulator
+from repro.core.model import GeniexNet, Normalizer
+from repro.core.sampling import SamplingSpec
+from repro.core.trainer import TrainSpec, train_geniex
+from repro.errors import SerializationError
+from repro.xbar.config import CrossbarConfig
+
+
+def default_cache_dir() -> str:
+    """Honour ``REPRO_CACHE_DIR``; fall back to ``~/.cache/repro/geniex``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "geniex")
+
+
+class GeniexZoo:
+    """Train-once cache of :class:`GeniexEmulator` instances."""
+
+    def __init__(self, cache_dir: str | None = None, verbose: bool = False):
+        self.cache_dir = cache_dir or default_cache_dir()
+        self.verbose = verbose
+        self._memory: dict[str, GeniexEmulator] = {}
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    @staticmethod
+    def artifact_key(config: CrossbarConfig, sampling: SamplingSpec,
+                     training: TrainSpec, mode: str) -> str:
+        payload = json.dumps({
+            "config": config.cache_key(),
+            "sampling": repr(sampling),
+            "training": repr(training),
+            "mode": mode,
+        }, sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"geniex-{key}.npz")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @staticmethod
+    def save_model(model: GeniexNet, path: str) -> None:
+        if model.normalizer is None:
+            raise SerializationError("cannot save a model without normalizer")
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        meta = {
+            "rows": model.rows,
+            "cols": model.cols,
+            "hidden": model.hidden,
+            "hidden_layers": model.hidden_layers,
+            "normalizer": model.normalizer.to_dict(),
+        }
+        arrays = {f"param::{k}": v for k, v in model.state_dict().items()}
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez(path, **arrays)
+
+    @staticmethod
+    def load_model(path: str) -> GeniexNet:
+        if not os.path.exists(path):
+            raise SerializationError(f"no GENIEx artifact at {path}")
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta_json"]).decode())
+            state = {k[len("param::"):]: archive[k]
+                     for k in archive.files if k.startswith("param::")}
+        model = GeniexNet(meta["rows"], meta["cols"], hidden=meta["hidden"],
+                          hidden_layers=meta.get("hidden_layers", 1),
+                          normalizer=Normalizer(**meta["normalizer"]))
+        model.load_state_dict(state)
+        model.eval()
+        return model
+
+    # ------------------------------------------------------------------
+    # Main entry point
+    # ------------------------------------------------------------------
+    def get_or_train(self, config: CrossbarConfig,
+                     sampling: SamplingSpec | None = None,
+                     training: TrainSpec | None = None,
+                     mode: str = "full",
+                     progress: bool = False) -> GeniexEmulator:
+        """Return a (possibly cached) emulator for a crossbar configuration."""
+        sampling = sampling or SamplingSpec()
+        training = training or TrainSpec()
+        key = self.artifact_key(config, sampling, training, mode)
+        if key in self._memory:
+            return self._memory[key]
+        path = self._path(key)
+        if os.path.exists(path):
+            emulator = GeniexEmulator(self.load_model(path))
+            self._memory[key] = emulator
+            return emulator
+        if self.verbose or progress:
+            print(f"[geniex-zoo] training model for "
+                  f"{config.rows}x{config.cols} r_on={config.r_on_ohm:g} "
+                  f"onoff={config.onoff_ratio:g} "
+                  f"v={config.v_supply_v:g} (key {key})", flush=True)
+        dataset = build_geniex_dataset(config, sampling, mode=mode,
+                                       progress=progress)
+        model, _ = train_geniex(dataset, training, verbose=progress)
+        self.save_model(model, path)
+        emulator = GeniexEmulator(model)
+        self._memory[key] = emulator
+        return emulator

@@ -1,0 +1,28 @@
+"""Procedural datasets standing in for CIFAR-100 / ImageNet.
+
+The paper's accuracy experiments compare *relative* degradation between
+ideal fixed-point inference and non-ideal crossbar inference of the same
+trained network, so any non-trivial image-classification task that pushes
+real activations and weights through the pipeline reproduces the orderings.
+Two visually distinct generators are provided:
+
+* :mod:`repro.datasets.shapes` — rendered geometric glyphs with pose /
+  scale / noise jitter (the "CIFAR-100" slot);
+* :mod:`repro.datasets.textures` — class-conditioned oriented sinusoidal
+  textures with frequency jitter (the "ImageNet subset" slot);
+* :mod:`repro.datasets.blobs` — Gaussian clusters for fast MLP tests.
+"""
+
+from repro.datasets.shapes import make_shapes, make_shapes_split, SHAPE_NAMES
+from repro.datasets.textures import make_textures, make_textures_split
+from repro.datasets.blobs import make_blobs, make_blobs_split
+
+__all__ = [
+    "make_shapes",
+    "make_shapes_split",
+    "SHAPE_NAMES",
+    "make_textures",
+    "make_textures_split",
+    "make_blobs",
+    "make_blobs_split",
+]

@@ -1,0 +1,29 @@
+"""Two-terminal device models used inside the crossbar circuit simulator.
+
+The cell stack at every crossbar junction is an access transistor in series
+with a filamentary RRAM device, following the paper's setup (TSMC-65nm-class
+access transistors, Guan-style RRAM compact model). All models are vectorised:
+they evaluate currents and differential conductances for whole arrays of
+device voltages at once, which is what makes the Newton solver in
+:mod:`repro.circuit` fast enough to generate training data for GENIEx.
+"""
+
+from repro.devices.base import LinearResistor, TwoTerminalDevice
+from repro.devices.rram import FilamentaryRram, RramParameters
+from repro.devices.transistor import AccessTransistor
+from repro.devices.series import SeriesStack
+from repro.devices.variations import (
+    apply_lognormal_variation,
+    apply_stuck_faults,
+)
+
+__all__ = [
+    "TwoTerminalDevice",
+    "LinearResistor",
+    "FilamentaryRram",
+    "RramParameters",
+    "AccessTransistor",
+    "SeriesStack",
+    "apply_lognormal_variation",
+    "apply_stuck_faults",
+]

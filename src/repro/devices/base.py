@@ -1,0 +1,67 @@
+"""Device protocol and the trivial linear resistor.
+
+A *device* here is a (possibly vectorised) two-terminal element: it maps an
+array of terminal voltage differences to an array of currents, together with
+the differential conductance ``dI/dV`` needed by Newton's method. Per-cell
+parameters (for example the programmed RRAM gap) are bound into the device
+instance as arrays that broadcast against the voltage argument.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class TwoTerminalDevice(ABC):
+    """Abstract two-terminal device with vectorised I(V) and dI/dV."""
+
+    @abstractmethod
+    def current(self, v) -> np.ndarray:
+        """Current through the device for voltage difference ``v`` (array)."""
+
+    @abstractmethod
+    def conductance(self, v) -> np.ndarray:
+        """Differential conductance ``dI/dV`` at voltage ``v`` (array)."""
+
+    def current_and_conductance(self, v):
+        """Return ``(I, dI/dV)`` in one call.
+
+        Subclasses override this when the two quantities share intermediate
+        results (e.g. the series stack solves its internal node only once).
+        """
+        return self.current(v), self.conductance(v)
+
+    def small_signal_conductance(self) -> np.ndarray:
+        """Conductance at zero bias; used to seed Newton's initial guess."""
+        return self.conductance(np.zeros(1))[0] * np.ones_like(self.conductance(0.0))
+
+
+class LinearResistor(TwoTerminalDevice):
+    """Ideal ohmic element ``I = G * V``.
+
+    ``conductance_s`` may be a scalar or an array of per-cell conductances in
+    Siemens. Used both for parasitic elements and as the *linear* device model
+    in the analytical-baseline simulation mode.
+    """
+
+    def __init__(self, conductance_s):
+        conductance_s = np.asarray(conductance_s, dtype=float)
+        if np.any(conductance_s < 0):
+            raise ValueError("conductance_s must be non-negative")
+        self.conductance_s = conductance_s
+
+    def current(self, v):
+        return self.conductance_s * np.asarray(v, dtype=float)
+
+    def conductance(self, v):
+        v = np.asarray(v, dtype=float)
+        return np.broadcast_to(self.conductance_s, np.broadcast_shapes(
+            self.conductance_s.shape, v.shape)).copy()
+
+    def small_signal_conductance(self):
+        return self.conductance_s
+
+    def __repr__(self):
+        return f"LinearResistor(conductance_s={self.conductance_s!r})"

@@ -1,0 +1,114 @@
+"""Filamentary RRAM compact model.
+
+The paper adopts the compact model of Guan et al. (IEEE EDL 2012) in the form
+
+    I(d, V) = I0 * exp(d / d0) * sinh(V / V0)
+
+where ``d`` is the filament gap parameter and ``I0``, ``d0``, ``V0`` are
+fitting constants (paper values: I0 = 0.1 mA, d0 = 0.25 nm, V0 = 0.25 V).
+The ``sinh`` term is the data-dependent non-linearity GENIEx is built to
+capture: the device conducts super-linearly at voltages comparable to V0.
+
+Programming: a target conductance ``g`` is written by choosing the gap so the
+device's *secant* conductance at the programming reference voltage matches
+``g``. With reference voltage -> 0 this reduces to matching the small-signal
+slope ``I0 * exp(d/d0) / V0 = g``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.devices.base import TwoTerminalDevice
+from repro.errors import ConfigError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class RramParameters:
+    """Fitting constants of the filamentary RRAM compact model.
+
+    Attributes:
+        i0_a: Pre-factor current ``I0`` in Amperes (paper: 0.1 mA).
+        d0_nm: Gap scale ``d0`` in nanometres (paper: 0.25 nm).
+        v0_v: Voltage scale ``V0`` in Volts (paper: 0.25 V).
+    """
+
+    i0_a: float = 1e-4
+    d0_nm: float = 0.25
+    v0_v: float = 0.25
+
+    def __post_init__(self):
+        check_positive("i0_a", self.i0_a)
+        check_positive("d0_nm", self.d0_nm)
+        check_positive("v0_v", self.v0_v)
+
+
+class FilamentaryRram(TwoTerminalDevice):
+    """Vectorised filamentary RRAM with per-cell gap parameters.
+
+    The per-cell prefactor ``a = I0 * exp(d/d0)`` is precomputed so the hot
+    path only evaluates ``a * sinh(V/V0)``.
+    """
+
+    def __init__(self, params: RramParameters, gap_nm):
+        self.params = params
+        self.gap_nm = np.asarray(gap_nm, dtype=float)
+        self._prefactor_a = params.i0_a * np.exp(self.gap_nm / params.d0_nm)
+
+    @classmethod
+    def from_conductance(cls, conductance_s, params: RramParameters,
+                         v_ref: float = 0.0) -> "FilamentaryRram":
+        """Program devices so their conductance at ``v_ref`` equals the target.
+
+        ``v_ref = 0`` matches the small-signal slope at zero bias. A non-zero
+        ``v_ref`` matches the secant conductance ``I(v_ref)/v_ref`` instead,
+        emulating a program-and-verify loop performed at read voltage.
+        """
+        conductance_s = np.asarray(conductance_s, dtype=float)
+        if np.any(conductance_s <= 0):
+            raise ConfigError("target conductances must be strictly positive")
+        if v_ref < 0:
+            raise ConfigError(f"v_ref must be >= 0, got {v_ref}")
+        if v_ref == 0.0:
+            prefactor = conductance_s * params.v0_v
+        else:
+            prefactor = conductance_s * v_ref / np.sinh(v_ref / params.v0_v)
+        gap_nm = params.d0_nm * np.log(prefactor / params.i0_a)
+        return cls(params, gap_nm)
+
+    def current(self, v):
+        v = np.asarray(v, dtype=float)
+        return self._prefactor_a * np.sinh(v / self.params.v0_v)
+
+    def conductance(self, v):
+        v = np.asarray(v, dtype=float)
+        return self._prefactor_a * np.cosh(v / self.params.v0_v) / self.params.v0_v
+
+    def current_and_conductance(self, v):
+        v = np.asarray(v, dtype=float)
+        ratio = v / self.params.v0_v
+        i = self._prefactor_a * np.sinh(ratio)
+        g = self._prefactor_a * np.cosh(ratio) / self.params.v0_v
+        return i, g
+
+    def small_signal_conductance(self):
+        return self._prefactor_a / self.params.v0_v
+
+    def nonlinearity_gain(self, v):
+        """Ratio of actual to small-signal-extrapolated current at ``v``.
+
+        Equals ``sinh(v/V0) / (v/V0)``; 1 at v -> 0, grows super-linearly.
+        Useful for quantifying how much the device departs from ohmic
+        behaviour at a given operating voltage.
+        """
+        v = np.asarray(v, dtype=float)
+        ratio = np.where(v == 0.0, 1e-300, v) / self.params.v0_v
+        gain = np.sinh(ratio) / ratio
+        return np.where(v == 0.0, 1.0, gain)
+
+    def __repr__(self):
+        return (f"FilamentaryRram(params={self.params!r}, "
+                f"n_cells={self.gap_nm.size})")

@@ -1,0 +1,116 @@
+"""Series composition of two-terminal devices.
+
+The 1T1R cell is an access transistor in series with an RRAM device. Rather
+than carrying one extra circuit node per cell through the crossbar solver, we
+reduce the stack to an *effective* two-terminal device: for a total cell
+voltage ``v`` we solve the scalar current-continuity equation
+
+    I_first(x) = I_second(v - x)
+
+for the internal split ``x`` (voltage across the first device). Both device
+currents are strictly increasing in their own voltage, so the residual
+``f(x) = I_first(x) - I_second(v - x)`` is strictly increasing and has a
+unique root bracketed by ``[min(0, v), max(0, v)]``. We run a vectorised,
+bracket-safeguarded Newton iteration over all cells simultaneously; steps
+that would leave the bracket fall back to bisection. This mirrors how SPICE
+handles series non-linear elements, but without growing the outer system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.base import TwoTerminalDevice
+from repro.errors import ConvergenceError
+
+
+class SeriesStack(TwoTerminalDevice):
+    """Effective device for ``first`` in series with ``second``.
+
+    The instance caches the last internal-node solution and reuses it as the
+    warm start for the next call, which makes the outer crossbar Newton loop
+    converge in very few inner iterations.
+    """
+
+    def __init__(self, first: TwoTerminalDevice, second: TwoTerminalDevice,
+                 max_iter: int = 60, tol_a: float = 1e-15):
+        self.first = first
+        self.second = second
+        self.max_iter = int(max_iter)
+        self.tol_a = float(tol_a)
+        self._warm_x = None
+
+    def _solve_internal(self, v: np.ndarray) -> np.ndarray:
+        """Solve I_first(x) = I_second(v - x) for each element of ``v``."""
+        lo = np.minimum(0.0, v)
+        hi = np.maximum(0.0, v)
+
+        g1 = np.broadcast_to(self.first.small_signal_conductance(), v.shape)
+        g2 = np.broadcast_to(self.second.small_signal_conductance(), v.shape)
+        if self._warm_x is not None and self._warm_x.shape == v.shape:
+            x = np.clip(self._warm_x, lo, hi)
+        else:
+            # Linear divider as initial guess: x = v * g2 / (g1 + g2).
+            x = v * g2 / (g1 + g2)
+
+        scale = np.maximum(np.abs(self.first.current(hi)), 1.0e-12)
+        converged = False
+        for _ in range(self.max_iter):
+            i1, c1 = self.first.current_and_conductance(x)
+            i2, c2 = self.second.current_and_conductance(v - x)
+            f = i1 - i2
+            if np.all(np.abs(f) <= self.tol_a + 1e-9 * scale):
+                converged = True
+                break
+            deriv = c1 + c2
+            step = f / np.maximum(deriv, 1e-30)
+            x_new = x - step
+            # Maintain the bracket: f is increasing in x, so the root lies
+            # below x where f > 0 and above it where f < 0.
+            hi = np.where(f > 0, np.minimum(hi, x), hi)
+            lo = np.where(f < 0, np.maximum(lo, x), lo)
+            outside = (x_new < lo) | (x_new > hi)
+            x = np.where(outside, 0.5 * (lo + hi), x_new)
+        if not converged:
+            i1 = self.first.current(x)
+            i2 = self.second.current(v - x)
+            worst = float(np.max(np.abs(i1 - i2)))
+            raise ConvergenceError(
+                f"series internal-node solve did not converge "
+                f"(max residual {worst:.3e} A after {self.max_iter} iters)")
+        self._warm_x = x
+        return x
+
+    def current(self, v):
+        return self.current_and_conductance(v)[0]
+
+    def conductance(self, v):
+        return self.current_and_conductance(v)[1]
+
+    def current_and_conductance(self, v):
+        v = np.asarray(v, dtype=float)
+        scalar = v.ndim == 0
+        v = np.atleast_1d(v)
+        # Broadcast the voltage against per-cell device parameters so a
+        # scalar bias can be applied to a whole vectorised stack.
+        param_shape = np.broadcast_shapes(
+            np.shape(self.first.small_signal_conductance()),
+            np.shape(self.second.small_signal_conductance()))
+        common = np.broadcast_shapes(v.shape, param_shape)
+        v = np.broadcast_to(v, common).astype(float, copy=True)
+        x = self._solve_internal(v)
+        i, c1 = self.first.current_and_conductance(x)
+        c2 = self.second.conductance(v - x)
+        # Series combination of differential conductances.
+        g = c1 * c2 / np.maximum(c1 + c2, 1e-30)
+        if scalar:
+            return i[0], g[0]
+        return i, g
+
+    def small_signal_conductance(self):
+        g1 = self.first.small_signal_conductance()
+        g2 = self.second.small_signal_conductance()
+        return g1 * g2 / (g1 + g2)
+
+    def __repr__(self):
+        return f"SeriesStack(first={self.first!r}, second={self.second!r})"

@@ -1,0 +1,73 @@
+"""Access-transistor model for 1T1R crossbar cells.
+
+During MVM compute all word lines are activated, so the access transistor is
+fully on and acts as a voltage-dependent series resistance. We model it with
+the standard long-channel square law in the triode region,
+
+    I = beta * (V_ov * V_ds - V_ds^2 / 2),      0 <= V_ds < V_ov
+    I = beta * V_ov^2 / 2,                      V_ds >= V_ov (saturation)
+
+made antisymmetric for negative drain-source voltage (pass-device
+approximation), plus a GMIN-style minimum parallel conductance that keeps the
+Newton Jacobian non-singular when the transistor saturates — the same trick
+SPICE uses. The model is C^1 across the triode/saturation boundary.
+
+This is the *non-linear, data-dependent* access-device effect the paper calls
+out: the transistor's effective resistance rises with the voltage across it,
+compressing large cell currents more than small ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.base import TwoTerminalDevice
+from repro.utils.validation import check_positive
+
+
+class AccessTransistor(TwoTerminalDevice):
+    """Square-law on-state access transistor.
+
+    Args:
+        r_on_ohm: Small-signal on-resistance at V_ds = 0; beta is derived as
+            ``1 / (r_on_ohm * v_ov_v)``. Typical values are a few kOhm for a
+            65 nm minimum-width device.
+        v_ov_v: Gate overdrive ``V_gs - V_th`` with the word line asserted.
+        gmin_s: Minimum parallel conductance (SPICE GMIN), default 1e-9 S.
+    """
+
+    def __init__(self, r_on_ohm: float = 5e3, v_ov_v: float = 0.75,
+                 gmin_s: float = 1e-9):
+        check_positive("r_on_ohm", r_on_ohm)
+        check_positive("v_ov_v", v_ov_v)
+        check_positive("gmin_s", gmin_s)
+        self.r_on_ohm = float(r_on_ohm)
+        self.v_ov_v = float(v_ov_v)
+        self.gmin_s = float(gmin_s)
+        self.beta = 1.0 / (r_on_ohm * v_ov_v)
+
+    def _core_current(self, vmag):
+        vov = self.v_ov_v
+        triode = self.beta * (vov * vmag - 0.5 * vmag ** 2)
+        sat = self.beta * 0.5 * vov ** 2
+        return np.where(vmag < vov, triode, sat)
+
+    def _core_conductance(self, vmag):
+        vov = self.v_ov_v
+        return np.where(vmag < vov, self.beta * (vov - vmag), 0.0)
+
+    def current(self, v):
+        v = np.asarray(v, dtype=float)
+        vmag = np.abs(v)
+        return np.sign(v) * self._core_current(vmag) + self.gmin_s * v
+
+    def conductance(self, v):
+        v = np.asarray(v, dtype=float)
+        return self._core_conductance(np.abs(v)) + self.gmin_s
+
+    def small_signal_conductance(self):
+        return self.beta * self.v_ov_v + self.gmin_s
+
+    def __repr__(self):
+        return (f"AccessTransistor(r_on_ohm={self.r_on_ohm}, "
+                f"v_ov_v={self.v_ov_v}, gmin_s={self.gmin_s})")

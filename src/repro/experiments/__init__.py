@@ -1,0 +1,33 @@
+"""Experiment drivers: one module per paper figure/table.
+
+Each ``run_*`` function executes the experiment at the active profile
+(``REPRO_PROFILE=quick|full``, default quick) and returns a result object
+whose ``format()`` renders the same rows/series the paper reports. The
+benchmark harness under ``benchmarks/`` wraps these one-to-one.
+"""
+
+from repro.experiments.common import (
+    Profile,
+    format_table,
+    get_profile,
+)
+from repro.experiments.table1_comparison import run_table1
+from repro.experiments.fig2_nf_analysis import run_fig2
+from repro.experiments.fig3_nonlinearity import run_fig3
+from repro.experiments.fig5_rmse import run_fig5
+from repro.experiments.fig7_design_params import run_fig7
+from repro.experiments.fig8_quantization import run_fig8
+from repro.experiments.fig9_bitslicing import run_fig9
+
+__all__ = [
+    "Profile",
+    "get_profile",
+    "format_table",
+    "run_table1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig5",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+]

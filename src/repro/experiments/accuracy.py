@@ -1,0 +1,138 @@
+"""Reference-network training and non-ideal accuracy evaluation.
+
+Shared by the Fig. 7/8/9 drivers: train a ResNet-style CNN once per
+(dataset, profile) pair — cached on disk — then evaluate it through any MVM
+engine by converting the trained model with
+:func:`repro.funcsim.convert_to_mvm` and measuring top-1 accuracy on the
+held-out split.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.emulator import GeniexEmulator
+from repro.datasets import make_shapes_split, make_textures_split
+from repro.errors import ConfigError
+from repro.experiments.common import Profile, dnn_cache_dir
+from repro.funcsim import convert_to_mvm, make_engine
+from repro.funcsim.config import FuncSimConfig
+from repro.models import ResNet
+from repro.nn import Adam, cross_entropy, load_state_dict, save_state_dict
+from repro.nn.losses import accuracy
+from repro.nn.tensor import Tensor, no_grad
+from repro.utils.rng import rng_from_seed
+from repro.xbar.config import CrossbarConfig
+
+DATASETS = ("shapes", "textures")
+
+
+def load_dataset(name: str, profile: Profile, seed: int = 0) -> tuple:
+    """Train/test split of a named dataset at profile sizes."""
+    if name == "shapes":
+        return make_shapes_split(profile.train_images, profile.eval_images,
+                                 image_size=profile.image_size,
+                                 num_classes=profile.shapes_classes,
+                                 seed=seed)
+    if name == "textures":
+        return make_textures_split(profile.train_images, profile.eval_images,
+                                   image_size=profile.image_size,
+                                   num_classes=profile.textures_classes,
+                                   noise=0.6, seed=seed)
+    raise ConfigError(f"unknown dataset {name!r}; choose from {DATASETS}")
+
+
+def _network_for(name: str, profile: Profile, num_classes: int,
+                 seed: int = 0) -> ResNet:
+    return ResNet(profile.cnn_blocks, num_classes, in_channels=1,
+                  width=profile.cnn_width, seed=seed)
+
+
+def _cache_path(name: str, profile: Profile, seed: int) -> str:
+    return os.path.join(dnn_cache_dir(),
+                        f"{name}-{profile.name}-seed{seed}.npz")
+
+
+def train_reference_network(name: str, profile: Profile,
+                            seed: int = 0, verbose: bool = False) -> tuple:
+    """Train (or load) the reference CNN for a dataset.
+
+    Returns:
+        ``(model, x_test, y_test, float_accuracy)``.
+    """
+    x_train, y_train, x_test, y_test = load_dataset(name, profile, seed)
+    num_classes = int(y_train.max()) + 1
+    model = _network_for(name, profile, num_classes, seed)
+    path = _cache_path(name, profile, seed)
+    if os.path.exists(path):
+        model.load_state_dict(load_state_dict(path))
+    else:
+        rng = rng_from_seed(seed)
+        optimizer = Adam(model.parameters(), lr=3e-3)
+        batch = 64
+        n = len(x_train)
+        for epoch in range(profile.train_epochs):
+            perm = rng.permutation(n)
+            total = 0.0
+            for start in range(0, n, batch):
+                idx = perm[start:start + batch]
+                loss = cross_entropy(model(Tensor(x_train[idx])),
+                                     y_train[idx])
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                total += loss.item() * len(idx)
+            if verbose:
+                print(f"  [dnn-train:{name}] epoch {epoch} "
+                      f"loss {total / n:.4f}", flush=True)
+        save_state_dict(model.state_dict(), path)
+    model.eval()
+    float_acc = evaluate_float(model, x_test, y_test, profile.eval_batch)
+    return model, x_test, y_test, float_acc
+
+
+def evaluate_float(model, x: np.ndarray, y: np.ndarray,
+                   batch: int = 64) -> float:
+    """Top-1 accuracy of the plain float model."""
+    model.eval()
+    hits = 0
+    with no_grad():
+        for start in range(0, len(x), batch):
+            logits = model(Tensor(x[start:start + batch]))
+            hits += int((logits.data.argmax(axis=1)
+                         == y[start:start + batch]).sum())
+    return hits / len(x)
+
+
+def evaluate_engine(model, x: np.ndarray, y: np.ndarray, engine,
+                    batch: int = 64) -> float:
+    """Top-1 accuracy of the model converted onto an MVM engine."""
+    converted = convert_to_mvm(model, engine)
+    hits = 0
+    with no_grad():
+        for start in range(0, len(x), batch):
+            logits = converted(Tensor(x[start:start + batch]))
+            hits += int((logits.data.argmax(axis=1)
+                         == y[start:start + batch]).sum())
+    return hits / len(x)
+
+
+def evaluate_mode(model, x, y, mode: str, xbar: CrossbarConfig,
+                  sim: FuncSimConfig, batch: int = 64,
+                  emulator: GeniexEmulator | None = None) -> float:
+    """Accuracy under a named engine mode (``ideal``/``geniex``/...)."""
+    engine = make_engine(mode, xbar, sim, emulator=emulator)
+    return evaluate_engine(model, x, y, engine, batch=batch)
+
+
+__all__ = [
+    "DATASETS",
+    "load_dataset",
+    "train_reference_network",
+    "evaluate_float",
+    "evaluate_engine",
+    "evaluate_mode",
+    "accuracy",
+]

@@ -1,0 +1,104 @@
+"""Figure 7: DNN accuracy vs crossbar design parameters.
+
+(a) accuracy vs crossbar size, (b) vs ON resistance, (c) vs ON/OFF ratio —
+all with GENIEx-modelled non-idealities on a 16-bit fixed-point network with
+4-bit streams/slices; (d) GENIEx vs the analytical model at 0.25 V and 0.5 V
+supply. Paper findings: larger crossbars / lower R_on / lower ON/OFF degrade
+accuracy; the analytical model *overestimates* the degradation relative to
+GENIEx.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.accuracy import (
+    evaluate_mode,
+    train_reference_network,
+)
+from repro.experiments.common import Profile, format_table, get_profile, \
+    shared_zoo
+
+
+@dataclass
+class Fig7Result:
+    float_accuracy: float
+    ideal_accuracy: float
+    by_size: list = field(default_factory=list)
+    by_r_on: list = field(default_factory=list)
+    by_onoff: list = field(default_factory=list)
+    model_compare: list = field(default_factory=list)
+
+    def _acc_rows(self, entries):
+        return [[label, acc, self.ideal_accuracy - acc]
+                for label, acc in entries]
+
+    def format(self) -> str:
+        headers = ["config", "accuracy", "degradation"]
+        parts = [
+            f"Fig 7 (CIFAR-100/ResNet-20 stand-in)\n"
+            f"  float accuracy  = {self.float_accuracy:.4f}\n"
+            f"  ideal FxP 16-bit = {self.ideal_accuracy:.4f}",
+            format_table("Fig 7(a): accuracy vs crossbar size (GENIEx)",
+                         headers, self._acc_rows(self.by_size)),
+            format_table("Fig 7(b): accuracy vs ON resistance (GENIEx)",
+                         headers, self._acc_rows(self.by_r_on)),
+            format_table("Fig 7(c): accuracy vs ON/OFF ratio (GENIEx)",
+                         headers, self._acc_rows(self.by_onoff)),
+            format_table("Fig 7(d): analytical vs GENIEx",
+                         ["Vsupply", "analytical", "GENIEx",
+                          "analytical overestimates degradation by"],
+                         [[f"{v:g} V", a_ana, a_gen, a_gen - a_ana]
+                          for v, a_ana, a_gen in self.model_compare]),
+        ]
+        return "\n\n".join(parts)
+
+
+def run_fig7(profile: Profile | None = None,
+             progress: bool = False) -> Fig7Result:
+    profile = profile or get_profile()
+    zoo = shared_zoo()
+    model, x_test, y_test, float_acc = train_reference_network(
+        "shapes", profile, verbose=progress)
+    sim = profile.funcsim()
+    batch = profile.eval_batch
+
+    ideal_acc = evaluate_mode(model, x_test, y_test, "ideal",
+                              profile.dnn_crossbar(), sim, batch)
+    result = Fig7Result(float_acc, ideal_acc)
+
+    def geniex_accuracy(config):
+        emulator = zoo.get_or_train(config, profile.sampling_spec(0),
+                                    profile.dnn_train_spec(0), progress=progress)
+        return evaluate_mode(model, x_test, y_test, "geniex", config, sim,
+                             batch, emulator=emulator)
+
+    # (a) crossbar size sweep.
+    for size in profile.dnn_sizes:
+        config = profile.dnn_crossbar(rows=size)
+        result.by_size.append((f"{size}x{size}", geniex_accuracy(config)))
+
+    # (b) ON resistance sweep.
+    for r_on in profile.r_on_sweep_ohm:
+        config = profile.dnn_crossbar(r_on_ohm=r_on)
+        result.by_r_on.append((f"Ron={r_on / 1e3:g}k",
+                               geniex_accuracy(config)))
+
+    # (c) ON/OFF ratio sweep.
+    for ratio in profile.onoff_sweep:
+        config = profile.dnn_crossbar(onoff_ratio=ratio)
+        result.by_onoff.append((f"on/off={ratio:g}",
+                                geniex_accuracy(config)))
+
+    # (d) analytical vs GENIEx at two supply voltages.
+    for v_supply in (0.25, 0.5):
+        config = profile.dnn_crossbar(v_supply_v=v_supply)
+        acc_analytical = evaluate_mode(model, x_test, y_test, "analytical",
+                                       config, sim, batch)
+        acc_geniex = geniex_accuracy(config)
+        result.model_compare.append((v_supply, acc_analytical, acc_geniex))
+    return result
+
+
+if __name__ == "__main__":
+    print(run_fig7(progress=True).format())

@@ -1,0 +1,69 @@
+"""Figure 8: precision of weights/activations under non-idealities.
+
+For 16/8/4-bit fixed-point networks on both datasets, compare (i) ideal
+quantised inference, (ii) non-idealities per the analytical model, and
+(iii) non-idealities per GENIEx. Paper findings: the accuracy cost of
+non-ideality grows as precision drops, and the analytical model
+overestimates the degradation at every precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.accuracy import (
+    DATASETS,
+    evaluate_mode,
+    train_reference_network,
+)
+from repro.experiments.common import Profile, format_table, get_profile, \
+    shared_zoo
+
+PRECISIONS = (16, 8, 4)
+
+
+@dataclass
+class Fig8Result:
+    rows: list = field(default_factory=list)
+    float_accuracy: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        header_note = "\n".join(
+            f"  {name}: float accuracy = {acc:.4f}"
+            for name, acc in self.float_accuracy.items())
+        table = format_table(
+            "Fig 8: accuracy vs weight/activation precision",
+            ["dataset", "bits", "ideal", "analytical", "GENIEx",
+             "GENIEx degradation"],
+            [[name, bits, ideal, ana, gen, ideal - gen]
+             for name, bits, ideal, ana, gen in self.rows])
+        return f"Fig 8 (both datasets)\n{header_note}\n\n{table}"
+
+
+def run_fig8(profile: Profile | None = None, datasets=DATASETS,
+             progress: bool = False) -> Fig8Result:
+    profile = profile or get_profile()
+    zoo = shared_zoo()
+    config = profile.dnn_crossbar()
+    emulator = zoo.get_or_train(config, profile.sampling_spec(0),
+                                profile.dnn_train_spec(0), progress=progress)
+    result = Fig8Result()
+    for name in datasets:
+        model, x_test, y_test, float_acc = train_reference_network(
+            name, profile, verbose=progress)
+        result.float_accuracy[name] = float_acc
+        for bits in PRECISIONS:
+            sim = profile.funcsim().with_precision(bits)
+            acc_ideal = evaluate_mode(model, x_test, y_test, "ideal",
+                                      config, sim, profile.eval_batch)
+            acc_ana = evaluate_mode(model, x_test, y_test, "analytical",
+                                    config, sim, profile.eval_batch)
+            acc_gen = evaluate_mode(model, x_test, y_test, "geniex",
+                                    config, sim, profile.eval_batch,
+                                    emulator=emulator)
+            result.rows.append((name, bits, acc_ideal, acc_ana, acc_gen))
+    return result
+
+
+if __name__ == "__main__":
+    print(run_fig8(progress=True).format())

@@ -1,0 +1,69 @@
+"""Figure 9: impact of stream (input) and slice (weight) bit widths.
+
+For a 16-bit fixed-point network, sweep the bit-slicing configuration over
+stream/slice widths {1, 2, 4} with GENIEx-modelled non-idealities. Paper
+findings: 1- and 2-bit streams/slices recover near-ideal accuracy; 4-bit
+costs ~12% on CIFAR-100; extremely sparse 1-bit x 1-bit operation can show
+slightly *lower* accuracy than 2-bit because NF can go negative (device
+non-linearity overshoot dominates when IR drops vanish).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.accuracy import (
+    evaluate_mode,
+    train_reference_network,
+)
+from repro.experiments.common import Profile, format_table, get_profile, \
+    shared_zoo
+
+WIDTHS = (1, 2, 4)
+
+
+@dataclass
+class Fig9Result:
+    ideal_accuracy: float
+    rows: list = field(default_factory=list)
+
+    def format(self) -> str:
+        return format_table(
+            f"Fig 9: accuracy vs stream/slice widths "
+            f"(ideal FxP = {self.ideal_accuracy:.4f})",
+            ["streams", "slices", "accuracy", "degradation"],
+            [[f"{st}-bit", f"{sl}-bit", acc, self.ideal_accuracy - acc]
+             for st, sl, acc in self.rows])
+
+
+def run_fig9(profile: Profile | None = None,
+             progress: bool = False) -> Fig9Result:
+    profile = profile or get_profile()
+    zoo = shared_zoo()
+    config = profile.dnn_crossbar()
+    emulator = zoo.get_or_train(config, profile.sampling_spec(0),
+                                profile.dnn_train_spec(0), progress=progress)
+    model, x_test, y_test, _ = train_reference_network(
+        "shapes", profile, verbose=progress)
+    x_test = x_test[:profile.eval_images_fig9]
+    y_test = y_test[:profile.eval_images_fig9]
+
+    base_sim = profile.funcsim()
+    ideal_acc = evaluate_mode(model, x_test, y_test, "ideal", config,
+                              base_sim, profile.eval_batch)
+    result = Fig9Result(ideal_acc)
+    for stream_bits in WIDTHS:
+        for slice_bits in WIDTHS:
+            sim = base_sim.replace(stream_bits=stream_bits,
+                                   slice_bits=slice_bits)
+            acc = evaluate_mode(model, x_test, y_test, "geniex", config,
+                                sim, profile.eval_batch, emulator=emulator)
+            result.rows.append((stream_bits, slice_bits, acc))
+            if progress:
+                print(f"  [fig9] streams={stream_bits} slices={slice_bits} "
+                      f"acc={acc:.4f}", flush=True)
+    return result
+
+
+if __name__ == "__main__":
+    print(run_fig9(progress=True).format())

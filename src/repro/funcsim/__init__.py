@@ -1,0 +1,52 @@
+"""Functional simulator: DNN inference on (non-ideal) crossbar hardware.
+
+Reproduces the paper's Section 5 architecture model. A convolution or dense
+layer executes in three phases:
+
+1. **Iterative MVM** — convolutions become repeated matrix-vector products
+   over im2col patch matrices.
+2. **Tiling** — the quantised weight matrix is split into crossbar-sized
+   tiles; tiles in a row share input slices, tiles in a column produce
+   partial sums.
+3. **Bit-slicing** — activations are streamed ``stream_bits`` at a time
+   through the DACs and weights are split into ``slice_bits`` conductance
+   slices; ADC outputs are merged with shift-and-add and accumulated in
+   fixed point.
+
+The analog tile computation is pluggable: exact ideal, GENIEx emulation,
+the linear analytical model, a cheap decoupled IR-drop model, or the full
+circuit simulator.
+"""
+
+from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.quant import FixedPointFormat
+from repro.funcsim.adc import AdcModel
+from repro.funcsim.engine import (
+    AnalyticalTileFactory,
+    CircuitTileFactory,
+    CrossbarMvmEngine,
+    DecoupledTileFactory,
+    ExactTileFactory,
+    GeniexTileFactory,
+    IdealMvmEngine,
+    make_engine,
+)
+from repro.funcsim.layers import Conv2dMVM, LinearMVM
+from repro.funcsim.convert import convert_to_mvm
+
+__all__ = [
+    "FuncSimConfig",
+    "FixedPointFormat",
+    "AdcModel",
+    "CrossbarMvmEngine",
+    "IdealMvmEngine",
+    "ExactTileFactory",
+    "GeniexTileFactory",
+    "AnalyticalTileFactory",
+    "DecoupledTileFactory",
+    "CircuitTileFactory",
+    "make_engine",
+    "LinearMVM",
+    "Conv2dMVM",
+    "convert_to_mvm",
+]

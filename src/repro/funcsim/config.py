@@ -1,0 +1,99 @@
+"""Functional-simulator configuration (bit widths of every component).
+
+Defaults follow the paper's Section 6: accumulator 32-bit (24 fractional),
+ADC 14-bit, inputs and weights 16-bit (13 fractional), 4-bit input streams,
+4-bit weight slices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.funcsim.quant import FixedPointFormat
+from repro.funcsim.slicing import n_units
+
+
+@dataclass(frozen=True)
+class FuncSimConfig:
+    """Digital precision parameters of the MVM architecture.
+
+    Attributes:
+        weight_bits / weight_frac_bits: Fixed-point format of weights.
+        activation_bits / activation_frac_bits: Format of activations.
+        stream_bits: Input bit-stream width per DAC step (paper: 4).
+        slice_bits: Weight bits per conductance slice (paper: 4).
+        adc_bits: ADC resolution (paper: 14).
+        accumulator_bits / accumulator_frac_bits: Partial-sum register
+            format (paper: 32 total, 24 fractional).
+        adc_headroom: Multiplier on the default ADC LSB / full scale.
+        adc_offset_lsb / adc_noise_lsb: Converter offset and input-referred
+            noise, in LSB units (0 = the paper's ideal converter).
+        adc_seed: Seed of the converter-noise generator.
+    """
+
+    weight_bits: int = 16
+    weight_frac_bits: int = 13
+    activation_bits: int = 16
+    activation_frac_bits: int = 13
+    stream_bits: int = 4
+    slice_bits: int = 4
+    adc_bits: int = 14
+    accumulator_bits: int = 32
+    accumulator_frac_bits: int = 24
+    adc_headroom: float = 1.0
+    adc_offset_lsb: float = 0.0
+    adc_noise_lsb: float = 0.0
+    adc_seed: int = 0
+
+    def __post_init__(self):
+        if self.stream_bits < 1 or self.slice_bits < 1:
+            raise ConfigError("stream_bits and slice_bits must be >= 1")
+        if self.adc_headroom <= 0:
+            raise ConfigError("adc_headroom must be positive")
+        if self.adc_noise_lsb < 0:
+            raise ConfigError("adc_noise_lsb must be >= 0")
+        # Construction of the formats validates the width/frac combinations.
+        self.weight_format
+        self.activation_format
+        self.accumulator_format
+
+    @property
+    def weight_format(self) -> FixedPointFormat:
+        return FixedPointFormat(self.weight_bits, self.weight_frac_bits)
+
+    @property
+    def activation_format(self) -> FixedPointFormat:
+        return FixedPointFormat(self.activation_bits,
+                                self.activation_frac_bits)
+
+    @property
+    def accumulator_format(self) -> FixedPointFormat:
+        return FixedPointFormat(self.accumulator_bits,
+                                self.accumulator_frac_bits)
+
+    @property
+    def n_streams(self) -> int:
+        """DAC steps per activation magnitude."""
+        return n_units(self.activation_format.magnitude_bits,
+                       self.stream_bits)
+
+    @property
+    def n_slices(self) -> int:
+        """Conductance slices per weight magnitude."""
+        return n_units(self.weight_format.magnitude_bits, self.slice_bits)
+
+    def replace(self, **changes) -> "FuncSimConfig":
+        return replace(self, **changes)
+
+    def with_precision(self, bits: int) -> "FuncSimConfig":
+        """Scale weight/activation width, keeping 3 integer bits.
+
+        Matches the paper's Fig. 8 sweep convention: a ``bits``-bit network
+        uses ``bits - 3`` fractional bits (16 -> 13, 8 -> 5, 4 -> 1).
+        """
+        if bits < 4:
+            raise ConfigError(f"precision sweep expects bits >= 4, got {bits}")
+        return self.replace(weight_bits=bits, weight_frac_bits=bits - 3,
+                            activation_bits=bits,
+                            activation_frac_bits=bits - 3)

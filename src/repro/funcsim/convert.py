@@ -1,0 +1,42 @@
+"""Model conversion: swap dense/conv layers for their crossbar versions.
+
+``convert_to_mvm`` deep-copies a trained model and replaces every
+:class:`~repro.nn.Linear` with :class:`LinearMVM` and every
+:class:`~repro.nn.Conv2d` with :class:`Conv2dMVM`, leaving activations,
+normalisation and pooling untouched — exactly the ``Model.py ->
+Model-mvm.py`` step in the paper's Fig. 6. The converted model is
+inference-only.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.nn.modules import Conv2d, Linear, Module
+from repro.funcsim.layers import Conv2dMVM, LinearMVM
+
+
+def _replace_layers(module: Module, engine, chunk_rows: int | None) -> None:
+    for name, child in list(module._modules.items()):
+        if isinstance(child, Linear):
+            setattr(module, name, LinearMVM.from_linear(child, engine))
+        elif isinstance(child, Conv2d):
+            kwargs = {} if chunk_rows is None else \
+                {"chunk_rows": chunk_rows}
+            setattr(module, name, Conv2dMVM.from_conv(child, engine,
+                                                      **kwargs))
+        else:
+            _replace_layers(child, engine, chunk_rows)
+
+
+def convert_to_mvm(model: Module, engine,
+                   chunk_rows: int | None = None) -> Module:
+    """Return an MVM copy of ``model`` running on ``engine``.
+
+    The original model is untouched. The copy is put in eval mode; running
+    statistics of normalisation layers are preserved by the deep copy.
+    """
+    converted = copy.deepcopy(model)
+    _replace_layers(converted, engine, chunk_rows)
+    converted.eval()
+    return converted

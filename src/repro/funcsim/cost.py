@@ -1,0 +1,175 @@
+"""Static cost model of the bit-sliced crossbar MVM architecture.
+
+Counts the architectural events that dominate energy in ISAAC/PUMA-class
+accelerators — ADC conversions, DAC activations and crossbar readout
+operations — for a given workload shape and configuration. Purely
+combinatorial (no simulation), so it can sweep large design spaces; the
+counts follow exactly the loop structure of
+:class:`repro.funcsim.engine.CrossbarMvmEngine`.
+
+A *readout* is one (tile, weight-sign, slice, stream) analog evaluation of
+all ``cols`` bit lines; each readout costs ``cols`` ADC conversions. DAC
+activations count one per driven row per stream step. Worst-case counts
+assume no zero-stream skipping and both weight signs present; callers can
+scale by measured sparsity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.tiles import n_tiles
+from repro.nn.imops import conv2d_output_shape
+from repro.xbar.config import CrossbarConfig
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """Event counts for one workload on one configuration.
+
+    Attributes:
+        readouts: (tile, sign, slice, stream) crossbar evaluations.
+        adc_conversions: Bit-line digitisations (= readouts * cols).
+        dac_activations: Driven-row DAC events (= rows per readout group).
+        tiles: Programmed crossbar tiles (per weight sign and slice).
+        mvms: Number of matrix-vector products covered.
+    """
+
+    readouts: int
+    adc_conversions: int
+    dac_activations: int
+    tiles: int
+    mvms: int
+
+    def __add__(self, other: "CostReport") -> "CostReport":
+        return CostReport(
+            self.readouts + other.readouts,
+            self.adc_conversions + other.adc_conversions,
+            self.dac_activations + other.dac_activations,
+            self.tiles + other.tiles,
+            self.mvms + other.mvms)
+
+    def scaled(self, factor: int) -> "CostReport":
+        """Costs for ``factor`` repetitions (e.g. a batch of inputs)."""
+        if factor < 0:
+            raise ConfigError("factor must be >= 0")
+        return CostReport(self.readouts * factor,
+                          self.adc_conversions * factor,
+                          self.dac_activations * factor,
+                          self.tiles, self.mvms * factor)
+
+
+def matmul_cost(n_in: int, n_out: int, xbar: CrossbarConfig,
+                sim: FuncSimConfig, signed_inputs: bool = False,
+                signed_weights: bool = True) -> CostReport:
+    """Worst-case cost of one ``(n_in,) x (n_in, n_out)`` MVM."""
+    if n_in < 1 or n_out < 1:
+        raise ConfigError("operand dimensions must be >= 1")
+    t_r = n_tiles(n_in, xbar.rows)
+    t_c = n_tiles(n_out, xbar.cols)
+    weight_signs = 2 if signed_weights else 1
+    input_passes = 2 if signed_inputs else 1
+    tiles = t_r * t_c * weight_signs * sim.n_slices
+    readouts = tiles * sim.n_streams * input_passes
+    adc = readouts * xbar.cols
+    # Each (tile-row, stream, input-pass) drives the rows once; the same
+    # drive is shared by every tile column / slice / weight sign.
+    dac = t_r * sim.n_streams * input_passes * xbar.rows
+    return CostReport(readouts, adc, dac, tiles, 1)
+
+
+def conv2d_cost(image_hw: tuple, in_channels: int, out_channels: int,
+                kernel: tuple, xbar: CrossbarConfig, sim: FuncSimConfig,
+                stride=(1, 1), padding=(0, 0),
+                signed_inputs: bool = False) -> CostReport:
+    """Cost of one image through a conv layer (iterative-MVM execution)."""
+    h, w = image_hw
+    out_h, out_w = conv2d_output_shape(h, w, kernel, stride, padding)
+    per_pixel = matmul_cost(in_channels * kernel[0] * kernel[1],
+                            out_channels, xbar, sim,
+                            signed_inputs=signed_inputs)
+    return per_pixel.scaled(out_h * out_w)
+
+
+def model_cost(model, image_hw: tuple, xbar: CrossbarConfig,
+               sim: FuncSimConfig) -> CostReport:
+    """Cost of one input image through a :class:`repro.nn.Module` tree.
+
+    Recursively walks the module hierarchy in registration (= forward)
+    order, accounting every ``Conv2d``/``Linear`` (or their MVM
+    counterparts) at the spatial size each one actually sees: pooling
+    updates the spatial size, residual blocks evaluate their projection at
+    the block input size, and cost-free layers (activations, norms,
+    flatten) pass through. Supports the module types shipped with the
+    library.
+    """
+    total, _, _ = _walk_cost(model, image_hw[0], image_hw[1], xbar, sim)
+    return total
+
+
+def _walk_cost(module, h: int, w: int, xbar, sim):
+    from repro.funcsim.layers import Conv2dMVM, LinearMVM
+    from repro.models.resnet import BasicBlock
+    from repro.nn.modules import (
+        AvgPool2d,
+        Conv2d,
+        Linear,
+        MaxPool2d,
+    )
+    from repro.nn.functional import _pair
+
+    zero = CostReport(0, 0, 0, 0, 0)
+
+    if isinstance(module, (Conv2d, Conv2dMVM)):
+        cost = conv2d_cost((h, w), module.in_channels,
+                           module.out_channels, module.kernel_size, xbar,
+                           sim, stride=module.stride,
+                           padding=module.padding)
+        h, w = conv2d_output_shape(h, w, module.kernel_size, module.stride,
+                                   module.padding)
+        return cost, h, w
+    if isinstance(module, (Linear, LinearMVM)):
+        return matmul_cost(module.in_features, module.out_features, xbar,
+                           sim), h, w
+    if isinstance(module, (MaxPool2d, AvgPool2d)):
+        kernel = _pair(module.kernel_size)
+        stride = kernel if module.stride is None else _pair(module.stride)
+        h, w = conv2d_output_shape(h, w, kernel, stride, (0, 0))
+        return zero, h, w
+    if isinstance(module, BasicBlock):
+        cost1, h1, w1 = _walk_cost(module.conv1, h, w, xbar, sim)
+        cost2, h2, w2 = _walk_cost(module.conv2, h1, w1, xbar, sim)
+        total = cost1 + cost2
+        if module.projection is not None:
+            proj, _, _ = _walk_cost(module.projection, h, w, xbar, sim)
+            total = total + proj
+        return total, h2, w2
+    # Containers and cost-free layers: fold over children in order.
+    total = zero
+    for child in module._modules.values():
+        cost, h, w = _walk_cost(child, h, w, xbar, sim)
+        total = total + cost
+    return total, h, w
+
+
+def network_cost(layer_shapes, xbar: CrossbarConfig,
+                 sim: FuncSimConfig) -> CostReport:
+    """Aggregate cost over ``(kind, ...)`` layer descriptors.
+
+    Each descriptor is either ``("linear", n_in, n_out)`` or
+    ``("conv", (h, w), c_in, c_out, (kh, kw), (sh, sw), (ph, pw))``.
+    """
+    total = CostReport(0, 0, 0, 0, 0)
+    for shape in layer_shapes:
+        kind = shape[0]
+        if kind == "linear":
+            total = total + matmul_cost(shape[1], shape[2], xbar, sim)
+        elif kind == "conv":
+            total = total + conv2d_cost(shape[1], shape[2], shape[3],
+                                        shape[4], xbar, sim,
+                                        stride=shape[5], padding=shape[6])
+        else:
+            raise ConfigError(f"unknown layer kind {kind!r}")
+    return total

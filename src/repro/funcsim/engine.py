@@ -1,0 +1,445 @@
+"""MVM engines: the bit-sliced crossbar pipeline with pluggable tile models.
+
+``CrossbarMvmEngine.matmul`` reproduces the paper's execution model. For each
+tile-row the quantised activations are sign-split and streamed
+``stream_bits`` at a time as DAC voltages; every (weight-sign, slice, tile)
+crossbar returns analog bit-line currents from its *tile model*; the ADC
+digitises them; the digital back-end removes the ``g_off`` mapping bias,
+merges streams/slices with shift-and-add and accumulates tile partial sums
+in the fixed-point accumulator.
+
+Tile models:
+
+* :class:`GeniexTileFactory` — GENIEx emulation (default non-ideal mode),
+  with the conductance term of the hidden layer precomputed per tile and the
+  voltage term shared across all tiles in a tile-row.
+* :class:`AnalyticalTileFactory` — exact linear parasitic model (one sparse
+  LU per tile, reused across all streams).
+* :class:`DecoupledTileFactory` — cheap first-order IR-drop model.
+* :class:`CircuitTileFactory` — full non-linear circuit solve (slow; used
+  to validate the emulator in tests).
+
+:class:`IdealMvmEngine` bypasses the analog pipeline entirely and computes
+the exact fixed-point product ("Ideal FxP" in the paper's figures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytical.fast_model import DecoupledIrDropModel
+from repro.circuit.linear_solver import LinearCrossbarSolver
+from repro.circuit.simulator import CrossbarCircuitSimulator
+from repro.core.emulator import GeniexEmulator
+from repro.errors import ConfigError, ShapeError
+from repro.funcsim.adc import AdcModel
+from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.slicing import sign_split, split_unsigned
+from repro.funcsim.tiles import n_tiles, pad_axis, tile_matrix
+from repro.xbar.config import CrossbarConfig
+from repro.xbar.ideal import ideal_mvm
+from repro.xbar.mapping import conductances_from_levels
+
+from scipy.sparse.linalg import splu
+
+
+# ----------------------------------------------------------------------
+# Tile models
+# ----------------------------------------------------------------------
+class ExactTileFactory:
+    """Ideality oracle: tiles compute the exact analog dot product.
+
+    Running the full bit-sliced pipeline with this factory isolates the
+    *digital* error sources (activation/weight quantisation, ADC resolution,
+    accumulator width) from crossbar non-idealities, and doubles as the
+    correctness oracle for the decode path: with a sufficiently fine ADC the
+    engine must reproduce :class:`IdealMvmEngine` exactly (tested).
+    """
+
+    name = "exact"
+
+    def __init__(self, config: CrossbarConfig):
+        self.config = config
+
+    def check_crossbar(self, config: CrossbarConfig) -> None:
+        if config.shape != self.config.shape:
+            raise ConfigError("tile factory / engine crossbar shape mismatch")
+
+    def prepare_voltages(self, voltages_v: np.ndarray):
+        return None
+
+    def build(self, conductance_s: np.ndarray):
+        g = np.asarray(conductance_s, dtype=float)
+
+        class _Tile:
+            def currents(self, voltages_v, cache=None):
+                return ideal_mvm(voltages_v, g)
+
+        return _Tile()
+
+
+class GeniexTileFactory:
+    """Builds GENIEx-backed tile models for one trained emulator."""
+
+    name = "geniex"
+
+    def __init__(self, emulator: GeniexEmulator):
+        self.emulator = emulator
+        w1v, _, _ = emulator.model.first_layer_views()
+        self._w1v_t = np.ascontiguousarray(w1v.T)
+
+    def check_crossbar(self, config: CrossbarConfig) -> None:
+        if (self.emulator.rows, self.emulator.cols) != config.shape:
+            raise ConfigError(
+                f"emulator was trained for "
+                f"{self.emulator.rows}x{self.emulator.cols} crossbars, "
+                f"engine uses {config.rows}x{config.cols}")
+
+    def prepare_voltages(self, voltages_v: np.ndarray):
+        """Hidden-layer voltage term, shared by every tile in a tile-row."""
+        v_norm = self.emulator.normalizer.normalize_v(voltages_v)
+        return v_norm @ self._w1v_t
+
+    def build(self, conductance_s: np.ndarray) -> "GeniexTileModel":
+        return GeniexTileModel(self, conductance_s)
+
+
+class GeniexTileModel:
+    """Per-tile GENIEx forward pass with the G term folded in."""
+
+    def __init__(self, factory: GeniexTileFactory, conductance_s: np.ndarray):
+        self._factory = factory
+        emulator = factory.emulator
+        _, w1g, b1 = emulator.model.first_layer_views()
+        g_norm = emulator.normalizer.normalize_g(conductance_s).reshape(-1)
+        self._hidden_bias = (g_norm @ w1g.T + b1).astype(np.float32)
+        self.conductance_s = conductance_s
+
+    def currents(self, voltages_v: np.ndarray, cache=None) -> np.ndarray:
+        factory = self._factory
+        if cache is None:
+            cache = factory.prepare_voltages(voltages_v)
+        hidden = cache + self._hidden_bias
+        fr_norm = factory.emulator.model.forward_hidden(hidden)
+        fr = factory.emulator.normalizer.denormalize_fr(fr_norm)
+        i_ideal = ideal_mvm(voltages_v, self.conductance_s)
+        return i_ideal / fr
+
+
+class AnalyticalTileFactory:
+    """Exact linear parasitic model, reduced to a transfer matrix per tile.
+
+    The parasitic network is linear, so programming a tile amounts to one
+    sparse solve of ``rows`` unit-voltage problems; afterwards every
+    readout is a dense ``V @ T`` matmul — the CxDNN "matrix inversion"
+    formulation, and the reason the analytical engine keeps up with GENIEx
+    on throughput.
+    """
+
+    name = "analytical"
+
+    def __init__(self, config: CrossbarConfig):
+        self.config = config
+        self._solver = LinearCrossbarSolver(config)
+
+    def check_crossbar(self, config: CrossbarConfig) -> None:
+        if config.shape != self.config.shape:
+            raise ConfigError("tile factory / engine crossbar shape mismatch")
+
+    def prepare_voltages(self, voltages_v: np.ndarray):
+        return None
+
+    def build(self, conductance_s: np.ndarray) -> "AnalyticalTileModel":
+        return AnalyticalTileModel(
+            self._solver.transfer_matrix(conductance_s))
+
+
+class AnalyticalTileModel:
+    def __init__(self, transfer: np.ndarray):
+        self._transfer = transfer
+
+    def currents(self, voltages_v: np.ndarray, cache=None) -> np.ndarray:
+        return np.atleast_2d(voltages_v) @ self._transfer
+
+
+class DecoupledTileFactory:
+    """First-order IR-drop approximation (ablation model)."""
+
+    name = "decoupled"
+
+    def __init__(self, config: CrossbarConfig, n_sweeps: int = 2):
+        self.config = config
+        self._model = DecoupledIrDropModel(config, n_sweeps=n_sweeps)
+
+    def check_crossbar(self, config: CrossbarConfig) -> None:
+        if config.shape != self.config.shape:
+            raise ConfigError("tile factory / engine crossbar shape mismatch")
+
+    def prepare_voltages(self, voltages_v: np.ndarray):
+        return None
+
+    def build(self, conductance_s: np.ndarray):
+        model = self._model
+        g = np.asarray(conductance_s, dtype=float)
+
+        class _Tile:
+            def currents(self, voltages_v, cache=None):
+                return model.predict_currents(voltages_v, g)
+
+        return _Tile()
+
+
+class CircuitTileFactory:
+    """Full non-linear circuit solve per operating point (slow, exact)."""
+
+    name = "circuit"
+
+    def __init__(self, config: CrossbarConfig):
+        self.config = config
+        self._simulator = CrossbarCircuitSimulator(config)
+
+    def check_crossbar(self, config: CrossbarConfig) -> None:
+        if config.shape != self.config.shape:
+            raise ConfigError("tile factory / engine crossbar shape mismatch")
+
+    def prepare_voltages(self, voltages_v: np.ndarray):
+        return None
+
+    def build(self, conductance_s: np.ndarray):
+        simulator = self._simulator
+        g = np.asarray(conductance_s, dtype=float)
+
+        class _Tile:
+            def currents(self, voltages_v, cache=None):
+                return simulator.solve_batch(voltages_v, g, mode="full")
+
+        return _Tile()
+
+
+# ----------------------------------------------------------------------
+# Prepared weights
+# ----------------------------------------------------------------------
+class PreparedMatrix:
+    """Weight matrix quantised, sliced, tiled and programmed into models."""
+
+    def __init__(self, n_in: int, n_out: int, qw: np.ndarray, models: dict,
+                 t_r: int, t_c: int, sign_present: tuple):
+        self.n_in = n_in
+        self.n_out = n_out
+        self.qw = qw
+        self.models = models  # (sign, slice, tr, tc) -> tile model
+        self.t_r = t_r
+        self.t_c = t_c
+        self.sign_present = sign_present
+
+
+class EngineStats:
+    """Cumulative event counters of a :class:`CrossbarMvmEngine`.
+
+    ``readouts`` counts actual analog tile evaluations; zero-valued stream
+    blocks are skipped (they drive no current) and tallied separately, so
+    ``readouts + skipped`` equals the static worst case of
+    :func:`repro.funcsim.cost.matmul_cost` scaled by the batch.
+    """
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        self.matmuls = 0
+        self.readouts = 0
+        self.skipped_zero_streams = 0
+        self.adc_conversions = 0
+
+    def __repr__(self):
+        return (f"EngineStats(matmuls={self.matmuls}, "
+                f"readouts={self.readouts}, "
+                f"skipped={self.skipped_zero_streams}, "
+                f"adc={self.adc_conversions})")
+
+
+# ----------------------------------------------------------------------
+# Engines
+# ----------------------------------------------------------------------
+class IdealMvmEngine:
+    """Exact fixed-point matmul — the paper's "Ideal FxP" reference.
+
+    Activations and weights are quantised to their fixed-point formats, the
+    integer product is computed exactly, and the result passes once through
+    the accumulator format.
+    """
+
+    name = "ideal"
+
+    def __init__(self, sim_config: FuncSimConfig):
+        self.sim_config = sim_config
+
+    def prepare(self, weights: np.ndarray) -> PreparedMatrix:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ShapeError(f"expected (K, M) weights, got {weights.shape}")
+        qw = self.sim_config.weight_format.quantize_to_int(weights)
+        return PreparedMatrix(weights.shape[0], weights.shape[1], qw, {},
+                              0, 0, (1,))
+
+    def matmul(self, x: np.ndarray, prepared) -> np.ndarray:
+        if not isinstance(prepared, PreparedMatrix):
+            prepared = self.prepare(prepared)
+        cfg = self.sim_config
+        qx = cfg.activation_format.quantize_to_int(x)
+        counts = qx.astype(np.float64) @ prepared.qw.astype(np.float64)
+        value = counts * (cfg.activation_format.resolution *
+                          cfg.weight_format.resolution)
+        return cfg.accumulator_format.quantize(value)
+
+
+class CrossbarMvmEngine:
+    """Bit-sliced, tiled crossbar MVM with a non-ideal tile model."""
+
+    def __init__(self, xbar_config: CrossbarConfig,
+                 sim_config: FuncSimConfig, tile_factory):
+        tile_factory.check_crossbar(xbar_config)
+        self.xbar_config = xbar_config
+        self.sim_config = sim_config
+        self.tile_factory = tile_factory
+        self.name = tile_factory.name
+        # DAC / conductance LSBs of the digital <-> analog mapping.
+        self._v_lsb = xbar_config.v_supply_v / (2 ** sim_config.stream_bits - 1)
+        n_g_levels = 2 ** sim_config.slice_bits
+        self._g_lsb = ((xbar_config.g_on_s - xbar_config.g_off_s)
+                       / (n_g_levels - 1)) if n_g_levels > 1 else \
+            (xbar_config.g_on_s - xbar_config.g_off_s)
+        self.adc = AdcModel.aligned(sim_config.adc_bits,
+                                    self._v_lsb * self._g_lsb,
+                                    headroom=sim_config.adc_headroom,
+                                    offset_lsb=sim_config.adc_offset_lsb,
+                                    noise_lsb=sim_config.adc_noise_lsb,
+                                    seed=sim_config.adc_seed)
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    def prepare(self, weights: np.ndarray) -> PreparedMatrix:
+        """Quantise, sign-split, slice and tile a ``(K, M)`` weight matrix,
+        programming one tile model per (sign, slice, tile)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.ndim != 2:
+            raise ShapeError(f"expected (K, M) weights, got {weights.shape}")
+        cfg, xcfg = self.sim_config, self.xbar_config
+        qw = cfg.weight_format.quantize_to_int(weights)
+        parts = sign_split(qw)
+        sign_present = tuple(k for k, part in enumerate(parts)
+                             if np.any(part) or k == 0)
+        t_r = n_tiles(weights.shape[0], xcfg.rows)
+        t_c = n_tiles(weights.shape[1], xcfg.cols)
+        n_levels = 2 ** cfg.slice_bits
+
+        models = {}
+        for sign in sign_present:
+            slices = split_unsigned(parts[sign],
+                                    cfg.weight_format.magnitude_bits,
+                                    cfg.slice_bits)
+            for k in range(cfg.n_slices):
+                tiles = tile_matrix(slices[k], xcfg.rows, xcfg.cols)
+                for tr in range(t_r):
+                    for tc in range(t_c):
+                        g = conductances_from_levels(tiles[tr, tc], n_levels,
+                                                     xcfg)
+                        models[(sign, k, tr, tc)] = self.tile_factory.build(g)
+        return PreparedMatrix(weights.shape[0], weights.shape[1], qw, models,
+                              t_r, t_c, sign_present)
+
+    # ------------------------------------------------------------------
+    def matmul(self, x: np.ndarray, prepared) -> np.ndarray:
+        """Quantised crossbar product of ``x (B, K)`` with prepared weights."""
+        if not isinstance(prepared, PreparedMatrix):
+            prepared = self.prepare(prepared)
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != prepared.n_in:
+            raise ShapeError(
+                f"input features {x.shape[1]} != weight rows {prepared.n_in}")
+        cfg, xcfg = self.sim_config, self.xbar_config
+        batch = x.shape[0]
+        rows, cols = xcfg.rows, xcfg.cols
+        t_r, t_c = prepared.t_r, prepared.t_c
+
+        qx = cfg.activation_format.quantize_to_int(x)
+        qx = pad_axis(qx, 1, rows)
+        x_parts = sign_split(qx)
+        x_signs = [k for k, part in enumerate(x_parts) if np.any(part)]
+        if not x_signs:
+            x_signs = [0]
+        streams = {
+            sx: split_unsigned(x_parts[sx],
+                               cfg.activation_format.magnitude_bits,
+                               cfg.stream_bits)
+            for sx in x_signs
+        }
+
+        value_lsb = (cfg.activation_format.resolution *
+                     cfg.weight_format.resolution)
+        acc = cfg.accumulator_format
+        bias_factor = xcfg.g_off_s / self._g_lsb
+        decode = 1.0 / (self._v_lsb * self._g_lsb)
+
+        self.stats.matmuls += 1
+        per_stream_models = len(prepared.sign_present) * cfg.n_slices * t_c
+        out_value = np.zeros((batch, t_c * cols))
+        for tr in range(t_r):
+            row_block = slice(tr * rows, (tr + 1) * rows)
+            tr_counts = np.zeros((batch, t_c * cols))
+            for sx in x_signs:
+                sx_factor = 1.0 if sx == 0 else -1.0
+                for m in range(cfg.n_streams):
+                    levels = streams[sx][m][:, row_block]
+                    if not levels.any():
+                        # Zero drive => exactly zero currents.
+                        self.stats.skipped_zero_streams += per_stream_models
+                        continue
+                    voltages = levels * self._v_lsb
+                    cache = self.tile_factory.prepare_voltages(voltages)
+                    stream_sum = levels.sum(axis=1)[:, None]
+                    stream_scale = float(2 ** (m * cfg.stream_bits))
+                    for sw in prepared.sign_present:
+                        sw_factor = 1.0 if sw == 0 else -1.0
+                        for k in range(cfg.n_slices):
+                            slice_scale = float(2 ** (k * cfg.slice_bits))
+                            for tc in range(t_c):
+                                model = prepared.models[(sw, k, tr, tc)]
+                                i_raw = model.currents(voltages, cache)
+                                i_meas = self.adc.measure(i_raw)
+                                self.stats.readouts += 1
+                                self.stats.adc_conversions += i_meas.size
+                                counts = i_meas * decode \
+                                    - bias_factor * stream_sum
+                                tr_counts[:, tc * cols:(tc + 1) * cols] += (
+                                    sx_factor * sw_factor * stream_scale
+                                    * slice_scale * counts)
+            # Tile-row partial sums accumulate through the fixed-point
+            # accumulator register (paper: 32-bit, 24 fractional).
+            out_value = acc.quantize(out_value + tr_counts * value_lsb)
+        return out_value[:, :prepared.n_out]
+
+
+def make_engine(kind: str, xbar_config: CrossbarConfig,
+                sim_config: FuncSimConfig,
+                emulator: GeniexEmulator | None = None):
+    """Engine factory: ``ideal | geniex | analytical | decoupled | circuit``."""
+    if kind == "ideal":
+        return IdealMvmEngine(sim_config)
+    if kind == "geniex":
+        if emulator is None:
+            raise ConfigError("geniex engine requires a trained emulator")
+        factory = GeniexTileFactory(emulator)
+    elif kind == "exact":
+        factory = ExactTileFactory(xbar_config)
+    elif kind == "analytical":
+        factory = AnalyticalTileFactory(xbar_config)
+    elif kind == "decoupled":
+        factory = DecoupledTileFactory(xbar_config)
+    elif kind == "circuit":
+        factory = CircuitTileFactory(xbar_config)
+    else:
+        raise ConfigError(
+            f"unknown engine kind {kind!r}; expected ideal, exact, geniex, "
+            f"analytical, decoupled or circuit")
+    return CrossbarMvmEngine(xbar_config, sim_config, factory)

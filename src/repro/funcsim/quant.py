@@ -1,0 +1,76 @@
+"""Fixed-point quantisation.
+
+All digital datapaths of the functional simulator use signed two's-complement
+fixed point, described by a total bit width and a fractional bit count
+(paper defaults: 16-bit inputs/weights with 13 fractional bits, 32-bit
+accumulator with 24 fractional bits). Saturation is symmetric so that every
+representable magnitude has a negation — this keeps the sign-split used by
+bit-slicing exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format ``Q(bits - frac_bits - 1).frac_bits``.
+
+    Attributes:
+        bits: Total width including the sign bit.
+        frac_bits: Bits to the right of the binary point.
+    """
+
+    bits: int
+    frac_bits: int
+
+    def __post_init__(self):
+        if self.bits < 2:
+            raise ConfigError(f"bits must be >= 2, got {self.bits}")
+        if self.frac_bits < 0 or self.frac_bits >= self.bits:
+            raise ConfigError(
+                f"frac_bits must lie in [0, bits), got {self.frac_bits}")
+
+    @property
+    def resolution(self) -> float:
+        """Value of one LSB."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_int(self) -> int:
+        """Largest representable integer code (symmetric saturation)."""
+        return 2 ** (self.bits - 1) - 1
+
+    @property
+    def min_int(self) -> int:
+        return -self.max_int
+
+    @property
+    def max_value(self) -> float:
+        return self.max_int * self.resolution
+
+    @property
+    def magnitude_bits(self) -> int:
+        """Bits needed for the magnitude of any representable code."""
+        return self.bits - 1
+
+    def quantize_to_int(self, x) -> np.ndarray:
+        """Round-to-nearest integer codes with symmetric saturation."""
+        x = np.asarray(x, dtype=np.float64)
+        q = np.rint(x / self.resolution)
+        return np.clip(q, self.min_int, self.max_int).astype(np.int64)
+
+    def dequantize(self, q) -> np.ndarray:
+        return np.asarray(q, dtype=np.float64) * self.resolution
+
+    def quantize(self, x) -> np.ndarray:
+        """Project onto the representable grid (float in, float out)."""
+        return self.dequantize(self.quantize_to_int(x))
+
+    def __str__(self):
+        return f"Q{self.bits}.{self.frac_bits}"

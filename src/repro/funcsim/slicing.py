@@ -1,0 +1,69 @@
+"""Bit-slicing and bit-streaming of integer operands.
+
+Crossbars compute with unsigned physical quantities (voltages, conductances),
+so signed integers are first split into non-negative positive/negative parts
+(``q = pos - neg``), then each part is decomposed little-endian into units of
+``unit_bits``:
+
+    q = sum_k unit_k * 2**(k * unit_bits),   0 <= unit_k < 2**unit_bits
+
+Weight units are the paper's *slices* (programmed as conductance levels) and
+activation units are its *streams* (applied as DAC voltages over successive
+steps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def n_units(total_bits: int, unit_bits: int) -> int:
+    """Number of slices/streams needed for a ``total_bits`` magnitude."""
+    if total_bits < 1 or unit_bits < 1:
+        raise ConfigError("bit counts must be >= 1")
+    return -(-total_bits // unit_bits)
+
+
+def sign_split(q) -> tuple:
+    """Split signed integers into non-negative (positive, negative) parts."""
+    q = np.asarray(q)
+    return np.maximum(q, 0), np.maximum(-q, 0)
+
+
+def split_unsigned(q, total_bits: int, unit_bits: int) -> np.ndarray:
+    """Decompose non-negative integers into little-endian units.
+
+    Returns an array of shape ``(n_units, *q.shape)`` with unit values in
+    ``[0, 2**unit_bits - 1]``.
+    """
+    q = np.asarray(q, dtype=np.int64)
+    if np.any(q < 0):
+        raise ConfigError("split_unsigned requires non-negative integers")
+    if np.any(q >= 2 ** total_bits):
+        raise ConfigError(
+            f"values exceed {total_bits} bits: max {int(q.max())}")
+    count = n_units(total_bits, unit_bits)
+    units = np.empty((count,) + q.shape, dtype=np.int64)
+    mask = (1 << unit_bits) - 1
+    work = q.copy()
+    for k in range(count):
+        units[k] = work & mask
+        work >>= unit_bits
+    return units
+
+
+def merge_unsigned(units: np.ndarray, unit_bits: int) -> np.ndarray:
+    """Inverse of :func:`split_unsigned`."""
+    units = np.asarray(units, dtype=np.int64)
+    out = np.zeros(units.shape[1:], dtype=np.int64)
+    for k in range(units.shape[0] - 1, -1, -1):
+        out <<= unit_bits
+        out += units[k]
+    return out
+
+
+def unit_weight(index: int, unit_bits: int) -> float:
+    """Shift-and-add scale factor ``2**(index * unit_bits)``."""
+    return float(2 ** (index * unit_bits))

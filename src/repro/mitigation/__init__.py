@@ -1,0 +1,28 @@
+"""Non-ideality mitigation techniques.
+
+The paper's introduction frames accurate modelling as the prerequisite for
+*mitigation* ("the efficacy of these mitigation techniques strongly depends
+upon the modelling approach ... and retraining of the neural network
+weights"). This package implements the two standard software-side
+mitigations so the framework closes that loop:
+
+* :mod:`repro.mitigation.noise_training` — technology-aware retraining:
+  inject multiplicative weight noise (and optionally activation noise)
+  during training so the learned weights are robust to analog distortion;
+* :mod:`repro.mitigation.calibration` — post-training output calibration:
+  fit per-layer affine corrections on a small calibration set to undo the
+  systematic component of the crossbar distortion.
+"""
+
+from repro.mitigation.noise_training import NoiseSpec, train_with_noise
+from repro.mitigation.calibration import (
+    CalibratedModel,
+    fit_output_calibration,
+)
+
+__all__ = [
+    "NoiseSpec",
+    "train_with_noise",
+    "CalibratedModel",
+    "fit_output_calibration",
+]

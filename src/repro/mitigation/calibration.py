@@ -1,0 +1,75 @@
+"""Post-training output calibration against crossbar distortion.
+
+The systematic component of crossbar non-ideality (mean current loss or
+boost) is a smooth, nearly affine map of the layer outputs. Fitting a
+per-class affine correction ``logits' = a * logits + b`` on a small
+calibration set recovers a large share of the lost accuracy without
+touching the programmed weights — the cheapest mitigation available on
+deployed hardware (cf. the compensation schemes of CxDNN, the paper's
+reference [9]).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.modules import Module
+from repro.nn.tensor import Tensor, no_grad
+
+
+class CalibratedModel(Module):
+    """Wraps a (converted) model with a fitted affine output correction."""
+
+    def __init__(self, base: Module, scale: np.ndarray, offset: np.ndarray):
+        super().__init__()
+        self.base = base
+        self.scale = np.asarray(scale, dtype=np.float32)
+        self.offset = np.asarray(offset, dtype=np.float32)
+
+    def forward(self, x):
+        out = self.base(x)
+        return Tensor(out.data * self.scale + self.offset)
+
+
+def fit_output_calibration(nonideal_model: Module,
+                           reference_model: Module,
+                           x_calibration: np.ndarray,
+                           batch: int = 64,
+                           ridge: float = 1e-3) -> CalibratedModel:
+    """Fit per-output affine corrections by ridge regression.
+
+    Args:
+        nonideal_model: The crossbar-converted model to correct.
+        reference_model: The clean (float or ideal-FxP) model providing
+            target logits.
+        x_calibration: Unlabelled calibration inputs (labels not needed —
+            the reference model supplies the targets).
+        ridge: L2 regulariser on the scale deviation from 1.
+
+    Returns:
+        A :class:`CalibratedModel` wrapping ``nonideal_model``.
+    """
+    if len(x_calibration) < 2:
+        raise ConfigError("calibration needs at least 2 samples")
+    noisy_out, clean_out = [], []
+    with no_grad():
+        for start in range(0, len(x_calibration), batch):
+            block = Tensor(x_calibration[start:start + batch])
+            noisy_out.append(nonideal_model(block).data)
+            clean_out.append(reference_model(block).data)
+    noisy = np.concatenate(noisy_out).astype(np.float64)
+    clean = np.concatenate(clean_out).astype(np.float64)
+    if noisy.shape != clean.shape:
+        raise ShapeError(
+            f"model output shapes differ: {noisy.shape} vs {clean.shape}")
+
+    # Per-output 1-D ridge regression: clean ~ a * noisy + b.
+    n = noisy.shape[0]
+    mean_x = noisy.mean(axis=0)
+    mean_y = clean.mean(axis=0)
+    var_x = ((noisy - mean_x) ** 2).sum(axis=0) / n
+    cov_xy = ((noisy - mean_x) * (clean - mean_y)).sum(axis=0) / n
+    scale = (cov_xy + ridge) / (var_x + ridge)
+    offset = mean_y - scale * mean_x
+    return CalibratedModel(nonideal_model, scale, offset)

@@ -1,0 +1,15 @@
+"""Reference network architectures for the accuracy experiments."""
+
+from repro.models.mlp import MLP
+from repro.models.lenet import LeNet
+from repro.models.resnet import BasicBlock, ResNet, resnet8, resnet14, resnet20
+
+__all__ = [
+    "MLP",
+    "LeNet",
+    "BasicBlock",
+    "ResNet",
+    "resnet8",
+    "resnet14",
+    "resnet20",
+]

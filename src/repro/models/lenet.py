@@ -1,0 +1,53 @@
+"""LeNet-style small CNN baseline."""
+
+from __future__ import annotations
+
+from repro.nn.modules import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.nn.imops import conv2d_output_shape
+from repro.utils.rng import spawn_rngs
+
+
+class LeNet(Module):
+    """conv-pool-conv-pool-fc classifier for small images.
+
+    Args:
+        in_channels: Input image channels.
+        num_classes: Output classes.
+        image_size: Input spatial size (square); used to size the classifier.
+        width: Channels of the first conv stage (second stage doubles it).
+    """
+
+    def __init__(self, in_channels: int = 1, num_classes: int = 10,
+                 image_size: int = 12, width: int = 8, seed=0):
+        super().__init__()
+        rngs = spawn_rngs(seed, 3)
+        c1, c2 = width, 2 * width
+        h1, _ = conv2d_output_shape(image_size, image_size, (3, 3), (1, 1),
+                                    (1, 1))
+        h1 //= 2  # pool
+        h2, _ = conv2d_output_shape(h1, h1, (3, 3), (1, 1), (1, 1))
+        h2 //= 2  # pool
+        self.features = Sequential(
+            Conv2d(in_channels, c1, 3, padding=1, seed=rngs[0]),
+            ReLU(),
+            MaxPool2d(2),
+            Conv2d(c1, c2, 3, padding=1, seed=rngs[1]),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        self.classifier = Sequential(
+            Flatten(),
+            Linear(c2 * h2 * h2, num_classes, seed=rngs[2]),
+        )
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        return self.classifier(self.features(x))

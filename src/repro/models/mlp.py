@@ -1,0 +1,39 @@
+"""Configurable multi-layer perceptron."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.nn.modules import Linear, Module, ReLU, Sequential
+from repro.utils.rng import spawn_rngs
+
+
+class MLP(Module):
+    """Fully connected ReLU network.
+
+    Args:
+        sizes: Layer widths including input and output, e.g.
+            ``(64, 128, 10)``.
+        seed: Weight-init seed.
+    """
+
+    def __init__(self, sizes, seed=0):
+        super().__init__()
+        sizes = tuple(int(s) for s in sizes)
+        if len(sizes) < 2:
+            raise ConfigError("MLP needs at least input and output sizes")
+        rngs = spawn_rngs(seed, len(sizes) - 1)
+        layers = []
+        for k in range(len(sizes) - 1):
+            layers.append(Linear(sizes[k], sizes[k + 1], seed=rngs[k]))
+            if k < len(sizes) - 2:
+                layers.append(ReLU())
+        self.body = Sequential(*layers)
+        self.sizes = sizes
+
+    def forward(self, x):
+        if x.ndim > 2:
+            x = x.reshape(x.shape[0], -1)
+        return self.body(x)
+
+    def __repr__(self):
+        return f"MLP(sizes={self.sizes})"

@@ -1,0 +1,121 @@
+"""Scalable ResNet for small images (the paper's ResNet-20/18 stand-in).
+
+The paper evaluates ResNet-20 (CIFAR-100) and ResNet-18 (ImageNet subset).
+This module implements the CIFAR-style ResNet family — a 3x3 stem followed by
+three stages of residual basic blocks with widths ``w, 2w, 4w`` and stride-2
+transitions, global average pooling and a linear classifier. Depth
+``6n + 2``: ``resnet8`` (n=1), ``resnet14`` (n=2), ``resnet20`` (n=3, the
+paper's CIFAR-100 network). Width and input channels scale down for the
+reduced procedural datasets (see DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.nn import functional as F
+from repro.nn.modules import (
+    BatchNorm2d,
+    Conv2d,
+    GlobalAvgPool2d,
+    Linear,
+    Module,
+    Sequential,
+)
+from repro.utils.rng import spawn_rngs
+
+
+class BasicBlock(Module):
+    """Two 3x3 conv/BN pairs with an identity or 1x1-projected skip."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 seed=0):
+        super().__init__()
+        rngs = spawn_rngs(seed, 3)
+        self.conv1 = Conv2d(in_channels, out_channels, 3, stride=stride,
+                            padding=1, bias=False, seed=rngs[0])
+        self.bn1 = BatchNorm2d(out_channels)
+        self.conv2 = Conv2d(out_channels, out_channels, 3, padding=1,
+                            bias=False, seed=rngs[1])
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.projection = Conv2d(in_channels, out_channels, 1,
+                                     stride=stride, bias=False, seed=rngs[2])
+            self.projection_bn = BatchNorm2d(out_channels)
+        else:
+            self.projection = None
+            self.projection_bn = None
+
+    def forward(self, x):
+        out = F.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        if self.projection is not None:
+            shortcut = self.projection_bn(self.projection(x))
+        else:
+            shortcut = x
+        return F.relu(out + shortcut)
+
+
+class ResNet(Module):
+    """CIFAR-style residual network of depth ``6 * blocks_per_stage + 2``."""
+
+    def __init__(self, blocks_per_stage: int, num_classes: int,
+                 in_channels: int = 3, width: int = 16, seed=0):
+        super().__init__()
+        if blocks_per_stage < 1:
+            raise ConfigError("blocks_per_stage must be >= 1")
+        rngs = spawn_rngs(seed, 2 + 3 * blocks_per_stage)
+        next_rng = iter(rngs)
+
+        self.stem = Conv2d(in_channels, width, 3, padding=1, bias=False,
+                           seed=next(next_rng))
+        self.stem_bn = BatchNorm2d(width)
+
+        stages = []
+        channels = width
+        for stage_index in range(3):
+            out_channels = width * (2 ** stage_index)
+            blocks = []
+            for block_index in range(blocks_per_stage):
+                stride = 2 if stage_index > 0 and block_index == 0 else 1
+                blocks.append(BasicBlock(channels, out_channels,
+                                         stride=stride, seed=next(next_rng)))
+                channels = out_channels
+            stages.append(Sequential(*blocks))
+        self.stage1, self.stage2, self.stage3 = stages
+
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(channels, num_classes, seed=next(next_rng))
+        self.depth = 6 * blocks_per_stage + 2
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        out = F.relu(self.stem_bn(self.stem(x)))
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = self.pool(out)
+        return self.classifier(out)
+
+    def __repr__(self):
+        return (f"ResNet(depth={self.depth}, classes={self.num_classes})")
+
+
+def resnet8(num_classes: int, in_channels: int = 1, width: int = 8,
+            seed=0) -> ResNet:
+    """Depth-8 variant for the quick experiment profile."""
+    return ResNet(1, num_classes, in_channels=in_channels, width=width,
+                  seed=seed)
+
+
+def resnet14(num_classes: int, in_channels: int = 1, width: int = 8,
+             seed=0) -> ResNet:
+    """Depth-14 variant."""
+    return ResNet(2, num_classes, in_channels=in_channels, width=width,
+                  seed=seed)
+
+
+def resnet20(num_classes: int, in_channels: int = 3, width: int = 16,
+             seed=0) -> ResNet:
+    """The paper's CIFAR-100 architecture (depth 20)."""
+    return ResNet(3, num_classes, in_channels=in_channels, width=width,
+                  seed=seed)

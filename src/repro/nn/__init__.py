@@ -1,0 +1,68 @@
+"""A from-scratch numpy deep-learning framework (the PyTorch substitute).
+
+The paper's GENIEx model and functional simulator are "PyTorch-based"; since
+this reproduction is pure numpy, :mod:`repro.nn` provides the required
+facilities with matching semantics: a reverse-mode autograd tensor, module /
+parameter management, convolution and normalisation layers, SGD/Adam
+optimisers, loss functions, data loading and (de)serialisation. Gradients of
+every primitive are validated against central differences in the test suite.
+"""
+
+from repro.nn.tensor import Tensor, no_grad, is_grad_enabled
+from repro.nn import functional
+from repro.nn.modules import (
+    AvgPool2d,
+    BatchNorm1d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import cross_entropy, mse_loss
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, StepLR
+from repro.nn.data import DataLoader, Dataset, TensorDataset
+from repro.nn.serialization import load_state_dict, save_state_dict
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Dropout",
+    "Flatten",
+    "Identity",
+    "Sequential",
+    "cross_entropy",
+    "mse_loss",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineAnnealingLR",
+    "Dataset",
+    "TensorDataset",
+    "DataLoader",
+    "save_state_dict",
+    "load_state_dict",
+]

@@ -1,0 +1,82 @@
+"""Dataset and DataLoader abstractions (seeded, deterministic)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.utils.rng import rng_from_seed
+
+
+class Dataset:
+    """Map-style dataset protocol: ``__len__`` and ``__getitem__``."""
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __getitem__(self, index: int):
+        raise NotImplementedError
+
+
+class TensorDataset(Dataset):
+    """Zips equal-length arrays into (x, ..., y) samples."""
+
+    def __init__(self, *arrays):
+        if not arrays:
+            raise ConfigError("TensorDataset needs at least one array")
+        self.arrays = [np.asarray(a) for a in arrays]
+        length = len(self.arrays[0])
+        for a in self.arrays[1:]:
+            if len(a) != length:
+                raise ShapeError(
+                    f"all arrays must share the first dimension; got "
+                    f"{[len(x) for x in self.arrays]}")
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index):
+        items = tuple(a[index] for a in self.arrays)
+        return items if len(items) > 1 else items[0]
+
+
+class DataLoader:
+    """Batching iterator with optional seeded shuffling.
+
+    Batches are stacks of numpy arrays (callers wrap in Tensors as needed).
+    Reshuffles every epoch, deterministically derived from the seed.
+    """
+
+    def __init__(self, dataset: Dataset, batch_size: int = 32,
+                 shuffle: bool = False, drop_last: bool = False, seed=None):
+        if batch_size < 1:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = rng_from_seed(seed)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                return
+            sample = self.dataset[idx[0]]
+            if isinstance(sample, tuple):
+                batches = tuple(
+                    np.stack([self.dataset[i][k] for i in idx])
+                    for k in range(len(sample)))
+                yield batches
+            else:
+                yield np.stack([self.dataset[i] for i in idx])

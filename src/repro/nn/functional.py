@@ -1,0 +1,238 @@
+"""Fused neural-network operations with hand-written backward passes.
+
+Simple elementwise math composes fine from :class:`~repro.nn.tensor.Tensor`
+primitives, but convolution, pooling, batch normalisation and the softmax
+cross-entropy benefit enormously from fused forward/backward kernels — both
+for speed and for numerical stability. Every grad here is checked against
+central differences in ``tests/nn``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.imops import col2im, conv2d_output_shape, im2col
+from repro.nn.tensor import Tensor
+
+
+def _pair(value) -> tuple:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ShapeError(f"expected a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def relu(x: Tensor) -> Tensor:
+    return x.relu()
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.01) -> Tensor:
+    slope = float(negative_slope)
+    factor = np.where(x.data > 0, 1.0, slope).astype(x.data.dtype)
+    return Tensor.from_op((x.data * factor).astype(x.data.dtype),
+                          [(x, lambda g: g * factor)], "leaky_relu")
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias``; weight shape ``(out, in)``."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride=1, padding=0) -> Tensor:
+    """2-D convolution (cross-correlation) via im2col.
+
+    Args:
+        x: ``(batch, c_in, h, w)`` input.
+        weight: ``(c_out, c_in, kh, kw)`` filters.
+        bias: optional ``(c_out,)``.
+    """
+    stride, padding = _pair(stride), _pair(padding)
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ShapeError("conv2d expects 4-D input and weight")
+    batch, c_in, h, w = x.data.shape
+    c_out, c_in_w, kh, kw = weight.data.shape
+    if c_in != c_in_w:
+        raise ShapeError(
+            f"input channels {c_in} != weight channels {c_in_w}")
+    out_h, out_w = conv2d_output_shape(h, w, (kh, kw), stride, padding)
+
+    cols = im2col(x.data, (kh, kw), stride, padding)  # (B*oh*ow, cin*kh*kw)
+    w_mat = weight.data.reshape(c_out, -1)            # (cout, cin*kh*kw)
+    out = cols @ w_mat.T                              # (B*oh*ow, cout)
+    if bias is not None:
+        out = out + bias.data
+    out = out.reshape(batch, out_h, out_w, c_out).transpose(0, 3, 1, 2)
+
+    x_shape = x.data.shape
+
+    def grad_x(g):
+        g_mat = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        return col2im(g_mat @ w_mat, x_shape, (kh, kw), stride, padding)
+
+    def grad_w(g):
+        g_mat = g.transpose(0, 2, 3, 1).reshape(-1, c_out)
+        return (g_mat.T @ cols).reshape(weight.data.shape)
+
+    parents = [(x, grad_x), (weight, grad_w)]
+    if bias is not None:
+        parents.append((bias, lambda g: g.sum(axis=(0, 2, 3))))
+    return Tensor.from_op(np.ascontiguousarray(out), parents, "conv2d")
+
+
+def max_pool2d(x: Tensor, kernel_size, stride=None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    kernel = _pair(kernel_size)
+    stride = kernel if stride is None else _pair(stride)
+    batch, channels, h, w = x.data.shape
+    out_h, out_w = conv2d_output_shape(h, w, kernel, stride, (0, 0))
+
+    # View as patches via im2col on each channel independently.
+    reshaped = x.data.reshape(batch * channels, 1, h, w)
+    cols = im2col(reshaped, kernel, stride, (0, 0))  # (B*C*oh*ow, kh*kw)
+    arg = cols.argmax(axis=1)
+    out = cols[np.arange(cols.shape[0]), arg].reshape(
+        batch, channels, out_h, out_w)
+
+    def grad_fn(g):
+        g_cols = np.zeros_like(cols)
+        g_cols[np.arange(cols.shape[0]), arg] = g.reshape(-1)
+        g_img = col2im(g_cols, (batch * channels, 1, h, w), kernel, stride,
+                       (0, 0))
+        return g_img.reshape(batch, channels, h, w)
+
+    return Tensor.from_op(out, [(x, grad_fn)], "max_pool2d")
+
+
+def avg_pool2d(x: Tensor, kernel_size, stride=None) -> Tensor:
+    """Average pooling."""
+    kernel = _pair(kernel_size)
+    stride = kernel if stride is None else _pair(stride)
+    batch, channels, h, w = x.data.shape
+    out_h, out_w = conv2d_output_shape(h, w, kernel, stride, (0, 0))
+    reshaped = x.data.reshape(batch * channels, 1, h, w)
+    cols = im2col(reshaped, kernel, stride, (0, 0))
+    out = cols.mean(axis=1).reshape(batch, channels, out_h, out_w)
+    k_area = kernel[0] * kernel[1]
+
+    def grad_fn(g):
+        g_cols = np.repeat(g.reshape(-1, 1), k_area, axis=1) / k_area
+        g_img = col2im(g_cols.astype(g.dtype), (batch * channels, 1, h, w),
+                       kernel, stride, (0, 0))
+        return g_img.reshape(batch, channels, h, w)
+
+    return Tensor.from_op(out, [(x, grad_fn)], "avg_pool2d")
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Mean over the two spatial dimensions -> ``(batch, channels)``."""
+    return x.mean(axis=(2, 3))
+
+
+def batch_norm(x: Tensor, gamma: Tensor, beta: Tensor,
+               running_mean: np.ndarray, running_var: np.ndarray,
+               training: bool, momentum: float = 0.1,
+               eps: float = 1e-5) -> Tensor:
+    """Batch normalisation over all axes except the channel axis (axis 1).
+
+    ``running_mean``/``running_var`` are plain arrays updated in place during
+    training, exactly like torch's running statistics.
+    """
+    if x.ndim not in (2, 4):
+        raise ShapeError(f"batch_norm expects 2-D or 4-D input, got {x.ndim}-D")
+    axes = (0,) if x.ndim == 2 else (0, 2, 3)
+    param_shape = (1, -1) if x.ndim == 2 else (1, -1, 1, 1)
+    data = x.data
+
+    if training:
+        mean = data.mean(axis=axes)
+        var = data.var(axis=axes)
+        count = data.size // data.shape[1]
+        running_mean *= (1.0 - momentum)
+        running_mean += momentum * mean
+        running_var *= (1.0 - momentum)
+        # Unbiased variance for the running estimate, as in torch.
+        running_var += momentum * var * (count / max(count - 1, 1))
+    else:
+        mean, var = running_mean, running_var
+
+    mean_r = mean.reshape(param_shape)
+    inv_std = (1.0 / np.sqrt(var + eps)).reshape(param_shape).astype(data.dtype)
+    x_hat = (data - mean_r) * inv_std
+    out = gamma.data.reshape(param_shape) * x_hat + beta.data.reshape(param_shape)
+
+    gamma_r = gamma.data.reshape(param_shape)
+
+    def grad_x(g):
+        if not training:
+            return g * gamma_r * inv_std
+        g_hat = g * gamma_r
+        term_mean = g_hat.mean(axis=axes, keepdims=True)
+        term_cov = (g_hat * x_hat).mean(axis=axes, keepdims=True)
+        return inv_std * (g_hat - term_mean - x_hat * term_cov)
+
+    def grad_gamma(g):
+        return (g * x_hat).sum(axis=axes)
+
+    def grad_beta(g):
+        return g.sum(axis=axes)
+
+    return Tensor.from_op(out.astype(data.dtype),
+                          [(x, grad_x), (gamma, grad_gamma),
+                           (beta, grad_beta)], "batch_norm")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    data = x.data
+    shifted = data - data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = shifted - log_z
+    softmax = np.exp(out)
+
+    def grad_fn(g):
+        return g - softmax * g.sum(axis=axis, keepdims=True)
+
+    return Tensor.from_op(out.astype(data.dtype), [(x, grad_fn)],
+                          "log_softmax")
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    return log_softmax(x, axis=axis).exp()
+
+
+def dropout(x: Tensor, p: float, training: bool, rng=None) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not 0.0 <= p < 1.0:
+        raise ShapeError(f"dropout probability must lie in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.data.shape) >= p) / (1.0 - p)
+    mask = mask.astype(x.data.dtype)
+    return Tensor.from_op(x.data * mask, [(x, lambda g: g * mask)], "dropout")
+
+
+def pad2d(x: Tensor, padding) -> Tensor:
+    """Zero-pad the two spatial dims of a ``(B, C, H, W)`` tensor."""
+    ph, pw = _pair(padding)
+    data = np.pad(x.data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+
+    def grad_fn(g):
+        return g[:, :, ph:g.shape[2] - ph, pw:g.shape[3] - pw] \
+            if (ph or pw) else g
+
+    return Tensor.from_op(data, [(x, grad_fn)], "pad2d")

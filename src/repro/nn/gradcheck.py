@@ -1,0 +1,54 @@
+"""Numerical gradient checking for autograd ops and whole modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def numerical_gradient(fn, inputs: list, index: int,
+                       eps: float = 1e-5) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    ``inputs`` are Tensors; the function is re-evaluated with perturbed
+    float64 copies, so op implementations must accept float64 data.
+    """
+    base = [Tensor(np.array(t.data, dtype=np.float64)) for t in inputs]
+    target = base[index]
+    grad = np.zeros_like(target.data)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for k in range(flat.size):
+        original = flat[k]
+        flat[k] = original + eps
+        plus = float(fn(*base).data.sum())
+        flat[k] = original - eps
+        minus = float(fn(*base).data.sum())
+        flat[k] = original
+        grad_flat[k] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn, inputs: list, atol: float = 1e-4,
+                    rtol: float = 1e-3, eps: float = 1e-5) -> None:
+    """Assert analytic gradients of ``sum(fn(*inputs))`` match numeric ones.
+
+    Raises ``AssertionError`` with the worst deviation when they disagree.
+    Inputs are promoted to float64 before checking.
+    """
+    inputs64 = [Tensor(np.array(t.data, dtype=np.float64),
+                       requires_grad=True) for t in inputs]
+    out = fn(*inputs64)
+    out.sum().backward()
+    for k, tensor in enumerate(inputs64):
+        numeric = numerical_gradient(fn, inputs64, k, eps=eps)
+        analytic = tensor.grad if tensor.grad is not None \
+            else np.zeros_like(tensor.data)
+        deviation = np.abs(analytic - numeric)
+        bound = atol + rtol * np.abs(numeric)
+        if not np.all(deviation <= bound):
+            worst = float((deviation - bound).max())
+            raise AssertionError(
+                f"gradient mismatch on input {k}: worst excess {worst:.3e} "
+                f"(atol={atol}, rtol={rtol})")

@@ -1,0 +1,82 @@
+"""im2col / col2im — the raw array transforms behind convolution.
+
+These operate on plain numpy arrays (no autograd); they are shared between
+the autograd conv2d in :mod:`repro.nn.functional` and the functional
+simulator's *iterative MVM* phase, which expresses a convolution as repeated
+matrix-vector products over exactly these patch matrices (paper Section 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def conv2d_output_shape(h: int, w: int, kernel: tuple, stride: tuple,
+                        padding: tuple) -> tuple:
+    """Spatial output size of a 2-D convolution."""
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h = (h + 2 * ph - kh) // sh + 1
+    out_w = (w + 2 * pw - kw) // sw + 1
+    if out_h < 1 or out_w < 1:
+        raise ShapeError(
+            f"kernel {kernel} with stride {stride}, padding {padding} does "
+            f"not fit input {h}x{w}")
+    return out_h, out_w
+
+
+def im2col(x: np.ndarray, kernel: tuple, stride: tuple,
+           padding: tuple) -> np.ndarray:
+    """Extract convolution patches.
+
+    Args:
+        x: Input of shape ``(batch, channels, h, w)``.
+        kernel / stride / padding: ``(kh, kw)`` / ``(sh, sw)`` / ``(ph, pw)``.
+
+    Returns:
+        Array of shape ``(batch * out_h * out_w, channels * kh * kw)`` whose
+        rows are the flattened receptive fields, ordered batch-major then
+        row-major over output positions. Column ordering is channel-major
+        then kernel-row then kernel-col, matching a weight tensor reshaped
+        from ``(c_out, c_in, kh, kw)`` to ``(c_out, c_in*kh*kw)``.
+    """
+    if x.ndim != 4:
+        raise ShapeError(f"im2col expects a 4-D input, got shape {x.shape}")
+    batch, channels, h, w = x.shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = conv2d_output_shape(h, w, kernel, stride, padding)
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    cols = np.empty((batch, channels, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            cols[:, :, i, j] = x[:, :, i:i + sh * out_h:sh,
+                                 j:j + sw * out_w:sw]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, channels * kh * kw)
+
+
+def col2im(cols: np.ndarray, x_shape: tuple, kernel: tuple, stride: tuple,
+           padding: tuple) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add patches back to image layout."""
+    batch, channels, h, w = x_shape
+    kh, kw = kernel
+    sh, sw = stride
+    ph, pw = padding
+    out_h, out_w = conv2d_output_shape(h, w, kernel, stride, padding)
+    cols = cols.reshape(batch, out_h, out_w, channels, kh, kw).transpose(
+        0, 3, 4, 5, 1, 2)
+    x_padded = np.zeros((batch, channels, h + 2 * ph, w + 2 * pw),
+                        dtype=cols.dtype)
+    for i in range(kh):
+        for j in range(kw):
+            x_padded[:, :, i:i + sh * out_h:sh, j:j + sw * out_w:sw] += \
+                cols[:, :, i, j]
+    if ph or pw:
+        return x_padded[:, :, ph:ph + h, pw:pw + w]
+    return x_padded

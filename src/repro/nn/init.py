@@ -1,0 +1,56 @@
+"""Weight initialisers (Kaiming / Xavier families).
+
+All initialisers take an explicit ``rng`` so model construction is
+reproducible; modules derive theirs from the seed passed at construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import rng_from_seed
+
+
+def _fan_in_out(shape: tuple) -> tuple:
+    if len(shape) < 2:
+        raise ConfigError(f"fan computation needs >= 2 dims, got {shape}")
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def kaiming_uniform(shape, rng=None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    """He-uniform init, the default for ReLU networks."""
+    rng = rng_from_seed(rng)
+    fan_in, _ = _fan_in_out(tuple(shape))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def kaiming_normal(shape, rng=None, gain: float = np.sqrt(2.0)) -> np.ndarray:
+    rng = rng_from_seed(rng)
+    fan_in, _ = _fan_in_out(tuple(shape))
+    return rng.normal(0.0, gain / np.sqrt(fan_in), size=shape)
+
+
+def xavier_uniform(shape, rng=None, gain: float = 1.0) -> np.ndarray:
+    rng = rng_from_seed(rng)
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape, rng=None, gain: float = 1.0) -> np.ndarray:
+    rng = rng_from_seed(rng)
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    return rng.normal(0.0, gain * np.sqrt(2.0 / (fan_in + fan_out)),
+                      size=shape)
+
+
+def uniform_bias(fan_in: int, size: int, rng=None) -> np.ndarray:
+    """Torch-style bias init: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    rng = rng_from_seed(rng)
+    bound = 1.0 / np.sqrt(max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=size)

@@ -1,0 +1,68 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.functional import log_softmax
+from repro.nn.tensor import Tensor
+
+
+def mse_loss(prediction: Tensor, target, reduction: str = "mean",
+             weight=None) -> Tensor:
+    """Mean squared error, optionally with per-element weights.
+
+    The GENIEx trainer uses the ``weight`` argument to mask out columns whose
+    ideal current is (near) zero, where the ratio label fR is undefined.
+    """
+    if not isinstance(target, Tensor):
+        target = Tensor(np.asarray(target, dtype=prediction.data.dtype))
+    diff = prediction - target
+    sq = diff * diff
+    if weight is not None:
+        if not isinstance(weight, Tensor):
+            weight = Tensor(np.asarray(weight, dtype=prediction.data.dtype))
+        sq = sq * weight
+    if reduction == "mean":
+        return sq.mean()
+    if reduction == "sum":
+        return sq.sum()
+    if reduction == "none":
+        return sq
+    raise ShapeError(f"unknown reduction {reduction!r}")
+
+
+def cross_entropy(logits: Tensor, targets, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy on integer class labels.
+
+    Args:
+        logits: ``(batch, classes)`` raw scores.
+        targets: ``(batch,)`` integer labels.
+    """
+    if logits.ndim != 2:
+        raise ShapeError(f"logits must be 2-D, got shape {logits.shape}")
+    targets = np.asarray(targets)
+    if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+        raise ShapeError(
+            f"targets must be shape ({logits.shape[0]},), got {targets.shape}")
+    if targets.min() < 0 or targets.max() >= logits.shape[1]:
+        raise ShapeError("target labels out of range")
+    log_probs = log_softmax(logits, axis=1)
+    batch = logits.shape[0]
+    picked = log_probs[np.arange(batch), targets]
+    if reduction == "mean":
+        return -picked.mean()
+    if reduction == "sum":
+        return -picked.sum()
+    if reduction == "none":
+        return -picked
+    raise ShapeError(f"unknown reduction {reduction!r}")
+
+
+def accuracy(logits, targets) -> float:
+    """Top-1 accuracy; accepts Tensors or arrays."""
+    if isinstance(logits, Tensor):
+        logits = logits.data
+    targets = np.asarray(targets)
+    return float((logits.argmax(axis=1) == targets).mean())

@@ -1,0 +1,29 @@
+"""Layer library built on the autograd tensor."""
+
+from repro.nn.modules.module import Module
+from repro.nn.modules.linear import Linear
+from repro.nn.modules.conv import Conv2d
+from repro.nn.modules.norm import BatchNorm1d, BatchNorm2d
+from repro.nn.modules.activation import LeakyReLU, ReLU, Sigmoid, Tanh
+from repro.nn.modules.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from repro.nn.modules.container import Flatten, Identity, Sequential
+from repro.nn.modules.dropout import Dropout
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Conv2d",
+    "BatchNorm1d",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Flatten",
+    "Identity",
+    "Sequential",
+    "Dropout",
+]

@@ -1,0 +1,56 @@
+"""Structural modules: Sequential, Flatten, Identity."""
+
+from __future__ import annotations
+
+from repro.nn.modules.module import Module
+from repro.nn.tensor import Tensor
+
+
+class Sequential(Module):
+    """Runs submodules in order; indexable like a list.
+
+    Layers live only in the module registry (``_modules``), so structural
+    edits — e.g. the functional simulator swapping ``Conv2d`` for
+    ``Conv2dMVM`` — stay consistent with iteration order.
+    """
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        for k, layer in enumerate(layers):
+            setattr(self, f"layer{k}", layer)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._modules.values():
+            x = layer(x)
+        return x
+
+    def __len__(self):
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def __iter__(self):
+        return iter(self._modules.values())
+
+    def __repr__(self):
+        inner = ", ".join(repr(layer) for layer in self._modules.values())
+        return f"Sequential({inner})"
+
+
+class Flatten(Module):
+    """Flattens all dims after the batch dim."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+    def __repr__(self):
+        return "Flatten()"
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+    def __repr__(self):
+        return "Identity()"

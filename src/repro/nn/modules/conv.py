@@ -1,0 +1,46 @@
+"""2-D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn import init
+from repro.nn.functional import _pair, conv2d
+from repro.nn.modules.module import Module
+from repro.nn.tensor import DEFAULT_DTYPE, Tensor
+from repro.utils.rng import rng_from_seed
+
+
+class Conv2d(Module):
+    """Cross-correlation layer with weight shape ``(c_out, c_in, kh, kw)``."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, bias: bool = True, seed=None):
+        super().__init__()
+        if in_channels < 1 or out_channels < 1:
+            raise ConfigError("channel counts must be >= 1")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = _pair(kernel_size)
+        self.stride = _pair(stride)
+        self.padding = _pair(padding)
+        rng = rng_from_seed(seed)
+        shape = (out_channels, in_channels, *self.kernel_size)
+        weight = init.kaiming_uniform(shape, rng, gain=np.sqrt(2.0))
+        self.weight = Tensor(weight.astype(DEFAULT_DTYPE), requires_grad=True)
+        if bias:
+            fan_in = in_channels * self.kernel_size[0] * self.kernel_size[1]
+            b = init.uniform_bias(fan_in, out_channels, rng)
+            self.bias = Tensor(b.astype(DEFAULT_DTYPE), requires_grad=True)
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias, stride=self.stride,
+                      padding=self.padding)
+
+    def __repr__(self):
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride}, "
+                f"padding={self.padding}, bias={self.bias is not None})")

@@ -1,0 +1,25 @@
+"""Dropout layer with an owned, seedable RNG."""
+
+from __future__ import annotations
+
+from repro.nn import functional as F
+from repro.nn.modules.module import Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import rng_from_seed
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode."""
+
+    def __init__(self, p: float = 0.5, seed=None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must lie in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = rng_from_seed(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self._rng)
+
+    def __repr__(self):
+        return f"Dropout(p={self.p})"

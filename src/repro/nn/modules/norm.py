@@ -1,0 +1,65 @@
+"""Batch normalisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.functional import batch_norm
+from repro.nn.modules.module import Module
+from repro.nn.tensor import DEFAULT_DTYPE, Tensor
+
+
+class _BatchNorm(Module):
+    """Shared implementation; subclasses fix the expected input rank."""
+
+    _expected_ndim: int = 0
+
+    def __init__(self, num_features: int, momentum: float = 0.1,
+                 eps: float = 1e-5, affine: bool = True):
+        super().__init__()
+        if num_features < 1:
+            raise ConfigError("num_features must be >= 1")
+        if not 0.0 < momentum <= 1.0:
+            raise ConfigError(f"momentum must lie in (0, 1], got {momentum}")
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.affine = bool(affine)
+        self.weight = Tensor(np.ones(num_features, dtype=DEFAULT_DTYPE),
+                             requires_grad=affine)
+        self.bias = Tensor(np.zeros(num_features, dtype=DEFAULT_DTYPE),
+                           requires_grad=affine)
+        if not affine:
+            # Still exposed for state dicts, but frozen.
+            self._parameters.pop("weight", None)
+            self._parameters.pop("bias", None)
+        self.register_buffer("running_mean",
+                             np.zeros(num_features, dtype=np.float64))
+        self.register_buffer("running_var",
+                             np.ones(num_features, dtype=np.float64))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != self._expected_ndim:
+            raise ConfigError(
+                f"{type(self).__name__} expects {self._expected_ndim}-D "
+                f"input, got {x.ndim}-D")
+        return batch_norm(x, self.weight, self.bias, self.running_mean,
+                          self.running_var, training=self.training,
+                          momentum=self.momentum, eps=self.eps)
+
+    def __repr__(self):
+        return (f"{type(self).__name__}({self.num_features}, "
+                f"momentum={self.momentum}, eps={self.eps})")
+
+
+class BatchNorm1d(_BatchNorm):
+    """Normalises ``(batch, features)`` activations per feature."""
+
+    _expected_ndim = 2
+
+
+class BatchNorm2d(_BatchNorm):
+    """Normalises ``(batch, channels, h, w)`` activations per channel."""
+
+    _expected_ndim = 4

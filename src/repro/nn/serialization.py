@@ -1,0 +1,36 @@
+"""Saving and loading model state dicts as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import SerializationError
+
+
+def save_state_dict(state: dict, path: str) -> None:
+    """Write a flat name->array state dict to ``path`` (.npz)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    try:
+        np.savez(path, **{k: np.asarray(v) for k, v in state.items()})
+    except OSError as exc:
+        raise SerializationError(f"could not save state dict to {path}: "
+                                 f"{exc}") from exc
+
+
+def load_state_dict(path: str) -> dict:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    if not os.path.exists(path):
+        candidate = path + ".npz"
+        if os.path.exists(candidate):
+            path = candidate
+        else:
+            raise SerializationError(f"no state dict at {path}")
+    try:
+        with np.load(path) as archive:
+            return {k: archive[k] for k in archive.files}
+    except (OSError, ValueError) as exc:
+        raise SerializationError(f"could not load state dict from {path}: "
+                                 f"{exc}") from exc

@@ -1,0 +1,426 @@
+"""Reverse-mode autograd tensor on top of numpy.
+
+Every operation records, on its output tensor, the list of ``(parent,
+grad_fn)`` pairs needed to push an upstream gradient back to its inputs.
+``Tensor.backward`` runs a topological sweep over that graph, accumulating
+gradients into ``.grad`` of every tensor that ``requires_grad``. Broadcasting
+is handled by summing gradients back down to the parent's shape.
+
+Only the primitives the library needs are implemented, but each is complete:
+correct under broadcasting, arbitrary batch dimensions and repeated use of
+the same tensor in one expression. Fused NN-specific ops (conv2d, batch norm,
+softmax cross-entropy, pooling) live in :mod:`repro.nn.functional`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+DEFAULT_DTYPE = np.float32
+
+_GRAD_ENABLED = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording (inference mode)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` (result-shaped) back to a parent of shape ``shape``."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype):
+    if isinstance(value, Tensor):
+        raise TypeError("expected raw data, got a Tensor")
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy array with an autograd tape.
+
+    Attributes:
+        data: The underlying :class:`numpy.ndarray`.
+        grad: Accumulated gradient (same shape as ``data``) after
+            :meth:`backward`, or ``None``.
+        requires_grad: Whether gradients flow to / through this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_op")
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=dtype or (
+            data.dtype if isinstance(data, np.ndarray)
+            and np.issubdtype(data.dtype, np.floating) else DEFAULT_DTYPE))
+        self.grad = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = ()
+        self._op = ""
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_op(data: np.ndarray, parents_fns, op: str = "") -> "Tensor":
+        """Create an op output, recording only grad-requiring parents."""
+        recorded = tuple((p, fn) for p, fn in parents_fns
+                         if _GRAD_ENABLED and p.requires_grad)
+        out = Tensor(data, requires_grad=bool(recorded), dtype=data.dtype)
+        out._parents = recorded
+        out._op = op
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """The raw array (shared memory; caller must not mutate)."""
+        return self.data
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ShapeError("item() requires a 1-element tensor")
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """A tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self):
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag})"
+
+    def __len__(self):
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # Backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad=None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to 1 for scalar outputs (the usual loss case) and
+        must be supplied, with matching shape, for non-scalar outputs.
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ShapeError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar tensor, got shape {self.shape}")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ShapeError(
+                f"gradient shape {grad.shape} does not match tensor shape "
+                f"{self.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent, _ in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        pending: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            node_grad = pending.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and not node._parents:
+                node.grad = node_grad if node.grad is None \
+                    else node.grad + node_grad
+            elif node.requires_grad and node is self:
+                # Allow inspecting .grad on the backward root as well.
+                node.grad = node_grad if node.grad is None \
+                    else node.grad + node_grad
+            for parent, grad_fn in node._parents:
+                contribution = grad_fn(node_grad)
+                if id(parent) in pending:
+                    pending[id(parent)] = pending[id(parent)] + contribution
+                else:
+                    pending[id(parent)] = contribution
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(_as_array(other, self.data.dtype), requires_grad=False)
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        data = self.data + other.data
+        return Tensor.from_op(data, [
+            (self, lambda g: unbroadcast(g, self.data.shape)),
+            (other, lambda g: unbroadcast(g, other.data.shape)),
+        ], "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        data = self.data - other.data
+        return Tensor.from_op(data, [
+            (self, lambda g: unbroadcast(g, self.data.shape)),
+            (other, lambda g: unbroadcast(-g, other.data.shape)),
+        ], "sub")
+
+    def __rsub__(self, other):
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        data = self.data * other.data
+        return Tensor.from_op(data, [
+            (self, lambda g: unbroadcast(g * other.data, self.data.shape)),
+            (other, lambda g: unbroadcast(g * self.data, other.data.shape)),
+        ], "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        data = self.data / other.data
+        return Tensor.from_op(data, [
+            (self, lambda g: unbroadcast(g / other.data, self.data.shape)),
+            (other, lambda g: unbroadcast(
+                -g * self.data / (other.data ** 2), other.data.shape)),
+        ], "div")
+
+    def __rtruediv__(self, other):
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self):
+        return Tensor.from_op(-self.data, [(self, lambda g: -g)], "neg")
+
+    def __pow__(self, exponent):
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        exponent = float(exponent)
+        data = self.data ** exponent
+        base = self.data
+
+        def grad_fn(g):
+            return g * exponent * base ** (exponent - 1.0)
+
+        return Tensor.from_op(data, [(self, grad_fn)], "pow")
+
+    def __matmul__(self, other):
+        other = self._coerce(other)
+        a, b = self.data, other.data
+        if a.ndim < 2 or b.ndim < 2:
+            raise ShapeError("matmul requires tensors with ndim >= 2")
+        data = a @ b
+
+        def grad_a(g):
+            return unbroadcast(g @ b.swapaxes(-1, -2), a.shape)
+
+        def grad_b(g):
+            return unbroadcast(a.swapaxes(-1, -2) @ g, b.shape)
+
+        return Tensor.from_op(data, [(self, grad_a), (other, grad_b)],
+                              "matmul")
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self):
+        data = np.exp(self.data)
+        return Tensor.from_op(data, [(self, lambda g: g * data)], "exp")
+
+    def log(self):
+        return Tensor.from_op(np.log(self.data),
+                              [(self, lambda g: g / self.data)], "log")
+
+    def sqrt(self):
+        data = np.sqrt(self.data)
+        return Tensor.from_op(data, [(self, lambda g: g * 0.5 / data)],
+                              "sqrt")
+
+    def tanh(self):
+        data = np.tanh(self.data)
+        return Tensor.from_op(data, [(self, lambda g: g * (1.0 - data ** 2))],
+                              "tanh")
+
+    def sigmoid(self):
+        data = 1.0 / (1.0 + np.exp(-self.data))
+        return Tensor.from_op(data,
+                              [(self, lambda g: g * data * (1.0 - data))],
+                              "sigmoid")
+
+    def relu(self):
+        mask = self.data > 0
+        return Tensor.from_op(np.where(mask, self.data, 0.0).astype(
+            self.data.dtype), [(self, lambda g: g * mask)], "relu")
+
+    def abs(self):
+        sign = np.sign(self.data)
+        return Tensor.from_op(np.abs(self.data),
+                              [(self, lambda g: g * sign)], "abs")
+
+    def clip(self, low, high):
+        mask = (self.data >= low) & (self.data <= high)
+        return Tensor.from_op(np.clip(self.data, low, high),
+                              [(self, lambda g: g * mask)], "clip")
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False):
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def grad_fn(g):
+            if axis is None:
+                return np.broadcast_to(g, shape).astype(g.dtype, copy=True)
+            g_exp = g if keepdims else np.expand_dims(g, axis)
+            return np.broadcast_to(g_exp, shape).astype(g.dtype, copy=True)
+
+        return Tensor.from_op(np.asarray(data), [(self, grad_fn)], "sum")
+
+    def mean(self, axis=None, keepdims: bool = False):
+        count = self.data.size if axis is None else (
+            np.prod([self.data.shape[a] for a in np.atleast_1d(axis)]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def max(self, axis=None, keepdims: bool = False):
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        mask = self.data == self.data.max(axis=axis, keepdims=True)
+        counts = mask.sum(axis=axis, keepdims=True)
+        shape = self.data.shape
+
+        def grad_fn(g):
+            # Gradient splits evenly between tied maxima (subgradient).
+            if axis is None or keepdims:
+                g_exp = g
+            else:
+                g_exp = np.expand_dims(g, axis)
+            g_full = np.broadcast_to(g_exp, shape)
+            return (g_full * mask / counts).astype(g.dtype)
+
+        return Tensor.from_op(np.asarray(data), [(self, grad_fn)], "max")
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+        return Tensor.from_op(self.data.reshape(shape),
+                              [(self, lambda g: g.reshape(original))],
+                              "reshape")
+
+    def transpose(self, *axes):
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        inverse = tuple(np.argsort(axes))
+        return Tensor.from_op(self.data.transpose(axes),
+                              [(self, lambda g: g.transpose(inverse))],
+                              "transpose")
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def __getitem__(self, index):
+        data = self.data[index]
+        shape = self.data.shape
+        dtype = self.data.dtype
+
+        def grad_fn(g):
+            out = np.zeros(shape, dtype=dtype)
+            np.add.at(out, index, g)
+            return out
+
+        return Tensor.from_op(np.asarray(data), [(self, grad_fn)], "getitem")
+
+
+def concat(tensors, axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (autograd-aware)."""
+    tensors = list(tensors)
+    if not tensors:
+        raise ShapeError("concat requires at least one tensor")
+    datas = [t.data for t in tensors]
+    data = np.concatenate(datas, axis=axis)
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def make_grad_fn(k):
+        slicer = [slice(None)] * data.ndim
+        slicer[axis] = slice(int(offsets[k]), int(offsets[k + 1]))
+        slicer = tuple(slicer)
+        return lambda g: g[slicer]
+
+    return Tensor.from_op(
+        data, [(t, make_grad_fn(k)) for k, t in enumerate(tensors)], "concat")
+
+
+def stack(tensors, axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` (autograd-aware)."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def make_grad_fn(k):
+        return lambda g: np.take(g, k, axis=axis)
+
+    return Tensor.from_op(
+        data, [(t, make_grad_fn(k)) for k, t in enumerate(tensors)], "stack")

@@ -1,0 +1,22 @@
+"""Shared utilities: seeded RNG, validation helpers, numeric helpers."""
+
+from repro.utils.rng import rng_from_seed, spawn_rngs
+from repro.utils.validation import (
+    check_positive,
+    check_in_range,
+    check_matrix,
+    check_vector,
+)
+from repro.utils.numerics import clamp, relative_error, safe_divide
+
+__all__ = [
+    "rng_from_seed",
+    "spawn_rngs",
+    "check_positive",
+    "check_in_range",
+    "check_matrix",
+    "check_vector",
+    "clamp",
+    "relative_error",
+    "safe_divide",
+]

@@ -1,0 +1,33 @@
+"""Small numeric helpers used across the library."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clamp(x, low, high):
+    """Element-wise clamp of ``x`` into ``[low, high]``."""
+    return np.minimum(np.maximum(x, low), high)
+
+
+def safe_divide(num, den, fallback=0.0, eps: float = 0.0):
+    """Element-wise ``num / den`` that returns ``fallback`` where ``|den| <= eps``.
+
+    The division is never evaluated on the masked entries, so no warnings are
+    emitted for zero denominators.
+    """
+    num = np.asarray(num, dtype=float)
+    den = np.asarray(den, dtype=float)
+    num, den = np.broadcast_arrays(num, den)
+    mask = np.abs(den) > eps
+    out = np.full(num.shape, float(fallback))
+    np.divide(num, den, out=out, where=mask)
+    return out
+
+
+def relative_error(reference, value, eps: float = 1e-30):
+    """Element-wise ``|value - reference| / max(|reference|, eps)``."""
+    reference = np.asarray(reference, dtype=float)
+    value = np.asarray(value, dtype=float)
+    denom = np.maximum(np.abs(reference), eps)
+    return np.abs(value - reference) / denom

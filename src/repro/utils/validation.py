@@ -1,0 +1,44 @@
+"""Argument-validation helpers with uniform error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+
+def check_positive(name: str, value) -> None:
+    """Raise :class:`ConfigError` unless ``value`` is a finite number > 0."""
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigError(f"{name} must be a finite positive number, got {value!r}")
+
+
+def check_in_range(name: str, value, low, high, inclusive: bool = True) -> None:
+    """Raise :class:`ConfigError` unless ``low <= value <= high``.
+
+    With ``inclusive=False`` the bounds themselves are rejected.
+    """
+    ok = low <= value <= high if inclusive else low < value < high
+    if not np.isfinite(value) or not ok:
+        bounds = f"[{low}, {high}]" if inclusive else f"({low}, {high})"
+        raise ConfigError(f"{name} must lie in {bounds}, got {value!r}")
+
+
+def check_vector(name: str, array, length: int | None = None) -> np.ndarray:
+    """Coerce ``array`` to a float 1-D array, optionally of fixed ``length``."""
+    out = np.asarray(array, dtype=float)
+    if out.ndim != 1:
+        raise ShapeError(f"{name} must be 1-D, got shape {out.shape}")
+    if length is not None and out.shape[0] != length:
+        raise ShapeError(f"{name} must have length {length}, got {out.shape[0]}")
+    return out
+
+
+def check_matrix(name: str, array, shape: tuple | None = None) -> np.ndarray:
+    """Coerce ``array`` to a float 2-D array, optionally of fixed ``shape``."""
+    out = np.asarray(array, dtype=float)
+    if out.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got shape {out.shape}")
+    if shape is not None and out.shape != tuple(shape):
+        raise ShapeError(f"{name} must have shape {tuple(shape)}, got {out.shape}")
+    return out

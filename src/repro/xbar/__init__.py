@@ -1,0 +1,25 @@
+"""Crossbar abstraction: configuration, analog mapping, ideal MVM."""
+
+from repro.xbar.config import CrossbarConfig
+from repro.xbar.mapping import (
+    conductances_from_levels,
+    conductances_from_weights,
+    levels_from_conductances,
+    normalize_conductances,
+    normalize_voltages,
+    voltages_from_levels,
+    weights_from_conductances,
+)
+from repro.xbar.ideal import ideal_mvm
+
+__all__ = [
+    "CrossbarConfig",
+    "conductances_from_levels",
+    "conductances_from_weights",
+    "levels_from_conductances",
+    "normalize_conductances",
+    "normalize_voltages",
+    "voltages_from_levels",
+    "weights_from_conductances",
+    "ideal_mvm",
+]

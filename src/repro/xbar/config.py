@@ -1,0 +1,105 @@
+"""Crossbar configuration.
+
+:class:`CrossbarConfig` bundles every design parameter the paper sweeps
+(Table 3, "GENIEx" row): crossbar size, ON resistance, conductance ON/OFF
+ratio, the three parasitic resistances, the RRAM device constants and the
+supply voltage. Defaults are the paper's nominal values (Section 6):
+``R_source = 500 Ohm``, ``R_sink = 100 Ohm``, ``R_wire = 2.5 Ohm`` per cell,
+``d0 = 0.25 nm``, ``V0 = 0.25 V``, ``I0 = 0.1 mA``, 64x64 cells, ``R_on =
+100 kOhm``, ON/OFF ratio 6, ``V_supply = 0.25 V``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace, asdict
+
+from repro.devices.rram import RramParameters
+from repro.errors import ConfigError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CrossbarConfig:
+    """All design and non-ideality parameters of one crossbar instance.
+
+    Attributes:
+        rows / cols: Crossbar dimensions (paper sweeps 16, 32, 64).
+        r_on_ohm: LRS (ON) resistance; ``g_on = 1/r_on`` is the maximum
+            programmable conductance (paper sweeps 50k, 100k, 300k Ohm).
+        onoff_ratio: Conductance ON/OFF ratio ``g_on / g_off`` (paper sweeps
+            2, 6, 10).
+        r_source_ohm / r_sink_ohm: Driver and sense-path parasitics.
+        r_wire_ohm: Metal-line resistance per cell segment.
+        v_supply_v: Full-scale DAC output voltage applied to the word lines.
+        rram: Fitting constants of the RRAM compact model.
+        with_access_transistor: Include the series access transistor in the
+            full (non-linear) simulation mode.
+        access_r_on_ohm / access_v_ov_v: Transistor on-resistance and gate
+            overdrive with the word line asserted.
+        gmin_s: SPICE-style minimum conductance for numerical robustness.
+        programming_v_ref_v: Reference voltage of the program-and-verify
+            loop; 0 means small-signal programming.
+    """
+
+    rows: int = 64
+    cols: int = 64
+    r_on_ohm: float = 100e3
+    onoff_ratio: float = 6.0
+    r_source_ohm: float = 500.0
+    r_sink_ohm: float = 100.0
+    r_wire_ohm: float = 2.5
+    v_supply_v: float = 0.25
+    rram: RramParameters = field(default_factory=RramParameters)
+    with_access_transistor: bool = True
+    access_r_on_ohm: float = 5e3
+    access_v_ov_v: float = 0.75
+    gmin_s: float = 1e-9
+    programming_v_ref_v: float = 0.0
+
+    def __post_init__(self):
+        if self.rows < 1 or self.cols < 1:
+            raise ConfigError(
+                f"crossbar must have at least 1 row and 1 column, got "
+                f"{self.rows}x{self.cols}")
+        check_positive("r_on_ohm", self.r_on_ohm)
+        if self.onoff_ratio <= 1.0:
+            raise ConfigError(
+                f"onoff_ratio must exceed 1, got {self.onoff_ratio}")
+        check_positive("r_source_ohm", self.r_source_ohm)
+        check_positive("r_sink_ohm", self.r_sink_ohm)
+        if self.r_wire_ohm < 0:
+            raise ConfigError(
+                f"r_wire_ohm must be >= 0, got {self.r_wire_ohm}")
+        check_positive("v_supply_v", self.v_supply_v)
+        check_positive("access_r_on_ohm", self.access_r_on_ohm)
+        check_positive("access_v_ov_v", self.access_v_ov_v)
+        check_positive("gmin_s", self.gmin_s)
+        if self.programming_v_ref_v < 0:
+            raise ConfigError("programming_v_ref_v must be >= 0")
+
+    @property
+    def g_on_s(self) -> float:
+        """Maximum programmable conductance (LRS), in Siemens."""
+        return 1.0 / self.r_on_ohm
+
+    @property
+    def g_off_s(self) -> float:
+        """Minimum programmable conductance (HRS), in Siemens."""
+        return self.g_on_s / self.onoff_ratio
+
+    @property
+    def shape(self) -> tuple:
+        return (self.rows, self.cols)
+
+    def replace(self, **changes) -> "CrossbarConfig":
+        """Return a copy with the given fields changed (dataclass replace)."""
+        return replace(self, **changes)
+
+    def cache_key(self) -> str:
+        """Deterministic short hash identifying this configuration.
+
+        Used by the GENIEx model zoo to key trained emulators on disk.
+        """
+        payload = repr(sorted(asdict(self).items(), key=lambda kv: kv[0]))
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]

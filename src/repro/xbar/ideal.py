@@ -1,0 +1,32 @@
+"""Ideal (non-ideality-free) analog MVM reference.
+
+``I_j = sum_i V_i * G_ij`` — the textbook crossbar equation the paper uses as
+the numerator of the distortion ratio ``fR = I_ideal / I_nonideal``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def ideal_mvm(voltages_v, conductance_s) -> np.ndarray:
+    """Ideal crossbar output currents.
+
+    Args:
+        voltages_v: shape ``(rows,)`` or ``(batch, rows)`` word-line voltages.
+        conductance_s: shape ``(rows, cols)`` conductance matrix.
+
+    Returns:
+        Bit-line currents of shape ``(cols,)`` or ``(batch, cols)``.
+    """
+    v = np.asarray(voltages_v, dtype=float)
+    g = np.asarray(conductance_s, dtype=float)
+    if g.ndim != 2:
+        raise ShapeError(f"conductance_s must be 2-D, got shape {g.shape}")
+    if v.ndim not in (1, 2) or v.shape[-1] != g.shape[0]:
+        raise ShapeError(
+            f"voltages_v last dimension must equal rows={g.shape[0]}, "
+            f"got shape {v.shape}")
+    return v @ g

@@ -1,0 +1,71 @@
+"""Digital <-> analog mapping for crossbar operands.
+
+Weight slices (integers) are mapped linearly onto the programmable
+conductance window ``[g_off, g_on]``; input streams (integers) are mapped
+linearly onto ``[0, v_supply]``. The inverse maps and the [0, 1]
+normalisations used by GENIEx live here too, so every component of the stack
+shares one definition of the mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.xbar.config import CrossbarConfig
+
+
+def _check_levels(levels, n_levels: int) -> np.ndarray:
+    if n_levels < 2:
+        raise ConfigError(f"n_levels must be >= 2, got {n_levels}")
+    levels = np.asarray(levels)
+    if np.any(levels < 0) or np.any(levels > n_levels - 1):
+        raise ConfigError(
+            f"levels must lie in [0, {n_levels - 1}]")
+    return levels.astype(float)
+
+
+def conductances_from_levels(levels, n_levels: int,
+                             config: CrossbarConfig) -> np.ndarray:
+    """Map integer levels ``0..n_levels-1`` linearly to ``[g_off, g_on]``."""
+    levels = _check_levels(levels, n_levels)
+    frac = levels / (n_levels - 1)
+    return config.g_off_s + frac * (config.g_on_s - config.g_off_s)
+
+
+def conductances_from_weights(weights01, config: CrossbarConfig) -> np.ndarray:
+    """Map continuous weights in ``[0, 1]`` linearly to ``[g_off, g_on]``."""
+    weights01 = np.asarray(weights01, dtype=float)
+    if np.any(weights01 < 0) or np.any(weights01 > 1):
+        raise ConfigError("weights01 must lie in [0, 1]")
+    return config.g_off_s + weights01 * (config.g_on_s - config.g_off_s)
+
+
+def weights_from_conductances(conductance_s, config: CrossbarConfig) -> np.ndarray:
+    """Inverse of :func:`conductances_from_weights` (values in [0, 1])."""
+    g = np.asarray(conductance_s, dtype=float)
+    return (g - config.g_off_s) / (config.g_on_s - config.g_off_s)
+
+
+def levels_from_conductances(conductance_s, n_levels: int,
+                             config: CrossbarConfig) -> np.ndarray:
+    """Nearest integer level for each conductance (inverse mapping)."""
+    frac = weights_from_conductances(conductance_s, config)
+    return np.clip(np.rint(frac * (n_levels - 1)), 0, n_levels - 1).astype(int)
+
+
+def voltages_from_levels(levels, n_levels: int,
+                         config: CrossbarConfig) -> np.ndarray:
+    """Map integer input levels ``0..n_levels-1`` linearly to ``[0, Vsupply]``."""
+    levels = _check_levels(levels, n_levels)
+    return levels / (n_levels - 1) * config.v_supply_v
+
+
+def normalize_voltages(voltages_v, config: CrossbarConfig) -> np.ndarray:
+    """Scale voltages to [0, 1] by the supply voltage (GENIEx input norm)."""
+    return np.asarray(voltages_v, dtype=float) / config.v_supply_v
+
+
+def normalize_conductances(conductance_s, config: CrossbarConfig) -> np.ndarray:
+    """Scale conductances to [0, 1] over the programmable window."""
+    return weights_from_conductances(conductance_s, config)

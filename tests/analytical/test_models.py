@@ -1,0 +1,103 @@
+import numpy as np
+import pytest
+
+from repro.analytical import (
+    AnalyticalLinearModel,
+    DecoupledIrDropModel,
+    ScalarAlphaModel,
+)
+from repro.circuit.simulator import CrossbarCircuitSimulator
+from repro.errors import NotFittedError
+from repro.xbar.config import CrossbarConfig
+from repro.xbar.ideal import ideal_mvm
+
+
+@pytest.fixture
+def cfg():
+    return CrossbarConfig(rows=8, cols=8)
+
+
+@pytest.fixture
+def operating_point(cfg, rng):
+    g = rng.uniform(cfg.g_off_s, cfg.g_on_s, size=cfg.shape)
+    v = rng.uniform(0.02, cfg.v_supply_v, size=cfg.rows)
+    return v, g
+
+
+class TestAnalyticalLinearModel:
+    def test_equals_linear_circuit_mode(self, cfg, operating_point):
+        v, g = operating_point
+        model = AnalyticalLinearModel(cfg)
+        sim = CrossbarCircuitSimulator(cfg)
+        np.testing.assert_allclose(
+            model.predict_currents(v, g),
+            sim.solve(v, g, mode="linear").currents_a, rtol=1e-10)
+
+    def test_predict_ratio_definition(self, cfg, operating_point):
+        v, g = operating_point
+        model = AnalyticalLinearModel(cfg)
+        fr = model.predict_ratio(v, g)
+        np.testing.assert_allclose(ideal_mvm(v, g) / fr,
+                                   model.predict_currents(v, g), rtol=1e-9)
+
+    def test_cannot_capture_nonlinearity(self, cfg, operating_point):
+        """Its defining limitation: identical output for any device
+        non-linearity strength, unlike the full simulation."""
+        v, g = operating_point
+        model_a = AnalyticalLinearModel(cfg)
+        model_b = AnalyticalLinearModel(
+            cfg.replace(access_r_on_ohm=50e3))
+        np.testing.assert_allclose(model_a.predict_currents(v, g),
+                                   model_b.predict_currents(v, g))
+
+
+class TestDecoupledIrDropModel:
+    def test_approximates_exact_linear(self, cfg, operating_point):
+        v, g = operating_point
+        exact = AnalyticalLinearModel(cfg).predict_currents(v, g)
+        approx = DecoupledIrDropModel(cfg, n_sweeps=3).predict_currents(v, g)
+        rel = np.abs(approx - exact) / np.abs(exact)
+        assert rel.mean() < 0.05
+
+    def test_more_sweeps_more_accurate(self, cfg, operating_point):
+        v, g = operating_point
+        exact = AnalyticalLinearModel(cfg).predict_currents(v, g)
+        err1 = np.abs(DecoupledIrDropModel(cfg, 1).predict_currents(v, g)
+                      - exact).mean()
+        err3 = np.abs(DecoupledIrDropModel(cfg, 3).predict_currents(v, g)
+                      - exact).mean()
+        assert err3 <= err1 * 1.05
+
+    def test_batch_shape(self, cfg, rng):
+        g = rng.uniform(cfg.g_off_s, cfg.g_on_s, size=cfg.shape)
+        vs = rng.uniform(0, 0.25, size=(5, 8))
+        assert DecoupledIrDropModel(cfg).predict_currents(vs, g).shape == \
+            (5, 8)
+
+    def test_rejects_bad_sweeps(self, cfg):
+        with pytest.raises(ValueError):
+            DecoupledIrDropModel(cfg, n_sweeps=0)
+
+
+class TestScalarAlphaModel:
+    def test_requires_fit(self, cfg, operating_point):
+        v, g = operating_point
+        with pytest.raises(NotFittedError):
+            ScalarAlphaModel(cfg).predict_currents(v, g)
+
+    def test_learns_uniform_attenuation_exactly(self, cfg, operating_point):
+        v, g = operating_point
+        vs = np.tile(v, (4, 1))
+        reference = 0.85 * ideal_mvm(vs, g)
+        model = ScalarAlphaModel(cfg).fit(vs, g, reference)
+        assert model.alpha == pytest.approx(0.85)
+        np.testing.assert_allclose(model.predict_currents(vs, g),
+                                   reference, rtol=1e-10)
+
+    def test_alpha_below_one_for_real_crossbar(self, cfg, rng):
+        sim = CrossbarCircuitSimulator(cfg)
+        g = rng.uniform(cfg.g_off_s, cfg.g_on_s, size=cfg.shape)
+        vs = rng.uniform(0.05, 0.25, size=(6, 8))
+        reference = sim.solve_batch(vs, g, mode="linear")
+        model = ScalarAlphaModel(cfg).fit(vs, g, reference)
+        assert 0.5 < model.alpha < 1.0

@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.circuit.newton import NewtonOptions, solve_newton
+from repro.errors import ConvergenceError
+
+
+def quadratic_problem(target):
+    """F(x) = x^2 - target, elementwise (root sqrt(target))."""
+
+    def fn(x):
+        f = x ** 2 - target
+        jac = sparse.diags(2.0 * x).tocsc()
+        return f, jac
+
+    return fn
+
+
+class TestScalarSystems:
+    def test_converges_to_root(self):
+        target = np.array([4.0, 9.0, 2.0])
+        result = solve_newton(quadratic_problem(target),
+                              np.ones(3) * 3.0,
+                              NewtonOptions(tol_residual=1e-12))
+        np.testing.assert_allclose(result.x, np.sqrt(target), rtol=1e-6)
+        assert result.converged
+
+    def test_iteration_count_reported(self):
+        result = solve_newton(quadratic_problem(np.array([4.0])),
+                              np.array([10.0]))
+        assert result.iterations >= 2
+
+    def test_already_converged(self):
+        result = solve_newton(quadratic_problem(np.array([4.0])),
+                              np.array([2.0]))
+        assert result.iterations == 0
+
+    def test_failure_raises(self):
+        # x^2 + 1 has no real root.
+        def fn(x):
+            return x ** 2 + 1.0, sparse.diags(2.0 * x + 1e-3).tocsc()
+
+        with pytest.raises(ConvergenceError):
+            solve_newton(fn, np.array([1.0]), NewtonOptions(max_iter=10))
+
+    def test_failure_returns_best_when_not_raising(self):
+        def fn(x):
+            return x ** 2 + 1.0, sparse.diags(2.0 * x + 1e-3).tocsc()
+
+        result = solve_newton(fn, np.array([1.0]),
+                              NewtonOptions(max_iter=10,
+                                            raise_on_failure=False))
+        assert not result.converged
+
+    def test_relative_tolerance_scale(self):
+        """A large problem scale loosens the effective tolerance."""
+
+        def fn(x):
+            # Irreducible residual floor, as from finite LU precision.
+            return np.full(1, 1e-7), sparse.eye(1, format="csc")
+
+        with pytest.raises(ConvergenceError):
+            solve_newton(fn, np.zeros(1),
+                         NewtonOptions(max_iter=10, tol_residual=1e-12))
+        result = solve_newton(fn, np.zeros(1),
+                              NewtonOptions(max_iter=10,
+                                            tol_residual=1e-12,
+                                            tol_relative=1e-12),
+                              scale=1e6)
+        assert result.converged and result.iterations == 0
+
+    def test_line_search_handles_overshoot(self):
+        """Strongly curved residual needs damping from a far start."""
+        result = solve_newton(quadratic_problem(np.array([1e6])),
+                              np.array([1.0]),
+                              NewtonOptions(max_iter=60))
+        np.testing.assert_allclose(result.x, [1e3], rtol=1e-5)

@@ -1,0 +1,80 @@
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.circuit.topology import CrossbarTopology
+from repro.xbar.config import CrossbarConfig
+
+
+@pytest.fixture
+def topo():
+    return CrossbarTopology(CrossbarConfig(rows=4, cols=3))
+
+
+class TestIndexing:
+    def test_node_count(self, topo):
+        assert topo.n_nodes == 2 * 4 * 3
+
+    def test_row_and_col_nodes_disjoint(self, topo):
+        rows = set(topo.cell_row_nodes.tolist())
+        cols = set(topo.cell_col_nodes.tolist())
+        assert rows.isdisjoint(cols)
+        assert len(rows) == 12 and len(cols) == 12
+
+    def test_source_and_sink_positions(self, topo):
+        assert topo.source_nodes.tolist() == [topo.row_node(i, 0)
+                                              for i in range(4)]
+        assert topo.sink_nodes.tolist() == [topo.col_node(3, j)
+                                            for j in range(3)]
+
+
+class TestParasiticGraph:
+    def test_stamp_matrix_is_symmetric_laplacian_plus_ground(self, topo):
+        from scipy import sparse
+        a = sparse.coo_matrix(
+            (topo.parasitic_vals,
+             (topo.parasitic_rows, topo.parasitic_cols)),
+            shape=(topo.n_nodes, topo.n_nodes)).toarray()
+        np.testing.assert_allclose(a, a.T)
+        # Row sums vanish except at grounded (source/sink) nodes.
+        sums = a.sum(axis=1)
+        grounded = set(topo.source_nodes.tolist()) | set(
+            topo.sink_nodes.tolist())
+        for node in range(topo.n_nodes):
+            if node in grounded:
+                assert sums[node] > 0
+            else:
+                assert sums[node] == pytest.approx(0.0, abs=1e-12)
+
+    def test_connectivity_via_networkx(self, topo):
+        """With cell devices added, every node must reach a boundary."""
+        graph = nx.Graph()
+        graph.add_nodes_from(range(topo.n_nodes))
+        mask = topo.parasitic_rows != topo.parasitic_cols
+        graph.add_edges_from(zip(topo.parasitic_rows[mask],
+                                 topo.parasitic_cols[mask]))
+        graph.add_edges_from(zip(topo.cell_row_nodes, topo.cell_col_nodes))
+        assert nx.number_connected_components(graph) == 1
+
+    def test_single_row_single_col(self):
+        tiny = CrossbarTopology(CrossbarConfig(rows=1, cols=1))
+        assert tiny.n_nodes == 2
+        rhs = tiny.rhs_for_inputs(np.array([0.25]))
+        assert rhs[tiny.source_nodes[0]] > 0
+
+
+class TestRhsAndOutputs:
+    def test_rhs_batch_shape(self, topo):
+        rhs = topo.rhs_for_inputs(np.zeros((5, 4)))
+        assert rhs.shape == (5, topo.n_nodes)
+
+    def test_output_currents_read_sink_nodes(self, topo):
+        x = np.zeros(topo.n_nodes)
+        x[topo.sink_nodes] = 0.01
+        out = topo.output_currents(x)
+        np.testing.assert_allclose(out, 0.01 * topo.g_sink_s)
+
+    def test_zero_wire_resistance_clamped(self):
+        topo = CrossbarTopology(CrossbarConfig(rows=2, cols=2,
+                                               r_wire_ohm=0.0))
+        assert np.isfinite(topo.g_wire_s)

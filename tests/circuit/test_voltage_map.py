@@ -1,0 +1,49 @@
+import numpy as np
+import pytest
+
+from repro.circuit.simulator import CrossbarCircuitSimulator
+from repro.errors import ConfigError
+from repro.xbar.config import CrossbarConfig
+
+
+class TestCellVoltageMap:
+    @pytest.fixture
+    def solution(self, rng):
+        cfg = CrossbarConfig(rows=8, cols=8)
+        sim = CrossbarCircuitSimulator(cfg)
+        g = np.full(cfg.shape, cfg.g_on_s)
+        v = np.full(cfg.rows, cfg.v_supply_v)
+        return sim, sim.solve(v, g, mode="full")
+
+    def test_shape_and_bounds(self, solution):
+        sim, sol = solution
+        vmap = sim.cell_voltage_matrix(sol)
+        assert vmap.shape == (8, 8)
+        assert np.all(vmap > 0)
+        assert np.all(vmap <= sim.config.v_supply_v)
+
+    def test_ir_drop_spatial_signature(self, solution):
+        """With uniform drive and weights, cells farther along the word
+        line (higher column index) see less voltage — the classic IR-drop
+        gradient of Fig. 1's netlist."""
+        sim, sol = solution
+        vmap = sim.cell_voltage_matrix(sol)
+        row_profile = vmap.mean(axis=0)
+        assert np.all(np.diff(row_profile) < 0)
+
+    def test_ideal_mode_rejected(self):
+        cfg = CrossbarConfig(rows=4, cols=4)
+        sim = CrossbarCircuitSimulator(cfg)
+        sol = sim.solve(np.zeros(4), np.full(cfg.shape, 1e-5), mode="ideal")
+        with pytest.raises(ConfigError):
+            sim.cell_voltage_matrix(sol)
+
+    def test_tiny_parasitics_full_drive(self, rng):
+        cfg = CrossbarConfig(rows=4, cols=4, r_source_ohm=1e-6,
+                             r_sink_ohm=1e-6, r_wire_ohm=0.0)
+        sim = CrossbarCircuitSimulator(cfg)
+        g = rng.uniform(cfg.g_off_s, cfg.g_on_s, cfg.shape)
+        v = np.full(4, 0.2)
+        sol = sim.solve(v, g, mode="linear")
+        vmap = sim.cell_voltage_matrix(sol)
+        np.testing.assert_allclose(vmap, 0.2, rtol=1e-4)

@@ -1,0 +1,24 @@
+"""Shared test fixtures and global test configuration."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+# Keep hypothesis fast and deterministic in CI-like environments.
+settings.register_profile("repro", max_examples=25, deadline=None,
+                          derandomize=True)
+settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache(tmp_path, monkeypatch):
+    """Point every disk cache at a per-test temporary directory."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    yield
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.core.dataset import build_geniex_dataset
+from repro.core.sampling import SamplingSpec
+from repro.errors import ConfigError
+from repro.xbar.config import CrossbarConfig
+from repro.xbar.ideal import ideal_mvm
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    cfg = CrossbarConfig(rows=6, cols=6)
+    spec = SamplingSpec(n_g_matrices=3, n_v_per_g=5, seed=0)
+    return build_geniex_dataset(cfg, spec)
+
+
+class TestBuildDataset:
+    def test_sizes(self, dataset):
+        assert len(dataset) == 15
+        assert dataset.voltages_v.shape == (15, 6)
+        assert dataset.conductances_s.shape == (3, 6, 6)
+        assert dataset.fr.shape == (15, 6)
+
+    def test_ideal_currents_consistent(self, dataset):
+        k = 7
+        g = dataset.conductances_s[dataset.group_index[k]]
+        np.testing.assert_allclose(dataset.i_ideal_a[k],
+                                   ideal_mvm(dataset.voltages_v[k], g))
+
+    def test_fr_labels_match_currents(self, dataset):
+        mask = dataset.mask
+        lhs = dataset.i_ideal_a[mask] / dataset.fr[mask]
+        np.testing.assert_allclose(lhs, dataset.i_nonideal_a[mask],
+                                   rtol=1e-9)
+
+    def test_features_layout(self, dataset):
+        feats = dataset.features()
+        assert feats.shape == (15, 6 + 36)
+        assert feats.dtype == np.float32
+        assert feats.min() >= -1e-6 and feats.max() <= 1.0 + 1e-6
+
+    def test_labels_normalised(self, dataset):
+        labels = dataset.labels()
+        assert labels.min() >= 0.0 and labels.max() <= 1.0
+
+    def test_weights_match_mask(self, dataset):
+        np.testing.assert_array_equal(dataset.weights(),
+                                      dataset.mask.astype(np.float32))
+
+    def test_indices_subset(self, dataset):
+        sub = dataset.features(np.array([0, 3]))
+        assert sub.shape[0] == 2
+
+    def test_linear_mode_labels(self):
+        cfg = CrossbarConfig(rows=4, cols=4)
+        spec = SamplingSpec(n_g_matrices=2, n_v_per_g=3, seed=1)
+        full = build_geniex_dataset(cfg, spec, mode="full")
+        linear = build_geniex_dataset(cfg, spec, mode="linear")
+        assert not np.allclose(full.i_nonideal_a, linear.i_nonideal_a)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            build_geniex_dataset(CrossbarConfig(rows=4, cols=4),
+                                 SamplingSpec(n_g_matrices=1, n_v_per_g=1),
+                                 mode="ideal")

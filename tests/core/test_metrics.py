@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.metrics import (
+    nonideality_factor,
+    ratio_fr,
+    rmse,
+    rmse_of_nf,
+    valid_mask,
+)
+
+
+class TestRatioFr:
+    def test_definition(self):
+        fr = ratio_fr(np.array([2.0]), np.array([1.0]))
+        assert fr[0] == pytest.approx(2.0)
+
+    def test_undefined_defaults_to_one(self):
+        fr = ratio_fr(np.array([0.0, 1.0]), np.array([5.0, 2.0]))
+        assert fr[0] == 1.0 and fr[1] == pytest.approx(0.5)
+
+    def test_zero_nonideal_masked(self):
+        fr = ratio_fr(np.array([1.0]), np.array([0.0]))
+        assert np.isfinite(fr[0])
+
+    @given(hnp.arrays(np.float64, 6, elements=st.floats(0.1, 10)),
+           hnp.arrays(np.float64, 6, elements=st.floats(0.1, 10)))
+    def test_inverse_relationship(self, ideal, nonideal):
+        fr = ratio_fr(ideal, nonideal)
+        np.testing.assert_allclose(ideal / fr, nonideal, rtol=1e-9)
+
+
+class TestNonidealityFactor:
+    def test_definition_matches_paper(self):
+        nf = nonideality_factor(np.array([10.0]), np.array([8.0]))
+        assert nf[0] == pytest.approx(0.2)
+
+    def test_negative_nf_for_overshoot(self):
+        nf = nonideality_factor(np.array([10.0]), np.array([12.0]))
+        assert nf[0] == pytest.approx(-0.2)
+
+    def test_undefined_is_zero(self):
+        assert nonideality_factor(np.array([0.0]), np.array([1.0]))[0] == 0.0
+
+    def test_nf_fr_consistency(self):
+        """NF = 1 - 1/fR on valid entries."""
+        ideal = np.array([2.0, 4.0])
+        nonideal = np.array([1.0, 5.0])
+        nf = nonideality_factor(ideal, nonideal)
+        fr = ratio_fr(ideal, nonideal)
+        np.testing.assert_allclose(nf, 1.0 - 1.0 / fr)
+
+
+class TestRmse:
+    def test_plain(self):
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(
+            np.sqrt(12.5))
+
+    def test_masked(self):
+        assert rmse([0.0, 0.0], [3.0, 100.0],
+                    mask=[True, False]) == pytest.approx(3.0)
+
+    def test_empty_mask(self):
+        assert rmse([1.0], [2.0], mask=[False]) == 0.0
+
+    def test_rmse_of_nf_perfect_model_is_zero(self, rng):
+        ideal = rng.uniform(1, 2, size=(4, 5))
+        reference = ideal * rng.uniform(0.8, 0.95, size=(4, 5))
+        assert rmse_of_nf(ideal, reference, reference) == 0.0
+
+    def test_rmse_of_nf_orders_models(self, rng):
+        ideal = rng.uniform(1, 2, size=(6, 6))
+        reference = ideal * 0.9
+        close = ideal * 0.89
+        far = ideal * 0.5
+        good = rmse_of_nf(ideal, reference, close)
+        bad = rmse_of_nf(ideal, reference, far)
+        assert good < bad
+
+
+class TestValidMask:
+    def test_threshold(self):
+        mask = valid_mask(np.array([0.0, 1e-20, 1e-3]))
+        np.testing.assert_array_equal(mask, [False, False, True])

@@ -1,0 +1,102 @@
+import numpy as np
+import pytest
+
+from repro.core.dataset import build_geniex_dataset
+from repro.core.model import GeniexNet, Normalizer
+from repro.core.sampling import SamplingSpec
+from repro.core.trainer import TrainSpec, train_geniex
+from repro.errors import ConfigError, ShapeError
+from repro.nn.tensor import Tensor
+from repro.xbar.config import CrossbarConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    cfg = CrossbarConfig(rows=4, cols=4)
+    return build_geniex_dataset(
+        cfg, SamplingSpec(n_g_matrices=6, n_v_per_g=10, seed=0))
+
+
+class TestGeniexNet:
+    def test_paper_topology_dimensions(self):
+        net = GeniexNet(64, 64, hidden=500)
+        # (N^2 + N) x P x N with P = 500.
+        assert net.in_features == 64 * 64 + 64
+        first = net.body[0]
+        last = net.body[-1]
+        assert first.weight.shape == (500, 4160)
+        assert last.weight.shape == (64, 500)
+
+    def test_forward_shape(self):
+        net = GeniexNet(4, 4, hidden=16)
+        out = net(Tensor(np.zeros((3, 20), dtype=np.float32)))
+        assert out.shape == (3, 4)
+
+    def test_rejects_wrong_input_width(self):
+        net = GeniexNet(4, 4, hidden=8)
+        with pytest.raises(ShapeError):
+            net(Tensor(np.zeros((2, 7), dtype=np.float32)))
+
+    def test_predict_fr_norm_matches_forward(self):
+        net = GeniexNet(4, 4, hidden=8, hidden_layers=2, seed=1)
+        feats = np.random.default_rng(0).random((5, 20)).astype(np.float32)
+        fast = net.predict_fr_norm(feats.copy())
+        graph = net(Tensor(feats)).data
+        np.testing.assert_allclose(fast, graph, rtol=1e-5, atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            GeniexNet(4, 4, hidden=0)
+        with pytest.raises(ConfigError):
+            GeniexNet(4, 4, hidden_layers=0)
+
+
+class TestNormalizer:
+    def test_roundtrip_dict(self):
+        norm = Normalizer(0.25, 1e-6, 1e-5, 0.9, 1.1)
+        assert Normalizer(**norm.to_dict()) == norm
+
+    def test_fr_denormalisation_clips(self):
+        norm = Normalizer(0.25, 1e-6, 1e-5, 0.8, 1.2)
+        out = norm.denormalize_fr(np.array([-0.5, 0.5, 1.5]))
+        np.testing.assert_allclose(out, [0.8, 1.0, 1.2])
+
+    def test_voltage_scaling(self):
+        norm = Normalizer(0.5, 1e-6, 1e-5, 0.9, 1.1)
+        assert norm.normalize_v(0.25) == pytest.approx(0.5)
+
+
+class TestTrainer:
+    def test_training_reduces_validation_rmse(self, tiny_dataset):
+        spec = TrainSpec(hidden=32, epochs=40, batch_size=16, patience=40,
+                         seed=0)
+        model, history = train_geniex(tiny_dataset, spec)
+        assert history.val_rmse[-1] < history.val_rmse[0]
+        assert model.normalizer is not None
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        spec = TrainSpec(hidden=8, epochs=5, batch_size=16, seed=3)
+        model_a, _ = train_geniex(tiny_dataset, spec)
+        model_b, _ = train_geniex(tiny_dataset, spec)
+        np.testing.assert_array_equal(
+            model_a.body[0].weight.data, model_b.body[0].weight.data)
+
+    def test_early_stopping_restores_best(self, tiny_dataset):
+        spec = TrainSpec(hidden=16, epochs=60, batch_size=16, patience=5,
+                         seed=0)
+        model, history = train_geniex(tiny_dataset, spec)
+        assert history.best_epoch <= len(history.val_rmse) - 1
+        assert history.best_val_rmse == min(history.val_rmse)
+
+    def test_lr_schedule(self):
+        spec = TrainSpec(epochs=100, lr=1.0, lr_decay=0.1,
+                         lr_milestones=(0.5, 0.8))
+        assert spec.lr_at(0) == 1.0
+        assert spec.lr_at(50) == pytest.approx(0.1)
+        assert spec.lr_at(80) == pytest.approx(0.01)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            TrainSpec(val_fraction=0.0)
+        with pytest.raises(ConfigError):
+            TrainSpec(lr_decay=0.0)

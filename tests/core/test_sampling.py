@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.core.sampling import SamplingSpec, VgSampler
+from repro.errors import ConfigError
+from repro.xbar.config import CrossbarConfig
+
+
+@pytest.fixture
+def cfg():
+    return CrossbarConfig(rows=8, cols=8)
+
+
+class TestSamplingSpec:
+    def test_n_samples(self):
+        spec = SamplingSpec(n_g_matrices=5, n_v_per_g=7)
+        assert spec.n_samples == 35
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_g_matrices": 0}, {"v_levels": 1},
+        {"v_sparsity": (1.0,)}, {"g_sparsity": ()},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigError):
+            SamplingSpec(**kwargs)
+
+
+class TestVgSampler:
+    def test_shapes(self, cfg):
+        spec = SamplingSpec(n_g_matrices=3, n_v_per_g=4, seed=0)
+        v, g, idx = VgSampler(cfg, spec).sample()
+        assert v.shape == (12, 8)
+        assert g.shape == (3, 8, 8)
+        assert idx.shape == (12,)
+        assert idx.max() == 2
+
+    def test_voltage_range_and_levels(self, cfg):
+        spec = SamplingSpec(n_g_matrices=2, n_v_per_g=50, v_levels=16,
+                            seed=0)
+        v, _, _ = VgSampler(cfg, spec).sample()
+        assert v.min() >= 0.0 and v.max() <= cfg.v_supply_v + 1e-12
+        # Values sit on the 16-level DAC grid.
+        levels = v / cfg.v_supply_v * 15
+        np.testing.assert_allclose(levels, np.rint(levels), atol=1e-9)
+
+    def test_conductance_window(self, cfg):
+        spec = SamplingSpec(n_g_matrices=5, n_v_per_g=1, seed=0)
+        _, g, _ = VgSampler(cfg, spec).sample()
+        assert g.min() >= cfg.g_off_s - 1e-18
+        assert g.max() <= cfg.g_on_s + 1e-18
+
+    def test_sparsity_produces_zeros(self, cfg):
+        spec = SamplingSpec(n_g_matrices=2, n_v_per_g=100,
+                            v_sparsity=(0.9,), seed=0)
+        v, _, _ = VgSampler(cfg, spec).sample()
+        assert np.mean(v == 0.0) > 0.8
+
+    def test_dense_grid_no_zeros_beyond_chance(self, cfg):
+        spec = SamplingSpec(n_g_matrices=2, n_v_per_g=100,
+                            v_sparsity=(0.0,), seed=0)
+        v, _, _ = VgSampler(cfg, spec).sample()
+        assert np.mean(v == 0.0) < 0.05
+
+    def test_continuous_mode(self, cfg):
+        spec = SamplingSpec(n_g_matrices=2, n_v_per_g=20, v_levels=None,
+                            g_levels=None, seed=0)
+        v, g, _ = VgSampler(cfg, spec).sample()
+        assert v.max() <= cfg.v_supply_v
+        assert g.max() <= cfg.g_on_s
+
+    def test_deterministic(self, cfg):
+        spec = SamplingSpec(seed=5, n_g_matrices=2, n_v_per_g=3)
+        a = VgSampler(cfg, spec).sample()
+        b = VgSampler(cfg, spec).sample()
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])

@@ -1,0 +1,31 @@
+import numpy as np
+import pytest
+
+from repro.core.model import GeniexNet
+from repro.core.zoo import GeniexZoo, default_cache_dir
+from repro.errors import SerializationError
+
+
+class TestZooErrorPaths:
+    def test_missing_artifact(self, tmp_path):
+        with pytest.raises(SerializationError):
+            GeniexZoo.load_model(str(tmp_path / "nothing.npz"))
+
+    def test_save_requires_normalizer(self, tmp_path):
+        model = GeniexNet(4, 4, hidden=8)  # no normalizer attached
+        with pytest.raises(SerializationError):
+            GeniexZoo.save_model(model, str(tmp_path / "m.npz"))
+
+    def test_corrupt_artifact_raises(self, tmp_path):
+        path = tmp_path / "geniex-bad.npz"
+        path.write_bytes(b"not a zip archive")
+        with pytest.raises(Exception):
+            GeniexZoo.load_model(str(path))
+
+    def test_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_dir() == str(tmp_path / "custom")
+
+    def test_cache_dir_default_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert ".cache" in default_cache_dir()

@@ -1,0 +1,31 @@
+import numpy as np
+import pytest
+
+from repro.devices.base import LinearResistor
+
+
+class TestLinearResistor:
+    def test_ohms_law(self):
+        r = LinearResistor(2e-3)
+        np.testing.assert_allclose(r.current(np.array([0.5, -0.5])),
+                                   [1e-3, -1e-3])
+
+    def test_per_cell_conductances_broadcast(self):
+        r = LinearResistor(np.array([1e-3, 2e-3]))
+        np.testing.assert_allclose(r.current(np.array([1.0, 1.0])),
+                                   [1e-3, 2e-3])
+
+    def test_conductance_constant(self):
+        r = LinearResistor(3e-3)
+        g = r.conductance(np.linspace(-1, 1, 5))
+        np.testing.assert_allclose(g, 3e-3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            LinearResistor(-1.0)
+
+    def test_current_and_conductance(self):
+        r = LinearResistor(1e-3)
+        i, g = r.current_and_conductance(np.array([2.0]))
+        assert i[0] == pytest.approx(2e-3)
+        assert g[0] == pytest.approx(1e-3)

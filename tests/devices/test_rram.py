@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devices.rram import FilamentaryRram, RramParameters
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def params():
+    return RramParameters()  # paper values
+
+
+class TestRramParameters:
+    def test_paper_defaults(self, params):
+        assert params.i0_a == pytest.approx(1e-4)
+        assert params.d0_nm == pytest.approx(0.25)
+        assert params.v0_v == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("field", ["i0_a", "d0_nm", "v0_v"])
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ConfigError):
+            RramParameters(**{field: 0.0})
+
+
+class TestProgramming:
+    def test_small_signal_conductance_matches_target(self, params):
+        target = np.array([1e-6, 5e-6, 1e-5])
+        dev = FilamentaryRram.from_conductance(target, params)
+        np.testing.assert_allclose(dev.small_signal_conductance(), target,
+                                   rtol=1e-12)
+
+    def test_secant_programming_at_vref(self, params):
+        target = 1e-5
+        v_ref = 0.2
+        dev = FilamentaryRram.from_conductance(target, params, v_ref=v_ref)
+        secant = dev.current(v_ref) / v_ref
+        assert secant == pytest.approx(target, rel=1e-12)
+
+    def test_rejects_nonpositive_conductance(self, params):
+        with pytest.raises(ConfigError):
+            FilamentaryRram.from_conductance([1e-6, 0.0], params)
+
+    def test_rejects_negative_vref(self, params):
+        with pytest.raises(ConfigError):
+            FilamentaryRram.from_conductance(1e-6, params, v_ref=-0.1)
+
+
+class TestIv:
+    def test_zero_voltage_zero_current(self, params):
+        dev = FilamentaryRram.from_conductance(1e-5, params)
+        assert dev.current(0.0) == 0.0
+
+    def test_antisymmetric(self, params):
+        dev = FilamentaryRram.from_conductance(1e-5, params)
+        v = np.linspace(0.01, 0.5, 7)
+        np.testing.assert_allclose(dev.current(-v), -dev.current(v))
+
+    def test_superlinear_above_v0(self, params):
+        """sinh makes the secant conductance grow with voltage."""
+        dev = FilamentaryRram.from_conductance(1e-5, params)
+        g_low = dev.current(0.05) / 0.05
+        g_high = dev.current(0.5) / 0.5
+        assert g_high > 1.5 * g_low
+
+    @given(st.floats(-0.6, 0.6))
+    def test_conductance_is_iv_slope(self, v):
+        dev = FilamentaryRram.from_conductance(1e-5, RramParameters())
+        eps = 1e-6
+        numeric = (dev.current(v + eps) - dev.current(v - eps)) / (2 * eps)
+        assert dev.conductance(v) == pytest.approx(numeric, rel=1e-5)
+
+    def test_current_and_conductance_consistent(self, params):
+        dev = FilamentaryRram.from_conductance(
+            np.array([1e-6, 1e-5]), params)
+        v = np.array([0.1, 0.3])
+        i, g = dev.current_and_conductance(v)
+        np.testing.assert_allclose(i, dev.current(v))
+        np.testing.assert_allclose(g, dev.conductance(v))
+
+    def test_nonlinearity_gain(self, params):
+        dev = FilamentaryRram.from_conductance(1e-5, params)
+        assert dev.nonlinearity_gain(0.0) == pytest.approx(1.0)
+        assert dev.nonlinearity_gain(0.5) == pytest.approx(
+            np.sinh(2.0) / 2.0)
+
+    def test_monotone_in_conductance(self, params):
+        low = FilamentaryRram.from_conductance(1e-6, params)
+        high = FilamentaryRram.from_conductance(1e-5, params)
+        assert high.current(0.25) > low.current(0.25)

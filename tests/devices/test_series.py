@@ -1,0 +1,71 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devices.base import LinearResistor
+from repro.devices.rram import FilamentaryRram, RramParameters
+from repro.devices.series import SeriesStack
+from repro.devices.transistor import AccessTransistor
+
+
+class TestLinearLimit:
+    def test_two_resistors_combine(self):
+        stack = SeriesStack(LinearResistor(1e-3), LinearResistor(2e-3))
+        v = np.array([0.1, 0.25, 0.5])
+        g_expected = 1e-3 * 2e-3 / 3e-3
+        np.testing.assert_allclose(stack.current(v), g_expected * v,
+                                   rtol=1e-9)
+
+    def test_small_signal_conductance(self):
+        stack = SeriesStack(LinearResistor(1e-3), LinearResistor(2e-3))
+        assert stack.small_signal_conductance() == pytest.approx(
+            1e-3 * 2e-3 / 3e-3)
+
+
+class TestTransistorRram:
+    @pytest.fixture
+    def stack(self):
+        rram = FilamentaryRram.from_conductance(
+            np.full(8, 1e-5), RramParameters())
+        return SeriesStack(AccessTransistor(), rram)
+
+    def test_current_continuity(self, stack):
+        """The solved internal node equalises both device currents."""
+        v = np.linspace(0.0, 0.5, 8)
+        x = stack._solve_internal(v)
+        i1 = stack.first.current(x)
+        i2 = stack.second.current(v - x)
+        np.testing.assert_allclose(i1, i2, atol=1e-12)
+
+    def test_zero_voltage(self, stack):
+        i, g = stack.current_and_conductance(np.zeros(8))
+        np.testing.assert_allclose(i, 0.0, atol=1e-15)
+        assert np.all(g > 0)
+
+    def test_antisymmetric(self, stack):
+        v = np.full(8, 0.3)
+        np.testing.assert_allclose(stack.current(-v), -stack.current(v),
+                                   rtol=1e-7, atol=1e-15)
+
+    def test_scalar_input(self, stack):
+        i, g = stack.current_and_conductance(0.2)
+        assert np.isscalar(i) or i.ndim == 0
+
+    @given(st.floats(0.0, 0.6))
+    def test_series_current_below_each_device_alone(self, v):
+        """Adding series resistance can only reduce current at fixed V."""
+        rram = FilamentaryRram.from_conductance(np.array([1e-5]),
+                                                RramParameters())
+        stack = SeriesStack(AccessTransistor(), rram)
+        alone = rram.current(np.array([v]))[0]
+        combined = stack.current(np.array([v]))[0]
+        assert combined <= alone + 1e-15
+
+    def test_warm_start_consistency(self, stack):
+        """Re-solving the same point after other solves is unchanged."""
+        v = np.linspace(0, 0.5, 8)
+        first = stack.current(v).copy()
+        stack.current(np.linspace(0, 0.2, 8))
+        second = stack.current(v)
+        np.testing.assert_allclose(first, second, rtol=1e-8)

@@ -1,0 +1,56 @@
+"""Hypothesis stress tests of the series-stack internal-node solver."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.base import LinearResistor
+from repro.devices.rram import FilamentaryRram, RramParameters
+from repro.devices.series import SeriesStack
+from repro.devices.transistor import AccessTransistor
+
+
+class TestExtremeRatios:
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(1e-8, 1e-4), st.floats(1e-8, 1e-4),
+           st.floats(0.0, 0.6))
+    def test_linear_pair_any_ratio(self, g1, g2, v):
+        """The solver handles conductance ratios across 4 decades."""
+        stack = SeriesStack(LinearResistor(g1), LinearResistor(g2))
+        expected = g1 * g2 / (g1 + g2) * v
+        result = stack.current(np.array([v]))[0]
+        assert np.isclose(result, expected, rtol=1e-6, atol=1e-18)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(1e-7, 2e-5), st.floats(0.0, 0.6))
+    def test_transistor_rram_continuity(self, g_target, v):
+        """Internal-node residual vanishes for any programmed level."""
+        rram = FilamentaryRram.from_conductance(np.array([g_target]),
+                                                RramParameters())
+        stack = SeriesStack(AccessTransistor(), rram)
+        x = stack._solve_internal(np.array([v]))
+        i1 = stack.first.current(x)
+        i2 = stack.second.current(np.array([v]) - x)
+        assert np.allclose(i1, i2, atol=1e-12)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(0.0, 0.5), st.floats(0.0, 0.5))
+    def test_monotonicity_in_voltage(self, a, b):
+        rram = FilamentaryRram.from_conductance(np.array([5e-6]),
+                                                RramParameters())
+        stack = SeriesStack(AccessTransistor(), rram)
+        lo, hi = sorted((a, b))
+        i_lo = stack.current(np.array([lo]))[0]
+        i_hi = stack.current(np.array([hi]))[0]
+        assert i_hi >= i_lo - 1e-15
+
+    def test_mixed_cell_array(self):
+        """Heterogeneous per-cell conductances solve in one vector call."""
+        g = np.array([1e-6, 5e-6, 1e-5, 2e-5])
+        rram = FilamentaryRram.from_conductance(g, RramParameters())
+        stack = SeriesStack(AccessTransistor(), rram)
+        v = np.full(4, 0.25)
+        i, cond = stack.current_and_conductance(v)
+        # More conductive cells carry more current.
+        assert np.all(np.diff(i) > 0)
+        assert np.all(cond > 0)

@@ -1,0 +1,68 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devices.transistor import AccessTransistor
+from repro.errors import ConfigError
+
+
+class TestConstruction:
+    def test_small_signal_matches_r_on(self):
+        t = AccessTransistor(r_on_ohm=5e3)
+        assert t.small_signal_conductance() == pytest.approx(1 / 5e3,
+                                                             rel=1e-5)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"r_on_ohm": 0}, {"v_ov_v": -1}, {"gmin_s": 0},
+    ])
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ConfigError):
+            AccessTransistor(**kwargs)
+
+
+class TestIv:
+    def test_zero_at_zero(self):
+        assert AccessTransistor().current(0.0) == 0.0
+
+    def test_antisymmetric(self):
+        t = AccessTransistor()
+        v = np.linspace(0.01, 2.0, 9)
+        np.testing.assert_allclose(t.current(-v), -t.current(v))
+
+    @given(st.floats(-2.0, 2.0), st.floats(-2.0, 2.0))
+    def test_monotone_nondecreasing(self, a, b):
+        t = AccessTransistor()
+        lo, hi = min(a, b), max(a, b)
+        assert t.current(hi) >= t.current(lo)
+
+    def test_saturation_current(self):
+        t = AccessTransistor(r_on_ohm=5e3, v_ov_v=0.75)
+        sat = t.beta * 0.75 ** 2 / 2
+        # Beyond V_ov only the GMIN slope remains.
+        assert t.current(1.0) == pytest.approx(sat + t.gmin_s * 1.0)
+        assert t.conductance(1.5) == pytest.approx(t.gmin_s)
+
+    def test_compression_at_high_vds(self):
+        """Effective (secant) conductance drops with V_ds: the data-dependent
+        non-linearity the paper attributes to access devices."""
+        t = AccessTransistor()
+        g_low = t.current(0.05) / 0.05
+        g_high = t.current(0.6) / 0.6
+        assert g_high < g_low
+
+    @given(st.floats(-1.5, 1.5))
+    def test_conductance_is_iv_slope(self, v):
+        t = AccessTransistor()
+        # Skip the non-differentiable corner at +-V_ov.
+        if abs(abs(v) - t.v_ov_v) < 1e-3:
+            return
+        eps = 1e-7
+        numeric = (t.current(v + eps) - t.current(v - eps)) / (2 * eps)
+        assert t.conductance(v) == pytest.approx(numeric, rel=1e-3,
+                                                 abs=1e-9)
+
+    def test_conductance_never_below_gmin(self):
+        t = AccessTransistor()
+        v = np.linspace(-3, 3, 101)
+        assert np.all(t.conductance(v) >= t.gmin_s)

@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.devices.variations import (
+    apply_lognormal_variation,
+    apply_stuck_faults,
+)
+from repro.errors import ConfigError
+
+
+class TestLognormalVariation:
+    def test_zero_sigma_is_identity(self):
+        g = np.full((4, 4), 1e-5)
+        out = apply_lognormal_variation(g, 0.0, rng=0)
+        np.testing.assert_array_equal(out, g)
+
+    def test_preserves_shape_and_positivity(self):
+        g = np.full((8, 8), 1e-5)
+        out = apply_lognormal_variation(g, 0.3, rng=0)
+        assert out.shape == g.shape
+        assert np.all(out > 0)
+
+    def test_clipping_bounds(self):
+        g = np.full(1000, 5e-6)
+        out = apply_lognormal_variation(g, 1.0, rng=0, g_min_s=1e-6,
+                                        g_max_s=1e-5)
+        assert out.min() >= 1e-6 and out.max() <= 1e-5
+
+    def test_deterministic_given_seed(self):
+        g = np.full(10, 1e-5)
+        a = apply_lognormal_variation(g, 0.2, rng=3)
+        b = apply_lognormal_variation(g, 0.2, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ConfigError):
+            apply_lognormal_variation(np.ones(3), -0.1)
+
+    def test_median_roughly_unbiased(self):
+        g = np.full(20000, 1e-5)
+        out = apply_lognormal_variation(g, 0.3, rng=0)
+        assert np.median(out) == pytest.approx(1e-5, rel=0.05)
+
+
+class TestStuckFaults:
+    def test_fault_rates(self):
+        g = np.full(20000, 5e-6)
+        out = apply_stuck_faults(g, 0.05, 0.10, g_on_s=1e-5, g_off_s=1e-6,
+                                 rng=0)
+        frac_on = np.mean(out == 1e-5)
+        frac_off = np.mean(out == 1e-6)
+        assert frac_on == pytest.approx(0.05, abs=0.01)
+        assert frac_off == pytest.approx(0.10, abs=0.01)
+
+    def test_zero_rates_identity(self):
+        g = np.full(16, 5e-6)
+        out = apply_stuck_faults(g, 0.0, 0.0, 1e-5, 1e-6, rng=0)
+        np.testing.assert_array_equal(out, g)
+
+    @pytest.mark.parametrize("p_on,p_off", [(-0.1, 0), (0, 1.5), (0.6, 0.6)])
+    def test_rejects_bad_probabilities(self, p_on, p_off):
+        with pytest.raises(ConfigError):
+            apply_stuck_faults(np.ones(4), p_on, p_off, 1e-5, 1e-6)

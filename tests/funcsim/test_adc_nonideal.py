@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.funcsim.adc import AdcModel
+from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.engine import IdealMvmEngine, make_engine
+from repro.xbar.config import CrossbarConfig
+
+
+class TestAdcOffsetAndNoise:
+    def test_offset_shifts_codes(self):
+        clean = AdcModel(8, 1e-8)
+        shifted = AdcModel(8, 1e-8, offset_a=5e-8)
+        currents = np.array([1e-7])
+        assert shifted.codes(currents)[0] == clean.codes(currents)[0] + 5
+
+    def test_noise_is_seeded_and_reproducible(self):
+        a = AdcModel(8, 1e-8, noise_rms_a=2e-8, seed=7)
+        b = AdcModel(8, 1e-8, noise_rms_a=2e-8, seed=7)
+        currents = np.full(100, 5e-7)
+        np.testing.assert_array_equal(a.codes(currents), b.codes(currents))
+
+    def test_noise_spreads_codes(self):
+        adc = AdcModel(10, 1e-8, noise_rms_a=3e-8, seed=0)
+        codes = adc.codes(np.full(1000, 5e-7))
+        assert codes.std() > 0.5
+
+    def test_zero_noise_is_deterministic_quantiser(self):
+        adc = AdcModel(8, 1e-8)
+        currents = np.linspace(0, adc.full_scale_a, 50)
+        np.testing.assert_array_equal(adc.codes(currents),
+                                      adc.codes(currents))
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ConfigError):
+            AdcModel(8, 1e-8, noise_rms_a=-1.0)
+
+
+class TestEngineWithAdcNonideality:
+    def test_noisy_adc_degrades_exact_engine(self, rng):
+        """With exact analog tiles, converter noise becomes the only error
+        source — the engine output must drift from ideal FxP by an amount
+        that grows with the noise level."""
+        xcfg = CrossbarConfig(rows=8, cols=8)
+        x = np.abs(rng.normal(size=(4, 8))) * 0.4
+        w = rng.normal(size=(8, 6)) * 0.4
+        base = FuncSimConfig().with_precision(8)
+        ideal = IdealMvmEngine(base)
+        ref = ideal.matmul(x, ideal.prepare(w))
+
+        errors = []
+        for noise in (0.0, 0.5, 2.0):
+            sim = base.replace(adc_noise_lsb=noise)
+            engine = make_engine("exact", xcfg, sim)
+            out = engine.matmul(x, engine.prepare(w))
+            errors.append(float(np.abs(out - ref).mean()))
+        assert errors[0] == pytest.approx(0.0, abs=1e-9)
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_offset_cancels_differentially(self, rng):
+        """A static ADC offset hits the positive and negative weight
+        crossbars identically, so differential decoding removes it."""
+        xcfg = CrossbarConfig(rows=8, cols=8)
+        x = np.abs(rng.normal(size=(3, 8))) * 0.4
+        w = rng.normal(size=(8, 5)) * 0.4  # mixed signs: differential
+        base = FuncSimConfig().with_precision(8)
+        clean_engine = make_engine("exact", xcfg, base)
+        offset_engine = make_engine(
+            "exact", xcfg, base.replace(adc_offset_lsb=3.0))
+        out_clean = clean_engine.matmul(x, clean_engine.prepare(w))
+        out_offset = offset_engine.matmul(x, offset_engine.prepare(w))
+        np.testing.assert_allclose(out_offset, out_clean, atol=1e-9)

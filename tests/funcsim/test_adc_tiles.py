@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, ShapeError
+from repro.funcsim.adc import AdcModel
+from repro.funcsim.tiles import n_tiles, pad_axis, tile_matrix, untile_matrix
+
+
+class TestAdc:
+    def test_aligned_grid_is_lossless_on_counts(self):
+        adc = AdcModel.aligned(10, 1e-8)
+        counts = np.arange(0, 1000) * 1e-8
+        np.testing.assert_allclose(adc.measure(counts), counts, atol=1e-20)
+
+    def test_clipping_at_full_scale(self):
+        adc = AdcModel(4, 1e-8)
+        assert adc.codes(np.array([1.0]))[0] == 15
+
+    def test_negative_currents_clip_to_zero(self):
+        adc = AdcModel(8, 1e-8)
+        assert adc.codes(np.array([-1e-7]))[0] == 0
+
+    def test_quantisation_error_bounded(self):
+        adc = AdcModel(8, 1e-9)
+        currents = np.linspace(0, adc.full_scale_a, 777)
+        err = np.abs(adc.measure(currents) - currents)
+        assert err.max() <= adc.lsb_a / 2 + 1e-20
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdcModel(0, 1e-9)
+        with pytest.raises(ConfigError):
+            AdcModel(8, -1.0)
+
+    def test_headroom_scales_lsb(self):
+        base = AdcModel.aligned(8, 1e-9)
+        wide = AdcModel.aligned(8, 1e-9, headroom=2.0)
+        assert wide.full_scale_a == pytest.approx(2 * base.full_scale_a)
+
+
+class TestTiles:
+    def test_n_tiles(self):
+        assert n_tiles(64, 32) == 2
+        assert n_tiles(65, 32) == 3
+        with pytest.raises(ShapeError):
+            n_tiles(0, 4)
+
+    def test_pad_axis(self):
+        out = pad_axis(np.ones((3, 5)), 0, 4)
+        assert out.shape == (4, 5)
+        assert out[3].sum() == 0
+
+    def test_pad_noop_when_aligned(self):
+        a = np.ones((4, 4))
+        assert pad_axis(a, 0, 4) is a
+
+    @given(st.integers(1, 20), st.integers(1, 20),
+           st.integers(1, 8), st.integers(1, 8))
+    def test_tile_untile_roundtrip(self, k, m, tr, tc):
+        rng = np.random.default_rng(k * 100 + m)
+        matrix = rng.integers(0, 10, size=(k, m))
+        tiles = tile_matrix(matrix, tr, tc)
+        back = untile_matrix(tiles, k, m)
+        np.testing.assert_array_equal(back, matrix)
+
+    def test_tile_contents(self):
+        matrix = np.arange(12).reshape(3, 4)
+        tiles = tile_matrix(matrix, 2, 2)
+        assert tiles.shape == (2, 2, 2, 2)
+        np.testing.assert_array_equal(tiles[0, 0], [[0, 1], [4, 5]])
+        np.testing.assert_array_equal(tiles[1, 1], [[10, 11], [0, 0]])
+
+    def test_rejects_non_matrix(self):
+        with pytest.raises(ShapeError):
+            tile_matrix(np.zeros(4), 2, 2)

@@ -1,0 +1,140 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.cost import CostReport, conv2d_cost, matmul_cost, \
+    network_cost
+from repro.xbar.config import CrossbarConfig
+
+XBAR = CrossbarConfig(rows=16, cols=16)
+SIM = FuncSimConfig()  # 16-bit, 4-bit streams/slices
+
+
+class TestMatmulCost:
+    def test_single_tile_counts(self):
+        cost = matmul_cost(16, 16, XBAR, SIM)
+        # 1 tile position x 2 signs x 4 slices = 8 tiles.
+        assert cost.tiles == 8
+        # x 4 streams = 32 readouts, 16 ADC conversions each.
+        assert cost.readouts == 32
+        assert cost.adc_conversions == 32 * 16
+        assert cost.dac_activations == 4 * 16  # 1 tile row x 4 streams
+        assert cost.mvms == 1
+
+    def test_tiling_scales_counts(self):
+        small = matmul_cost(16, 16, XBAR, SIM)
+        big = matmul_cost(64, 32, XBAR, SIM)  # 4 x 2 tile grid
+        assert big.readouts == 8 * small.readouts
+
+    def test_signed_inputs_double_passes(self):
+        unsigned = matmul_cost(16, 16, XBAR, SIM)
+        signed = matmul_cost(16, 16, XBAR, SIM, signed_inputs=True)
+        assert signed.readouts == 2 * unsigned.readouts
+        assert signed.tiles == unsigned.tiles
+
+    def test_narrow_slices_cost_more_readouts(self):
+        wide = matmul_cost(16, 16, XBAR, SIM)
+        narrow = matmul_cost(16, 16, XBAR,
+                             SIM.replace(slice_bits=1, stream_bits=1))
+        # 15 slices x 15 streams vs 4 x 4.
+        assert narrow.readouts == wide.readouts * (15 * 15) // (4 * 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            matmul_cost(0, 4, XBAR, SIM)
+
+    @given(st.integers(1, 100), st.integers(1, 100))
+    def test_counts_positive_and_consistent(self, n_in, n_out):
+        cost = matmul_cost(n_in, n_out, XBAR, SIM)
+        assert cost.adc_conversions == cost.readouts * XBAR.cols
+        assert cost.readouts > 0
+
+
+class TestConvAndNetworkCost:
+    def test_conv_equals_positions_times_matmul(self):
+        per_mvm = matmul_cost(9, 8, XBAR, SIM)
+        conv = conv2d_cost((8, 8), 1, 8, (3, 3), XBAR, SIM,
+                           stride=(1, 1), padding=(1, 1))
+        assert conv.readouts == 64 * per_mvm.readouts
+        assert conv.mvms == 64
+
+    def test_network_aggregation(self):
+        layers = [
+            ("conv", (8, 8), 1, 8, (3, 3), (1, 1), (1, 1)),
+            ("linear", 128, 10),
+        ]
+        total = network_cost(layers, XBAR, SIM)
+        conv = conv2d_cost((8, 8), 1, 8, (3, 3), XBAR, SIM,
+                           stride=(1, 1), padding=(1, 1))
+        fc = matmul_cost(128, 10, XBAR, SIM)
+        assert total.readouts == conv.readouts + fc.readouts
+        assert total.mvms == conv.mvms + fc.mvms
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            network_cost([("pool", 2)], XBAR, SIM)
+
+    def test_report_arithmetic(self):
+        a = CostReport(1, 2, 3, 4, 5)
+        b = a + a
+        assert b.readouts == 2 and b.mvms == 10
+        c = a.scaled(3)
+        assert c.adc_conversions == 6 and c.tiles == 4
+        with pytest.raises(ConfigError):
+            a.scaled(-1)
+
+    def test_model_cost_lenet(self):
+        from repro.funcsim.cost import model_cost
+        from repro.models import LeNet
+        model = LeNet(in_channels=1, num_classes=4, image_size=8, width=4)
+        total = model_cost(model, (8, 8), XBAR, SIM)
+        # conv1 at 8x8 (64 px), conv2 at 4x4 (16 px) after pool, one fc.
+        conv1 = conv2d_cost((8, 8), 1, 4, (3, 3), XBAR, SIM,
+                            stride=(1, 1), padding=(1, 1))
+        conv2 = conv2d_cost((4, 4), 4, 8, (3, 3), XBAR, SIM,
+                            stride=(1, 1), padding=(1, 1))
+        fc = matmul_cost(8 * 2 * 2, 4, XBAR, SIM)
+        expected = conv1 + conv2 + fc
+        assert total.readouts == expected.readouts
+        assert total.mvms == expected.mvms
+
+    def test_model_cost_resnet_counts_projection_at_block_input(self):
+        from repro.funcsim.cost import model_cost
+        from repro.models import resnet8
+        model = resnet8(4, in_channels=1, width=4)
+        total = model_cost(model, (8, 8), XBAR, SIM)
+        assert total.readouts > 0 and total.mvms > 0
+
+    def test_model_cost_bounds_dynamic_stats(self, rng):
+        """Static per-vector cost upper-bounds the engine's dynamic count:
+        the engine batches all conv positions into one tile evaluation, so
+        its readout counter is far below the per-MVM hardware count."""
+        from repro.funcsim.cost import model_cost
+        from repro.funcsim.engine import make_engine
+        from repro.funcsim import convert_to_mvm
+        from repro.models import LeNet
+        from repro.nn.tensor import Tensor, no_grad
+
+        model = LeNet(in_channels=1, num_classes=3, image_size=8, width=4,
+                      seed=0).eval()
+        engine = make_engine("exact", XBAR, SIM)
+        converted = convert_to_mvm(model, engine)
+        x = Tensor(np.abs(np.random.default_rng(0).normal(
+            size=(1, 1, 8, 8))).astype("float32") * 0.4)
+        engine.stats.reset()
+        with no_grad():
+            converted(x)
+        static = model_cost(model, (8, 8), XBAR, SIM)
+        dynamic = engine.stats.readouts + engine.stats.skipped_zero_streams
+        assert 0 < dynamic <= static.readouts
+
+    def test_bigger_crossbars_fewer_conversions(self):
+        """The design trade-off the paper's conclusion highlights: larger
+        crossbars amortise ADCs (fewer conversions) but suffer more
+        non-ideality — cost and fidelity pull in opposite directions."""
+        small = matmul_cost(64, 64, CrossbarConfig(rows=16, cols=16), SIM)
+        large = matmul_cost(64, 64, CrossbarConfig(rows=64, cols=64), SIM)
+        assert large.adc_conversions < small.adc_conversions

@@ -1,0 +1,108 @@
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.funcsim import (
+    Conv2dMVM,
+    FuncSimConfig,
+    LinearMVM,
+    convert_to_mvm,
+    make_engine,
+)
+from repro.models import LeNet
+from repro.nn.tensor import Tensor, no_grad
+from repro.xbar.config import CrossbarConfig
+
+XCFG = CrossbarConfig(rows=8, cols=8)
+SCFG = FuncSimConfig()
+
+
+@pytest.fixture
+def exact_engine():
+    return make_engine("exact", XCFG, SCFG)
+
+
+class TestLinearMVM:
+    def test_matches_dense_layer(self, exact_engine, rng):
+        layer = nn.Linear(12, 7, seed=0)
+        mvm = LinearMVM.from_linear(layer, exact_engine)
+        x = Tensor(rng.normal(size=(5, 12)).astype(np.float32) * 0.5)
+        with no_grad():
+            ref = layer(x).data
+        out = mvm(x).data
+        np.testing.assert_allclose(out, ref, atol=2e-3)
+
+    def test_output_is_inference_tensor(self, exact_engine):
+        layer = nn.Linear(4, 3, seed=0)
+        mvm = LinearMVM.from_linear(layer, exact_engine)
+        out = mvm(Tensor(np.zeros((2, 4), dtype=np.float32)))
+        assert not out.requires_grad
+
+    def test_no_bias(self, exact_engine):
+        layer = nn.Linear(4, 3, bias=False, seed=0)
+        mvm = LinearMVM.from_linear(layer, exact_engine)
+        assert mvm.bias is None
+
+
+class TestConv2dMVM:
+    def test_matches_dense_conv(self, exact_engine, rng):
+        conv = nn.Conv2d(2, 5, 3, stride=1, padding=1, seed=0)
+        mvm = Conv2dMVM.from_conv(conv, exact_engine)
+        x = Tensor(rng.normal(size=(2, 2, 6, 6)).astype(np.float32) * 0.5)
+        with no_grad():
+            ref = conv(x).data
+        np.testing.assert_allclose(mvm(x).data, ref, atol=5e-3)
+
+    def test_stride_and_padding_respected(self, exact_engine, rng):
+        conv = nn.Conv2d(1, 2, 3, stride=2, padding=1, seed=1)
+        mvm = Conv2dMVM.from_conv(conv, exact_engine)
+        x = Tensor(rng.normal(size=(1, 1, 7, 7)).astype(np.float32))
+        with no_grad():
+            assert mvm(x).shape == conv(x).shape
+
+    def test_chunking_consistent(self, rng):
+        conv = nn.Conv2d(1, 2, 3, padding=1, seed=1)
+        engine = make_engine("exact", XCFG, SCFG)
+        small_chunks = Conv2dMVM.from_conv(conv, engine, chunk_rows=7)
+        big_chunks = Conv2dMVM.from_conv(conv, engine, chunk_rows=10_000)
+        x = Tensor(rng.normal(size=(2, 1, 5, 5)).astype(np.float32))
+        np.testing.assert_allclose(small_chunks(x).data,
+                                   big_chunks(x).data, rtol=1e-6)
+
+
+class TestConvert:
+    def test_structure_replaced(self, exact_engine):
+        model = LeNet(in_channels=1, num_classes=4, image_size=8, width=4,
+                      seed=0)
+        converted = convert_to_mvm(model, exact_engine)
+        kinds = [type(m).__name__ for m in converted.modules()]
+        assert "Conv2dMVM" in kinds and "LinearMVM" in kinds
+        assert "Conv2d" not in kinds and "Linear" not in kinds
+
+    def test_original_untouched(self, exact_engine):
+        model = LeNet(in_channels=1, num_classes=4, image_size=8, width=4)
+        convert_to_mvm(model, exact_engine)
+        kinds = [type(m).__name__ for m in model.modules()]
+        assert "Conv2d" in kinds
+
+    def test_exact_engine_preserves_predictions(self, exact_engine, rng):
+        model = LeNet(in_channels=1, num_classes=4, image_size=8, width=4,
+                      seed=0).eval()
+        converted = convert_to_mvm(model, exact_engine)
+        x = Tensor(rng.normal(size=(6, 1, 8, 8)).astype(np.float32) * 0.5)
+        with no_grad():
+            ref = model(x).data
+            out = converted(x).data
+        np.testing.assert_array_equal(ref.argmax(axis=1),
+                                      out.argmax(axis=1))
+
+    def test_nonideal_engine_changes_logits(self, rng):
+        model = LeNet(in_channels=1, num_classes=4, image_size=8, width=4,
+                      seed=0).eval()
+        engine = make_engine("analytical", XCFG, SCFG)
+        converted = convert_to_mvm(model, engine)
+        x = Tensor(rng.normal(size=(2, 1, 8, 8)).astype(np.float32) * 0.5)
+        with no_grad():
+            ref = model(x).data
+            out = converted(x).data
+        assert not np.allclose(ref, out, atol=1e-3)

@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.funcsim.quant import FixedPointFormat
+
+
+class TestFormat:
+    def test_paper_default_format(self):
+        fmt = FixedPointFormat(16, 13)
+        assert fmt.resolution == pytest.approx(2 ** -13)
+        assert fmt.max_int == 2 ** 15 - 1
+        assert fmt.magnitude_bits == 15
+
+    @pytest.mark.parametrize("bits,frac", [(1, 0), (8, 8), (8, -1)])
+    def test_validation(self, bits, frac):
+        with pytest.raises(ConfigError):
+            FixedPointFormat(bits, frac)
+
+    def test_str(self):
+        assert str(FixedPointFormat(16, 13)) == "Q16.13"
+
+
+class TestQuantize:
+    def test_grid_roundtrip(self):
+        fmt = FixedPointFormat(8, 5)
+        grid_value = 17 * fmt.resolution
+        assert fmt.quantize(grid_value) == pytest.approx(grid_value)
+
+    def test_rounding_error_bounded_by_half_lsb(self):
+        fmt = FixedPointFormat(12, 8)
+        x = np.linspace(-3, 3, 1001)
+        err = np.abs(fmt.quantize(x) - x)
+        assert err.max() <= fmt.resolution / 2 + 1e-12
+
+    def test_symmetric_saturation(self):
+        fmt = FixedPointFormat(8, 0)
+        assert fmt.quantize_to_int(1e9) == 127
+        assert fmt.quantize_to_int(-1e9) == -127
+
+    def test_negation_exact(self):
+        """Symmetric saturation keeps q(-x) == -q(x): sign-split exactness."""
+        fmt = FixedPointFormat(8, 4)
+        x = np.linspace(-20, 20, 401)
+        np.testing.assert_array_equal(fmt.quantize_to_int(-x),
+                                      -fmt.quantize_to_int(x))
+
+    @given(st.floats(-100, 100))
+    def test_quantize_idempotent(self, x):
+        fmt = FixedPointFormat(10, 4)
+        once = fmt.quantize(x)
+        assert fmt.quantize(once) == once
+
+    @given(st.integers(4, 16))
+    def test_more_bits_less_error(self, bits):
+        x = np.linspace(-0.9, 0.9, 101)
+        coarse = FixedPointFormat(bits, bits - 2)
+        fine = FixedPointFormat(bits + 2, bits)
+        err_c = np.abs(coarse.quantize(x) - x).mean()
+        err_f = np.abs(fine.quantize(x) - x).mean()
+        assert err_f <= err_c + 1e-12

@@ -1,0 +1,82 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.funcsim.slicing import (
+    merge_unsigned,
+    n_units,
+    sign_split,
+    split_unsigned,
+    unit_weight,
+)
+
+
+class TestNUnits:
+    def test_exact_division(self):
+        assert n_units(16, 4) == 4
+
+    def test_ceiling(self):
+        assert n_units(15, 4) == 4
+        assert n_units(15, 2) == 8
+        assert n_units(15, 1) == 15
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            n_units(0, 4)
+
+
+class TestSignSplit:
+    def test_decomposition(self):
+        q = np.array([-3, 0, 5])
+        pos, neg = sign_split(q)
+        np.testing.assert_array_equal(pos, [0, 0, 5])
+        np.testing.assert_array_equal(neg, [3, 0, 0])
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=20))
+    def test_reconstruction(self, values):
+        q = np.array(values)
+        pos, neg = sign_split(q)
+        np.testing.assert_array_equal(pos - neg, q)
+        assert np.all(pos >= 0) and np.all(neg >= 0)
+        assert np.all((pos == 0) | (neg == 0))
+
+
+class TestSplitMerge:
+    def test_known_example(self):
+        units = split_unsigned(np.array([0b1011_0110]), 8, 4)
+        np.testing.assert_array_equal(units[:, 0], [0b0110, 0b1011])
+
+    def test_unit_range(self):
+        units = split_unsigned(np.arange(256), 8, 4)
+        assert units.min() >= 0 and units.max() <= 15
+
+    @given(st.lists(st.integers(0, 2 ** 15 - 1), min_size=1, max_size=16),
+           st.sampled_from([1, 2, 4, 8]))
+    def test_roundtrip(self, values, unit_bits):
+        q = np.array(values)
+        units = split_unsigned(q, 15, unit_bits)
+        np.testing.assert_array_equal(merge_unsigned(units, unit_bits), q)
+
+    @given(st.lists(st.integers(0, 2 ** 12 - 1), min_size=1, max_size=8))
+    def test_shift_add_identity(self, values):
+        """sum_k unit_k * 2^(k*b) reconstructs the integer (the digital
+        shift-and-add the functional simulator performs)."""
+        q = np.array(values)
+        units = split_unsigned(q, 12, 3)
+        acc = sum(units[k] * unit_weight(k, 3)
+                  for k in range(units.shape[0]))
+        np.testing.assert_array_equal(acc.astype(int), q)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            split_unsigned(np.array([-1]), 8, 4)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ConfigError):
+            split_unsigned(np.array([256]), 8, 4)
+
+    def test_matrix_shape(self):
+        units = split_unsigned(np.zeros((3, 5), dtype=int), 12, 4)
+        assert units.shape == (3, 3, 5)

@@ -1,0 +1,159 @@
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.datasets import make_blobs_split
+from repro.errors import ConfigError
+from repro.mitigation import (
+    CalibratedModel,
+    NoiseSpec,
+    fit_output_calibration,
+    train_with_noise,
+)
+from repro.models import MLP
+from repro.nn.losses import accuracy
+from repro.nn.tensor import Tensor, no_grad
+
+
+def _noisy_eval_accuracy(model, x, y, sigma, seed=0):
+    """Accuracy with multiplicative weight noise applied at eval time."""
+    rng = np.random.default_rng(seed)
+    originals = []
+    for param in model.parameters():
+        if param.ndim < 2:
+            continue
+        originals.append((param, param.data.copy()))
+        param.data *= (1.0 + sigma * rng.standard_normal(
+            param.data.shape).astype(param.data.dtype))
+    with no_grad():
+        acc = accuracy(model(Tensor(x)), y)
+    for param, original in originals:
+        param.data[...] = original
+    return acc
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return make_blobs_split(600, 200, num_features=12, num_classes=4,
+                            spread=0.8, seed=0)
+
+
+class TestNoiseSpec:
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            NoiseSpec(weight_sigma=-0.1)
+
+
+class TestNoiseTraining:
+    def test_loss_decreases(self, blobs):
+        x_train, y_train, _, _ = blobs
+        model = MLP((12, 24, 4), seed=0)
+        history = train_with_noise(model, x_train, y_train,
+                                   NoiseSpec(weight_sigma=0.05), epochs=8,
+                                   seed=0)
+        assert history[-1] < history[0]
+
+    def test_weights_left_clean(self, blobs):
+        """After training, a second clean eval gives identical outputs —
+        no residual perturbation remains on the parameters."""
+        x_train, y_train, x_test, _ = blobs
+        model = MLP((12, 16, 4), seed=0)
+        train_with_noise(model, x_train, y_train, NoiseSpec(0.1), epochs=2,
+                         seed=0)
+        with no_grad():
+            a = model(Tensor(x_test)).data.copy()
+            b = model(Tensor(x_test)).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_improves_noise_robustness(self, blobs):
+        """The headline property: noise-trained networks lose less accuracy
+        under eval-time weight perturbation than clean-trained ones."""
+        x_train, y_train, x_test, y_test = blobs
+        sigma = 0.25
+
+        clean = MLP((12, 24, 4), seed=1)
+        train_with_noise(clean, x_train, y_train, NoiseSpec(0.0),
+                         epochs=15, seed=0)
+        robust = MLP((12, 24, 4), seed=1)
+        train_with_noise(robust, x_train, y_train, NoiseSpec(sigma),
+                         epochs=15, seed=0)
+
+        drops = {"clean": [], "robust": []}
+        for trial in range(5):
+            for name, model in (("clean", clean), ("robust", robust)):
+                base = accuracy(model(Tensor(x_test)).data, y_test)
+                noisy = _noisy_eval_accuracy(model, x_test, y_test, sigma,
+                                             seed=trial)
+                drops[name].append(base - noisy)
+        assert np.mean(drops["robust"]) <= np.mean(drops["clean"]) + 0.01
+
+    def test_activation_noise_path(self, blobs):
+        x_train, y_train, _, _ = blobs
+        model = MLP((12, 16, 4), seed=0)
+        history = train_with_noise(
+            model, x_train, y_train,
+            NoiseSpec(weight_sigma=0.02, activation_sigma=0.05), epochs=3,
+            seed=0)
+        assert np.isfinite(history).all()
+
+
+class TestCalibration:
+    def test_recovers_affine_distortion_exactly(self, blobs):
+        """If the 'non-ideal' model is an affine distortion of the clean
+        one, calibration must undo it (ridge -> tiny residual)."""
+        _, _, x_test, _ = blobs
+        clean = MLP((12, 16, 4), seed=2).eval()
+
+        class Distorted(nn.Module):
+            def __init__(self, base):
+                super().__init__()
+                self.base = base
+
+            def forward(self, x):
+                out = self.base(x)
+                return Tensor(out.data * 0.7 - 0.3)
+
+        distorted = Distorted(clean)
+        calibrated = fit_output_calibration(distorted, clean, x_test[:100])
+        with no_grad():
+            ref = clean(Tensor(x_test[100:])).data
+            fixed = calibrated(Tensor(x_test[100:])).data
+        np.testing.assert_allclose(fixed, ref, atol=0.05)
+
+    def test_calibrated_model_type(self, blobs):
+        _, _, x_test, _ = blobs
+        clean = MLP((12, 16, 4), seed=2).eval()
+        calibrated = fit_output_calibration(clean, clean, x_test[:50])
+        assert isinstance(calibrated, CalibratedModel)
+        # Identity case: scale ~ 1, offset ~ 0.
+        np.testing.assert_allclose(calibrated.scale, 1.0, atol=1e-3)
+        np.testing.assert_allclose(calibrated.offset, 0.0, atol=1e-3)
+
+    def test_requires_samples(self, blobs):
+        clean = MLP((12, 16, 4), seed=2).eval()
+        with pytest.raises(ConfigError):
+            fit_output_calibration(clean, clean, blobs[2][:1])
+
+    def test_improves_accuracy_under_attenuation(self, blobs):
+        x_train, y_train, x_test, y_test = blobs
+        model = MLP((12, 24, 4), seed=3)
+        train_with_noise(model, x_train, y_train, NoiseSpec(0.0),
+                         epochs=15, seed=0)
+
+        class Attenuated(nn.Module):
+            """Class-asymmetric attenuation, like column-dependent NF."""
+
+            def __init__(self, base):
+                super().__init__()
+                self.base = base
+                self.factors = np.array([0.5, 0.9, 0.7, 1.1],
+                                        dtype=np.float32)
+
+            def forward(self, x):
+                return Tensor(self.base(x).data * self.factors - 0.4)
+
+        distorted = Attenuated(model)
+        acc_distorted = accuracy(distorted(Tensor(x_test)).data, y_test)
+        calibrated = fit_output_calibration(distorted, model, x_test[:80])
+        acc_calibrated = accuracy(calibrated(Tensor(x_test)).data, y_test)
+        assert acc_calibrated >= acc_distorted

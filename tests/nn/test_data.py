@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.data import DataLoader, TensorDataset
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.errors import SerializationError
+
+
+class TestTensorDataset:
+    def test_pairs(self):
+        ds = TensorDataset(np.arange(10), np.arange(10) * 2)
+        x, y = ds[3]
+        assert (x, y) == (3, 6)
+        assert len(ds) == 10
+
+    def test_single_array(self):
+        ds = TensorDataset(np.arange(4))
+        assert ds[2] == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ShapeError):
+            TensorDataset(np.arange(3), np.arange(4))
+
+    def test_empty_args(self):
+        with pytest.raises(ConfigError):
+            TensorDataset()
+
+
+class TestDataLoader:
+    def test_batches_cover_dataset(self):
+        ds = TensorDataset(np.arange(10), np.arange(10))
+        loader = DataLoader(ds, batch_size=3)
+        xs = np.concatenate([bx for bx, _ in loader])
+        np.testing.assert_array_equal(np.sort(xs), np.arange(10))
+        assert len(loader) == 4
+
+    def test_drop_last(self):
+        loader = DataLoader(TensorDataset(np.arange(10)), batch_size=3,
+                            drop_last=True)
+        batches = list(loader)
+        assert len(batches) == 3 == len(loader)
+        assert all(len(b) == 3 for b in batches)
+
+    def test_shuffle_deterministic_per_seed(self):
+        ds = TensorDataset(np.arange(20))
+        a = [b.tolist() for b in DataLoader(ds, 5, shuffle=True, seed=1)]
+        b = [b.tolist() for b in DataLoader(ds, 5, shuffle=True, seed=1)]
+        assert a == b
+
+    def test_shuffle_changes_across_epochs(self):
+        loader = DataLoader(TensorDataset(np.arange(50)), 50, shuffle=True,
+                            seed=0)
+        first = next(iter(loader)).tolist()
+        second = next(iter(loader)).tolist()
+        assert first != second
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ConfigError):
+            DataLoader(TensorDataset(np.arange(4)), batch_size=0)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        state = {"a.weight": np.random.default_rng(0).normal(size=(3, 3)),
+                 "b": np.arange(4)}
+        path = str(tmp_path / "model.npz")
+        save_state_dict(state, path)
+        loaded = load_state_dict(path)
+        assert set(loaded) == set(state)
+        np.testing.assert_array_equal(loaded["a.weight"], state["a.weight"])
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_state_dict(str(tmp_path / "nope.npz"))
+
+    def test_extension_added(self, tmp_path):
+        path = str(tmp_path / "model")
+        save_state_dict({"x": np.zeros(2)}, path)
+        loaded = load_state_dict(path)  # finds model.npz
+        assert "x" in loaded

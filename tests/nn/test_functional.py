@@ -1,0 +1,177 @@
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.gradcheck import check_gradients
+from repro.nn.imops import col2im, conv2d_output_shape, im2col
+from repro.nn.tensor import Tensor
+from repro.errors import ShapeError
+
+
+def t(shape, seed=0, scale=1.0, offset=0.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape) * scale + offset,
+                  requires_grad=True)
+
+
+class TestImops:
+    def test_output_shape_formula(self):
+        assert conv2d_output_shape(8, 8, (3, 3), (1, 1), (1, 1)) == (8, 8)
+        assert conv2d_output_shape(7, 9, (3, 3), (2, 2), (0, 0)) == (3, 4)
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ShapeError):
+            conv2d_output_shape(2, 2, (5, 5), (1, 1), (0, 0))
+
+    def test_im2col_reference(self):
+        """1x1x3x3 input with 2x2 kernel: check patches explicitly."""
+        x = np.arange(9, dtype=float).reshape(1, 1, 3, 3)
+        cols = im2col(x, (2, 2), (1, 1), (0, 0))
+        np.testing.assert_array_equal(cols[0], [0, 1, 3, 4])
+        np.testing.assert_array_equal(cols[3], [4, 5, 7, 8])
+
+    def test_col2im_is_adjoint_of_im2col(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — exact adjointness."""
+        x = rng.normal(size=(2, 3, 6, 5))
+        kernel, stride, padding = (3, 2), (2, 1), (1, 1)
+        cols = im2col(x, kernel, stride, padding)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * col2im(y, x.shape, kernel, stride, padding)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2d:
+    def test_matches_naive_convolution(self, rng):
+        x = rng.normal(size=(2, 3, 5, 5))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b), stride=1,
+                       padding=1).data
+        # Naive loop reference.
+        xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        ref = np.zeros((2, 4, 5, 5))
+        for n in range(2):
+            for co in range(4):
+                for i in range(5):
+                    for j in range(5):
+                        patch = xp[n, :, i:i + 3, j:j + 3]
+                        ref[n, co, i, j] = (patch * w[co]).sum() + b[co]
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-6)
+
+    def test_gradients(self):
+        x = t((2, 2, 5, 5), seed=0)
+        w = t((3, 2, 3, 3), seed=1, scale=0.5)
+        b = t(3, seed=2)
+        check_gradients(
+            lambda a, ww, bb: F.conv2d(a, ww, bb, stride=2, padding=1),
+            [x, w, b])
+
+    def test_no_bias(self):
+        x = t((1, 1, 4, 4))
+        w = t((2, 1, 3, 3))
+        out = F.conv2d(x, w, None)
+        assert out.shape == (1, 2, 2, 2)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            F.conv2d(t((1, 3, 4, 4)), t((2, 2, 3, 3)), None)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]))
+        assert F.max_pool2d(x, 2).data[0, 0, 0, 0] == 4.0
+
+    def test_max_pool_gradient_routes_to_argmax(self):
+        x = Tensor(np.array([[[[1.0, 2.0], [3.0, 4.0]]]]),
+                   requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        np.testing.assert_allclose(x.grad.reshape(-1), [0, 0, 0, 1])
+
+    def test_pool_gradients(self):
+        x = t((2, 3, 6, 6))
+        check_gradients(lambda a: F.max_pool2d(a, 2), [x])
+        check_gradients(lambda a: F.avg_pool2d(a, 3), [x])
+        check_gradients(lambda a: F.avg_pool2d(a, 2, stride=1), [x])
+
+    def test_global_avg_pool(self):
+        x = t((2, 3, 4, 4))
+        out = F.global_avg_pool2d(x)
+        assert out.shape == (2, 3)
+        np.testing.assert_allclose(out.data, x.data.mean(axis=(2, 3)))
+
+
+class TestBatchNorm:
+    def test_normalises_training_batch(self, rng):
+        x = Tensor(rng.normal(3.0, 2.0, size=(64, 4)))
+        gamma = Tensor(np.ones(4), requires_grad=True)
+        beta = Tensor(np.zeros(4), requires_grad=True)
+        out = F.batch_norm(x, gamma, beta, np.zeros(4), np.ones(4),
+                           training=True).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_updated(self, rng):
+        x = Tensor(rng.normal(5.0, 1.0, size=(256, 3)))
+        rm, rv = np.zeros(3), np.ones(3)
+        F.batch_norm(x, Tensor(np.ones(3)), Tensor(np.zeros(3)), rm, rv,
+                     training=True, momentum=1.0)
+        np.testing.assert_allclose(rm, 5.0, atol=0.2)
+
+    def test_eval_uses_running_stats(self, rng):
+        x = Tensor(rng.normal(size=(8, 3)))
+        rm = np.array([1.0, 2.0, 3.0])
+        rv = np.array([4.0, 4.0, 4.0])
+        out = F.batch_norm(x, Tensor(np.ones(3)), Tensor(np.zeros(3)),
+                           rm, rv, training=False, eps=0.0).data
+        np.testing.assert_allclose(out, (x.data - rm) / 2.0, rtol=1e-5)
+
+    def test_gradients_2d_and_4d(self):
+        for shape in [(6, 3), (4, 3, 3, 3)]:
+            x = t(shape, seed=1)
+            gamma = Tensor(np.ones(3) * 1.5, requires_grad=True)
+            beta = Tensor(np.full(3, 0.3), requires_grad=True)
+            check_gradients(
+                lambda a, g, b: F.batch_norm(
+                    a, g, b, np.zeros(3), np.ones(3), training=True),
+                [x, gamma, beta])
+
+
+class TestSoftmaxAndDropout:
+    def test_log_softmax_normalisation(self, rng):
+        x = Tensor(rng.normal(size=(5, 7)) * 30)  # large logits: stability
+        out = F.log_softmax(x, axis=1).data
+        np.testing.assert_allclose(np.exp(out).sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_log_softmax_gradients(self):
+        check_gradients(lambda a: F.log_softmax(a, axis=1), [t((4, 5))])
+
+    def test_softmax_matches_exp_log_softmax(self):
+        x = t((3, 4))
+        np.testing.assert_allclose(F.softmax(x).data,
+                                   np.exp(F.log_softmax(x).data))
+
+    def test_dropout_eval_is_identity(self):
+        x = t((10, 10))
+        out = F.dropout(x, 0.5, training=False)
+        assert out is x
+
+    def test_dropout_preserves_expectation(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_dropout_rejects_bad_p(self):
+        with pytest.raises(ShapeError):
+            F.dropout(t((2, 2)), 1.0, training=True)
+
+    def test_leaky_relu_gradient(self):
+        check_gradients(lambda a: F.leaky_relu(a, 0.1), [t((4, 4))])
+
+    def test_pad2d(self):
+        x = t((1, 1, 2, 2))
+        out = F.pad2d(x, 1)
+        assert out.shape == (1, 1, 4, 4)
+        check_gradients(lambda a: F.pad2d(a, (1, 2)), [x])

@@ -1,0 +1,54 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import init
+
+
+class TestFans:
+    def test_linear_fan(self):
+        fan_in, fan_out = init._fan_in_out((8, 4))
+        assert (fan_in, fan_out) == (4, 8)
+
+    def test_conv_fan_includes_receptive_field(self):
+        fan_in, fan_out = init._fan_in_out((16, 3, 3, 3))
+        assert fan_in == 3 * 9 and fan_out == 16 * 9
+
+    def test_rejects_vectors(self):
+        with pytest.raises(ConfigError):
+            init._fan_in_out((5,))
+
+
+class TestInitializers:
+    @pytest.mark.parametrize("fn", [init.kaiming_uniform,
+                                    init.kaiming_normal,
+                                    init.xavier_uniform,
+                                    init.xavier_normal])
+    def test_shape_and_determinism(self, fn):
+        a = fn((6, 4), rng=0)
+        b = fn((6, 4), rng=0)
+        assert a.shape == (6, 4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_kaiming_uniform_bound(self):
+        w = init.kaiming_uniform((100, 50), rng=0)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 50)
+        assert np.abs(w).max() <= bound
+
+    def test_kaiming_normal_std(self):
+        w = init.kaiming_normal((2000, 100), rng=0)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 100), rel=0.05)
+
+    def test_xavier_uniform_bound(self):
+        w = init.xavier_uniform((30, 70), rng=0)
+        bound = np.sqrt(6.0 / 100)
+        assert np.abs(w).max() <= bound
+
+    def test_uniform_bias_bound(self):
+        b = init.uniform_bias(fan_in=25, size=1000, rng=0)
+        assert np.abs(b).max() <= 0.2
+
+    def test_gain_scales(self):
+        small = init.kaiming_uniform((50, 50), rng=0, gain=1.0)
+        large = init.kaiming_uniform((50, 50), rng=0, gain=2.0)
+        np.testing.assert_allclose(large, 2.0 * small)

@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.gradcheck import check_gradients
+from repro.nn.losses import accuracy, cross_entropy, mse_loss
+from repro.nn.tensor import Tensor
+
+
+def t(data):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True)
+
+
+class TestMseLoss:
+    def test_value(self):
+        loss = mse_loss(t([1.0, 3.0]), [0.0, 0.0])
+        assert loss.item() == pytest.approx(5.0)
+
+    def test_reductions(self):
+        pred, target = t([1.0, 3.0]), [0.0, 0.0]
+        assert mse_loss(pred, target, "sum").item() == pytest.approx(10.0)
+        assert mse_loss(pred, target, "none").shape == (2,)
+        with pytest.raises(ShapeError):
+            mse_loss(pred, target, "bogus")
+
+    def test_weighted_masking(self):
+        pred = t([1.0, 100.0])
+        loss = mse_loss(pred, [0.0, 0.0], weight=[1.0, 0.0])
+        assert loss.item() == pytest.approx(0.5)  # mean over 2 elements
+
+    def test_gradient(self):
+        check_gradients(lambda p: mse_loss(p, np.array([0.5, -0.5]),
+                                           weight=np.array([1.0, 2.0])),
+                        [t([1.0, 2.0])])
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_log_n(self):
+        logits = t(np.zeros((4, 10)))
+        targets = np.arange(4) % 10
+        assert cross_entropy(logits, targets).item() == pytest.approx(
+            np.log(10), rel=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -50.0)
+        logits[0, 1] = 50.0
+        logits[1, 2] = 50.0
+        loss = cross_entropy(t(logits), np.array([1, 2]))
+        assert loss.item() < 1e-6
+
+    def test_gradient(self):
+        check_gradients(
+            lambda p: cross_entropy(p, np.array([0, 2, 1])),
+            [t(np.random.default_rng(0).normal(size=(3, 4)))])
+
+    def test_gradient_is_softmax_minus_onehot(self):
+        logits = t(np.random.default_rng(0).normal(size=(2, 3)))
+        targets = np.array([0, 2])
+        cross_entropy(logits, targets).backward()
+        probs = np.exp(logits.data) / np.exp(logits.data).sum(
+            axis=1, keepdims=True)
+        onehot = np.eye(3)[targets]
+        np.testing.assert_allclose(logits.grad, (probs - onehot) / 2,
+                                   rtol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            cross_entropy(t(np.zeros((2, 3))), np.array([0, 5]))
+        with pytest.raises(ShapeError):
+            cross_entropy(t(np.zeros(3)), np.array([0]))
+
+    def test_large_logits_stable(self):
+        loss = cross_entropy(t(np.array([[1e4, -1e4]])), np.array([0]))
+        assert np.isfinite(loss.item())
+
+
+class TestAccuracy:
+    def test_basic(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accepts_tensor(self):
+        assert accuracy(Tensor(np.eye(3)), np.arange(3)) == 1.0

@@ -1,0 +1,141 @@
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.errors import ConfigError, SerializationError, ShapeError
+from repro.nn.tensor import Tensor
+
+
+def x(shape, seed=0):
+    return Tensor(np.random.default_rng(seed).normal(
+        size=shape).astype(np.float32))
+
+
+class TestModuleRegistry:
+    def test_parameters_discovered_recursively(self):
+        model = nn.Sequential(nn.Linear(4, 8, seed=0), nn.ReLU(),
+                              nn.Linear(8, 2, seed=1))
+        names = [n for n, _ in model.named_parameters()]
+        assert "layer0.weight" in names and "layer2.bias" in names
+        assert len(list(model.parameters())) == 4
+
+    def test_buffers_in_state_dict(self):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "weight" in state
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+    def test_zero_grad(self):
+        layer = nn.Linear(3, 3)
+        out = layer(x((2, 3)))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_load_state_dict_roundtrip(self):
+        a = nn.Sequential(nn.Linear(3, 4, seed=0), nn.BatchNorm1d(4))
+        b = nn.Sequential(nn.Linear(3, 4, seed=99), nn.BatchNorm1d(4))
+        b.load_state_dict(a.state_dict())
+        xx = x((5, 3))
+        a.eval(), b.eval()
+        np.testing.assert_allclose(a(xx).data, b(xx).data)
+
+    def test_load_state_dict_rejects_mismatch(self):
+        model = nn.Linear(3, 4)
+        with pytest.raises(SerializationError):
+            model.load_state_dict({"weight": np.zeros((4, 3))})  # no bias
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        model = nn.Linear(3, 4)
+        state = model.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ShapeError):
+            model.load_state_dict(state)
+
+    def test_num_parameters(self):
+        assert nn.Linear(3, 4).num_parameters() == 3 * 4 + 4
+
+
+class TestLinear:
+    def test_forward_shape_and_value(self):
+        layer = nn.Linear(3, 5, seed=0)
+        out = layer(x((7, 3)))
+        assert out.shape == (7, 5)
+        ref = x((7, 3)).data @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out.data, ref, rtol=1e-5)
+
+    def test_no_bias(self):
+        layer = nn.Linear(3, 5, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+    def test_seeded_init_reproducible(self):
+        a = nn.Linear(4, 4, seed=3)
+        b = nn.Linear(4, 4, seed=3)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigError):
+            nn.Linear(0, 3)
+
+
+class TestConvAndPool:
+    def test_conv_output_shape(self):
+        conv = nn.Conv2d(3, 8, 3, stride=2, padding=1, seed=0)
+        assert conv(x((2, 3, 9, 9))).shape == (2, 8, 5, 5)
+
+    def test_pool_layers(self):
+        assert nn.MaxPool2d(2)(x((1, 2, 6, 6))).shape == (1, 2, 3, 3)
+        assert nn.AvgPool2d(2)(x((1, 2, 6, 6))).shape == (1, 2, 3, 3)
+        assert nn.GlobalAvgPool2d()(x((1, 2, 6, 6))).shape == (1, 2)
+
+
+class TestBatchNormLayers:
+    def test_updates_running_stats_only_in_training(self):
+        bn = nn.BatchNorm1d(3, momentum=0.5)
+        data = x((32, 3), seed=5)
+        bn.train()
+        bn(data)
+        changed = bn.running_mean.copy()
+        bn.eval()
+        bn(data)
+        np.testing.assert_array_equal(bn.running_mean, changed)
+        assert not np.allclose(changed, 0.0)
+
+    def test_dimension_check(self):
+        with pytest.raises(ConfigError):
+            nn.BatchNorm2d(3)(x((4, 3)))
+
+
+class TestContainers:
+    def test_sequential_order_and_indexing(self):
+        l1, l2 = nn.Linear(2, 3), nn.Linear(3, 4)
+        seq = nn.Sequential(l1, nn.ReLU(), l2)
+        assert seq[0] is l1 and seq[2] is l2 and len(seq) == 3
+        assert seq(x((5, 2))).shape == (5, 4)
+
+    def test_replacing_layer_updates_iteration(self):
+        seq = nn.Sequential(nn.Linear(2, 2), nn.ReLU())
+        new = nn.Linear(2, 2, seed=9)
+        setattr(seq, "layer0", new)
+        assert seq[0] is new
+
+    def test_flatten_identity(self):
+        assert nn.Flatten()(x((3, 2, 2, 2))).shape == (3, 8)
+        inp = x((3, 2))
+        assert nn.Identity()(inp) is inp
+
+    def test_dropout_active_only_training(self):
+        drop = nn.Dropout(0.9, seed=0)
+        inp = Tensor(np.ones((100, 100), dtype=np.float32))
+        drop.train()
+        assert (drop(inp).data == 0).mean() > 0.5
+        drop.eval()
+        np.testing.assert_array_equal(drop(inp).data, inp.data)

@@ -1,0 +1,125 @@
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.errors import ConfigError
+from repro.nn.optim import SGD, Adam, CosineAnnealingLR, StepLR
+from repro.nn.tensor import Tensor
+
+
+def quadratic_param(start=5.0):
+    return Tensor(np.array([start], dtype=np.float64), requires_grad=True)
+
+
+def minimise(optimizer, param, steps=200):
+    for _ in range(steps):
+        loss = (param * param).sum()
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+    return float(param.data[0])
+
+
+class TestSGD:
+    def test_minimises_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimise(SGD([p], lr=0.1), p)) < 1e-4
+
+    def test_momentum_accelerates(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        plain = abs(minimise(SGD([p1], lr=0.01), p1, steps=50))
+        momentum = abs(minimise(SGD([p2], lr=0.01, momentum=0.9), p2,
+                                steps=50))
+        assert momentum < plain
+
+    def test_weight_decay_shrinks_weights(self):
+        p = Tensor(np.ones(4), requires_grad=True)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(4)
+        opt.step()
+        assert np.all(np.abs(p.data) < 1.0)
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ConfigError):
+            SGD([quadratic_param()], lr=0.1, nesterov=True)
+
+    def test_skips_params_without_grad(self):
+        p = quadratic_param()
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SGD([quadratic_param()], lr=-1)
+        with pytest.raises(ConfigError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        p = quadratic_param()
+        assert abs(minimise(Adam([p], lr=0.1), p)) < 1e-3
+
+    def test_bias_correction_first_step_size(self):
+        p = quadratic_param(1.0)
+        opt = Adam([p], lr=0.1)
+        loss = (p * p).sum()
+        loss.backward()
+        opt.step()
+        # First Adam step magnitude ~ lr regardless of gradient scale.
+        assert p.data[0] == pytest.approx(0.9, abs=1e-3)
+
+    def test_decoupled_weight_decay(self):
+        p = Tensor(np.ones(3), requires_grad=True)
+        opt = Adam([p], lr=0.01, weight_decay=0.1, decoupled=True)
+        p.grad = np.zeros(3)
+        opt.step()
+        np.testing.assert_allclose(p.data, 1.0 - 0.01 * 0.1, rtol=1e-6)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ConfigError):
+            Adam([quadratic_param()], betas=(1.0, 0.9))
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_lr_endpoints(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = SGD([quadratic_param()], lr=1.0)
+        sched = CosineAnnealingLR(opt, t_max=5)
+        previous = opt.lr
+        for _ in range(5):
+            sched.step()
+            assert opt.lr <= previous
+            previous = opt.lr
+
+
+class TestEndToEndTraining:
+    def test_mlp_learns_xor(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, size=(256, 2)).astype(np.float32)
+        y = (x[:, 0].astype(int) ^ x[:, 1].astype(int))
+        model = nn.Sequential(nn.Linear(2, 16, seed=0), nn.Tanh(),
+                              nn.Linear(16, 2, seed=1))
+        opt = Adam(model.parameters(), lr=0.02)
+        for _ in range(300):
+            loss = nn.cross_entropy(model(Tensor(x)), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        acc = (model(Tensor(x)).data.argmax(axis=1) == y).mean()
+        assert acc > 0.98

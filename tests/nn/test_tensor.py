@@ -1,0 +1,214 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ShapeError
+from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, stack
+from repro.nn.gradcheck import check_gradients
+
+
+def t(data, rg=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=rg)
+
+
+class TestBasics:
+    def test_dtype_default_float32(self):
+        assert Tensor([1, 2, 3]).dtype == np.float32
+
+    def test_preserves_float64(self):
+        assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float64
+
+    def test_item_scalar_only(self):
+        assert t([[2.0]]).item() == 2.0
+        with pytest.raises(ShapeError):
+            t([1.0, 2.0]).item()
+
+    def test_detach_cuts_graph(self):
+        a = t([1.0, 2.0])
+        b = (a * 2).detach()
+        assert not b.requires_grad and b._parents == ()
+
+    def test_repr(self):
+        assert "requires_grad" in repr(t([1.0]))
+
+
+class TestBackwardMechanics:
+    def test_scalar_backward_default_grad(self):
+        a = t([1.0, 2.0, 3.0])
+        (a * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 4.0, 6.0])
+
+    def test_nonscalar_requires_grad_argument(self):
+        a = t([1.0, 2.0])
+        with pytest.raises(ShapeError):
+            (a * 2).backward()
+
+    def test_explicit_gradient(self):
+        a = t([1.0, 2.0])
+        (a * 3).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(a.grad, [3.0, 30.0])
+
+    def test_grad_accumulates_across_backwards(self):
+        a = t([1.0])
+        (a * 2).sum().backward()
+        (a * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+    def test_zero_grad(self):
+        a = t([1.0])
+        (a * 2).sum().backward()
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_reused_tensor_accumulates(self):
+        a = t([3.0])
+        out = a * a + a  # a appears three times
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_diamond_graph(self):
+        a = t([2.0])
+        b = a * 3
+        c = a * 4
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+    def test_no_grad_blocks_recording(self):
+        a = t([1.0])
+        with no_grad():
+            b = a * 2
+        assert not b.requires_grad
+        assert is_grad_enabled()
+
+    def test_deep_chain_no_recursion_error(self):
+        a = t([1.0])
+        out = a
+        for _ in range(3000):
+            out = out + 1.0
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+
+
+class TestArithmeticGradients:
+    def test_add_sub_mul_div(self):
+        a = t(np.random.default_rng(0).normal(size=(3, 4)))
+        b = t(np.random.default_rng(1).normal(size=(3, 4)) + 3.0)
+        check_gradients(lambda x, y: x + y, [a, b])
+        check_gradients(lambda x, y: x - y, [a, b])
+        check_gradients(lambda x, y: x * y, [a, b])
+        check_gradients(lambda x, y: x / y, [a, b])
+
+    def test_broadcast_gradients(self):
+        a = t(np.random.default_rng(0).normal(size=(3, 4)))
+        row = t(np.random.default_rng(1).normal(size=(1, 4)))
+        scalar = t(np.array(2.0))
+        check_gradients(lambda x, y: x * y, [a, row])
+        check_gradients(lambda x, y: x + y, [a, scalar])
+
+    def test_pow_neg_abs_clip(self):
+        a = t(np.abs(np.random.default_rng(0).normal(size=5)) + 0.5)
+        check_gradients(lambda x: x ** 3, [a])
+        check_gradients(lambda x: -x, [a])
+        check_gradients(lambda x: x.abs(), [a])
+        check_gradients(lambda x: x.clip(0.7, 1.2), [a])
+
+    def test_exp_log_sqrt_tanh_sigmoid(self):
+        a = t(np.abs(np.random.default_rng(0).normal(size=5)) + 0.5)
+        check_gradients(lambda x: x.exp(), [a])
+        check_gradients(lambda x: x.log(), [a])
+        check_gradients(lambda x: x.sqrt(), [a])
+        check_gradients(lambda x: x.tanh(), [a])
+        check_gradients(lambda x: x.sigmoid(), [a])
+
+    def test_python_scalar_operands(self):
+        a = t([1.0, 2.0])
+        check_gradients(lambda x: 2.0 * x + 1.0 - x / 2.0, [a])
+        check_gradients(lambda x: 1.0 / (x + 2.0), [a])
+
+
+class TestMatmulGradients:
+    def test_2d(self):
+        a = t(np.random.default_rng(0).normal(size=(3, 4)))
+        b = t(np.random.default_rng(1).normal(size=(4, 2)))
+        check_gradients(lambda x, y: x @ y, [a, b])
+
+    def test_batched(self):
+        a = t(np.random.default_rng(0).normal(size=(2, 3, 4)))
+        b = t(np.random.default_rng(1).normal(size=(2, 4, 2)))
+        check_gradients(lambda x, y: x @ y, [a, b])
+
+    def test_broadcast_batch(self):
+        a = t(np.random.default_rng(0).normal(size=(2, 3, 4)))
+        b = t(np.random.default_rng(1).normal(size=(4, 2)))
+        check_gradients(lambda x, y: x @ y, [a, b])
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            t([1.0, 2.0]) @ t([[1.0], [2.0]])
+
+
+class TestReductionsAndShape:
+    def test_sum_axes(self):
+        a = t(np.random.default_rng(0).normal(size=(3, 4, 2)))
+        check_gradients(lambda x: x.sum(), [a])
+        check_gradients(lambda x: x.sum(axis=1), [a])
+        check_gradients(lambda x: x.sum(axis=(0, 2), keepdims=True), [a])
+
+    def test_mean(self):
+        a = t(np.random.default_rng(0).normal(size=(3, 4)))
+        check_gradients(lambda x: x.mean(axis=0), [a])
+
+    def test_max(self):
+        a = t(np.array([[1.0, 5.0, 3.0], [7.0, 2.0, 9.0]]))
+        check_gradients(lambda x: x.max(axis=1), [a])
+        check_gradients(lambda x: x.max(), [a])
+
+    def test_max_tie_splits_gradient(self):
+        a = t(np.array([2.0, 2.0]))
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+    def test_reshape_transpose(self):
+        a = t(np.random.default_rng(0).normal(size=(3, 4)))
+        check_gradients(lambda x: x.reshape(2, 6), [a])
+        check_gradients(lambda x: x.T, [a])
+        b = t(np.random.default_rng(0).normal(size=(2, 3, 4)))
+        check_gradients(lambda x: x.transpose(2, 0, 1), [b])
+
+    def test_getitem(self):
+        a = t(np.random.default_rng(0).normal(size=(4, 5)))
+        check_gradients(lambda x: x[1:3, ::2], [a])
+
+    def test_getitem_fancy_with_repeats(self):
+        a = t(np.array([1.0, 2.0, 3.0]))
+        out = a[np.array([0, 0, 2])]
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0, 1.0])
+
+    def test_concat_and_stack(self):
+        a = t(np.random.default_rng(0).normal(size=(2, 3)))
+        b = t(np.random.default_rng(1).normal(size=(2, 2)))
+        check_gradients(lambda x, y: concat([x, y], axis=1), [a, b])
+        c = t(np.random.default_rng(2).normal(size=(2, 3)))
+        check_gradients(lambda x, y: stack([x, y], axis=0), [a, c])
+
+
+class TestHypothesisProperties:
+    @given(hnp.arrays(np.float64, hnp.array_shapes(min_dims=1, max_dims=3,
+                                                   max_side=4),
+                      elements=st.floats(-10, 10)))
+    def test_sum_grad_is_ones(self, data):
+        a = Tensor(data, requires_grad=True)
+        a.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones_like(data))
+
+    @given(st.integers(1, 5), st.integers(1, 5))
+    def test_mul_grad_symmetry(self, n, m):
+        rng = np.random.default_rng(n * 7 + m)
+        a = Tensor(rng.normal(size=(n, m)), requires_grad=True)
+        b = Tensor(rng.normal(size=(n, m)), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, b.data)
+        np.testing.assert_allclose(b.grad, a.data)

@@ -1,0 +1,65 @@
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.accuracy import (
+    evaluate_engine,
+    evaluate_float,
+    load_dataset,
+)
+from repro.experiments.common import QUICK
+from repro.funcsim import FuncSimConfig, IdealMvmEngine
+from repro.models import LeNet
+
+MICRO = dataclasses.replace(QUICK, name="micro", train_images=32,
+                            eval_images=16, image_size=8,
+                            shapes_classes=4, textures_classes=3)
+
+
+class TestLoadDataset:
+    def test_shapes_shapes(self):
+        x_train, y_train, x_test, y_test = load_dataset("shapes", MICRO)
+        assert x_train.shape == (32, 1, 8, 8)
+        assert x_test.shape == (16, 1, 8, 8)
+        assert y_train.max() == 3
+
+    def test_textures(self):
+        x_train, _, _, y_test = load_dataset("textures", MICRO)
+        assert x_train.shape[0] == 32
+        assert y_test.max() <= 2
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError):
+            load_dataset("imagenet", MICRO)
+
+
+class TestEvaluators:
+    @pytest.fixture
+    def setup(self):
+        x_train, y_train, x_test, y_test = load_dataset("shapes", MICRO)
+        model = LeNet(in_channels=1, num_classes=4, image_size=8, width=4,
+                      seed=0).eval()
+        return model, x_test, y_test
+
+    def test_evaluate_float_in_unit_range(self, setup):
+        model, x_test, y_test = setup
+        acc = evaluate_float(model, x_test, y_test, batch=8)
+        assert 0.0 <= acc <= 1.0
+
+    def test_evaluate_engine_ideal_close_to_float(self, setup):
+        model, x_test, y_test = setup
+        float_acc = evaluate_float(model, x_test, y_test, batch=8)
+        engine_acc = evaluate_engine(model, x_test, y_test,
+                                     IdealMvmEngine(FuncSimConfig()),
+                                     batch=8)
+        # 16-bit quantisation should rarely flip an argmax.
+        assert abs(engine_acc - float_acc) <= 0.25
+
+    def test_evaluate_engine_batch_independence(self, setup):
+        model, x_test, y_test = setup
+        engine = IdealMvmEngine(FuncSimConfig())
+        a = evaluate_engine(model, x_test, y_test, engine, batch=4)
+        b = evaluate_engine(model, x_test, y_test, engine, batch=16)
+        assert a == b

@@ -1,0 +1,42 @@
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_characterize_defaults(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.rows == 32 and args.vdd == 0.25
+
+    def test_crossbar_overrides(self):
+        args = build_parser().parse_args(
+            ["characterize", "--rows", "8", "--r-on", "50000",
+             "--onoff", "2", "--vdd", "0.5"])
+        assert (args.rows, args.r_on, args.onoff, args.vdd) == \
+            (8, 50000.0, 2.0, 0.5)
+
+    def test_fig_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "fig99"])
+
+
+class TestCommands:
+    def test_characterize_runs(self, capsys):
+        code = main(["characterize", "--rows", "6", "--samples", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NF over" in out and "6x6" in out
+
+    def test_fig_table1_runs(self, capsys):
+        assert main(["fig", "table1"]) == 0
+        assert "this reproduction" in capsys.readouterr().out
+
+    def test_train_geniex_tiny(self, capsys):
+        code = main(["train-geniex", "--rows", "4", "--samples", "4",
+                     "--hidden", "8", "--layers", "1", "--epochs", "3"])
+        assert code == 0
+        assert "emulator ready: 4x4" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""Smoke tests of the experiment drivers at micro scale.
+
+The full figure reproductions live in ``benchmarks/``; here we only check
+that every driver runs end-to-end on a miniature profile and produces
+well-formed, printable results.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.common import QUICK, format_table, get_profile
+from repro.experiments.fig2_nf_analysis import run_fig2
+from repro.experiments.fig3_nonlinearity import run_fig3
+from repro.experiments.table1_comparison import run_table1
+
+MICRO = dataclasses.replace(
+    QUICK, name="micro", xbar_sizes=(4, 16), base_size=8,
+    r_on_sweep_ohm=(50e3, 300e3), onoff_sweep=(2.0, 10.0),
+    nf_n_g=2, nf_n_v=4)
+
+
+class TestProfiles:
+    def test_default_profile_is_quick(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert get_profile().name == "quick"
+
+    def test_env_selects_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert get_profile().name == "full"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigError):
+            get_profile("huge")
+
+    def test_profile_crossbar_overrides(self):
+        cfg = QUICK.crossbar(rows=16)
+        assert cfg.rows == 16 and cfg.cols == 16
+
+    def test_specs_constructible(self):
+        QUICK.sampling_spec(0)
+        QUICK.train_spec(0)
+        QUICK.funcsim()
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], ["x", 3]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_empty_rows(self):
+        text = format_table("T", ["a"], [])
+        assert "a" in text
+
+
+class TestDriversMicro:
+    def test_table1(self):
+        result = run_table1()
+        assert "this reproduction" in result.format()
+
+    def test_fig2_micro(self):
+        result = run_fig2(MICRO)
+        text = result.format()
+        assert "Fig 2(b)" in text
+        assert len(result.by_size) == 2
+        # Size trend should hold even at micro scale (small tolerance: at
+        # tiny sizes the device-boost term dominates the IR drops).
+        assert result.by_size[0].median <= result.by_size[1].median + 0.005
+
+    def test_fig3_micro(self):
+        result = run_fig3(MICRO, vsupply_grid=(0.1, 0.5))
+        assert len(result.relative_error) == 2
+        low, high = result.relative_error
+        assert high[1] > low[1]
+        assert "Fig 3(b)" in result.format()
+
+    def test_variations_micro(self):
+        from repro.experiments.variations import run_variations
+        result = run_variations(MICRO, sigmas=(0.0, 0.2),
+                                fault_rates=(0.0, 0.05))
+        assert len(result.by_sigma) == 2
+        # Variation must widen the NF spread.
+        assert result.by_sigma[1][2] > result.by_sigma[0][2]
+        assert "stuck-at-fault" in result.format()

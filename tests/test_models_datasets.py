@@ -1,0 +1,153 @@
+import numpy as np
+import pytest
+
+import repro.nn as nn
+from repro.datasets import (
+    SHAPE_NAMES,
+    make_blobs,
+    make_blobs_split,
+    make_shapes,
+    make_shapes_split,
+    make_textures,
+    make_textures_split,
+)
+from repro.errors import ConfigError
+from repro.models import MLP, LeNet, ResNet, resnet8, resnet20
+from repro.nn.tensor import Tensor, no_grad
+
+
+class TestShapes:
+    def test_shapes_and_balance(self):
+        x, y = make_shapes(80, image_size=12, num_classes=8, seed=0)
+        assert x.shape == (80, 1, 12, 12)
+        assert x.dtype == np.float32
+        counts = np.bincount(y, minlength=8)
+        assert counts.min() == counts.max() == 10
+
+    def test_deterministic(self):
+        a = make_shapes(10, seed=3)[0]
+        b = make_shapes(10, seed=3)[0]
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_mean_images(self):
+        x, _ = make_shapes(20, seed=0)
+        assert abs(x.mean()) < 0.05
+
+    def test_classes_visually_distinct(self):
+        """Mean intra-class distance < mean inter-class distance."""
+        x, y = make_shapes(160, image_size=12, num_classes=4, noise=0.05,
+                           seed=0)
+        flat = x.reshape(len(x), -1)
+        centroids = np.stack([flat[y == k].mean(axis=0) for k in range(4)])
+        intra = np.mean([np.linalg.norm(flat[y == k] - centroids[k],
+                                        axis=1).mean() for k in range(4)])
+        inter = np.mean([np.linalg.norm(centroids[a] - centroids[b])
+                         for a in range(4) for b in range(a + 1, 4)])
+        assert inter > intra * 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            make_shapes(4, num_classes=1)
+        with pytest.raises(ConfigError):
+            make_shapes(4, num_classes=len(SHAPE_NAMES) + 1)
+        with pytest.raises(ConfigError):
+            make_shapes(4, image_size=4)
+
+    def test_split_disjoint_draws(self):
+        xtr, ytr, xte, yte = make_shapes_split(20, 10, seed=0)
+        assert len(xtr) == 20 and len(xte) == 10
+        assert not np.allclose(xtr[:10], xte)
+
+    def test_channels(self):
+        x, _ = make_shapes(4, channels=3, seed=0)
+        assert x.shape[1] == 3
+
+
+class TestTextures:
+    def test_shapes(self):
+        x, y = make_textures(30, image_size=10, num_classes=6, seed=0)
+        assert x.shape == (30, 1, 10, 10)
+        assert y.max() == 5
+
+    def test_split(self):
+        xtr, ytr, xte, yte = make_textures_split(12, 6, seed=1)
+        assert len(xtr) == 12 and len(yte) == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            make_textures(4, num_classes=1)
+
+
+class TestBlobs:
+    def test_learnable_by_linear_model(self):
+        x, y = make_blobs(400, num_features=8, num_classes=3, spread=0.3,
+                          seed=0)
+        # Nearest-centroid classifier should do well on low spread.
+        centroids = np.stack([x[y == k].mean(axis=0) for k in range(3)])
+        d = ((x[:, None, :] - centroids[None]) ** 2).sum(axis=2)
+        assert (d.argmin(axis=1) == y).mean() > 0.9
+
+    def test_split_shares_centres(self):
+        xtr, ytr, xte, yte = make_blobs_split(100, 50, num_classes=3,
+                                              spread=0.3, seed=0)
+        assert len(xtr) == 100 and len(xte) == 50
+
+
+class TestModels:
+    def test_mlp_forward_and_flattening(self):
+        model = MLP((16, 8, 3), seed=0)
+        out = model(Tensor(np.zeros((4, 2, 2, 4), dtype=np.float32)))
+        assert out.shape == (4, 3)
+
+    def test_mlp_validation(self):
+        with pytest.raises(ConfigError):
+            MLP((5,))
+
+    def test_lenet_output(self):
+        model = LeNet(in_channels=1, num_classes=5, image_size=12, width=4)
+        out = model(Tensor(np.zeros((2, 1, 12, 12), dtype=np.float32)))
+        assert out.shape == (2, 5)
+
+    def test_resnet_depths(self):
+        assert resnet8(4).depth == 8
+        assert resnet20(100).depth == 20
+
+    def test_resnet20_parameter_count_matches_original(self):
+        """The canonical CIFAR ResNet-20 has ~0.27M parameters."""
+        n = resnet20(100, in_channels=3, width=16).num_parameters()
+        assert 2.6e5 < n < 2.9e5
+
+    def test_resnet_forward_strides(self):
+        model = resnet8(6, in_channels=1, width=4, seed=0)
+        out = model(Tensor(np.zeros((2, 1, 16, 16), dtype=np.float32)))
+        assert out.shape == (2, 6)
+
+    def test_resnet_deterministic_init(self):
+        a = resnet8(4, seed=5)
+        b = resnet8(4, seed=5)
+        np.testing.assert_array_equal(a.stem.weight.data,
+                                      b.stem.weight.data)
+
+    def test_resnet_eval_deterministic(self):
+        model = resnet8(4, in_channels=1, width=4, seed=0).eval()
+        x = Tensor(np.random.default_rng(0).normal(
+            size=(2, 1, 12, 12)).astype(np.float32))
+        with no_grad():
+            a = model(x).data
+            b = model(x).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_resnet_trains_one_step(self):
+        model = resnet8(4, in_channels=1, width=4, seed=0)
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+        x = Tensor(np.random.default_rng(0).normal(
+            size=(8, 1, 12, 12)).astype(np.float32))
+        y = np.arange(8) % 4
+        before = nn.cross_entropy(model(x), y).item()
+        for _ in range(10):
+            loss = nn.cross_entropy(model(x), y)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        after = nn.cross_entropy(model(x), y).item()
+        assert after < before

@@ -1,0 +1,74 @@
+"""Formatting contracts of the experiment result objects.
+
+These run without any simulation: they pin down the printable structure the
+benchmark harness and CLI rely on.
+"""
+
+import numpy as np
+
+from repro.experiments.fig2_nf_analysis import Fig2Result, NfStats
+from repro.experiments.fig3_nonlinearity import Fig3Result
+from repro.experiments.fig5_rmse import Fig5Result, Fig5Row
+from repro.experiments.fig7_design_params import Fig7Result
+from repro.experiments.fig8_quantization import Fig8Result
+from repro.experiments.fig9_bitslicing import Fig9Result
+from repro.experiments.variations import VariationResult
+
+
+class TestFig2Formatting:
+    def test_stats_from_currents(self):
+        ideal = np.array([[1.0, 2.0], [2.0, 4.0]])
+        nonideal = ideal * 0.9
+        stats = NfStats.from_currents("16x16", ideal, nonideal)
+        assert np.isclose(stats.median, 0.1)
+        assert np.isclose(stats.mean, 0.1)
+        assert stats.label == "16x16"
+
+    def test_format_contains_all_sections(self):
+        stats = NfStats("x", 0.0, 0.1, 0.2, 0.1)
+        text = Fig2Result(0.99, 0.1, [stats], [stats], [stats]).format()
+        for section in ("Fig 2(a)", "Fig 2(b)", "Fig 2(c)", "Fig 2(d)"):
+            assert section in text
+
+
+class TestFig5Formatting:
+    def test_ratio(self):
+        row = Fig5Row(0.25, rmse_analytical=0.2, rmse_geniex=0.05)
+        assert row.ratio == 4.0
+
+    def test_format_mentions_paper_numbers(self):
+        text = Fig5Result([Fig5Row(0.25, 0.2, 0.05)]).format()
+        assert "7x / 12.8x" in text
+        assert "4.0x" in text
+
+
+class TestOtherFormatters:
+    def test_fig3(self):
+        result = Fig3Result(
+            distributions=[(0.25, {"linear_mean": 1, "full_mean": 2,
+                                   "linear_std": 3, "full_std": 4})],
+            relative_error=[(0.25, 0.05, 0.1)])
+        assert "Fig 3(a)" in result.format()
+
+    def test_fig7(self):
+        result = Fig7Result(0.9, 0.88, by_size=[("16x16", 0.85)],
+                            by_r_on=[("Ron=50k", 0.8)],
+                            by_onoff=[("on/off=2", 0.5)],
+                            model_compare=[(0.25, 0.7, 0.8)])
+        text = result.format()
+        assert "Fig 7(d)" in text and "16x16" in text
+
+    def test_fig8(self):
+        result = Fig8Result(rows=[("shapes", 16, 0.9, 0.7, 0.8)],
+                            float_accuracy={"shapes": 0.92})
+        assert "16" in result.format()
+
+    def test_fig9(self):
+        result = Fig9Result(0.9, rows=[(1, 1, 0.89), (4, 4, 0.7)])
+        text = result.format()
+        assert "1-bit" in text and "4-bit" in text
+
+    def test_variations(self):
+        result = VariationResult(by_sigma=[["0", 0.1, 0.01, 0.2]],
+                                 by_fault_rate=[["0", 0.1, 0.01, 0.2]])
+        assert "stuck-at-fault" in result.format()

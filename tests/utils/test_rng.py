@@ -1,0 +1,47 @@
+import numpy as np
+import pytest
+
+from repro.utils.rng import rng_from_seed, spawn_rngs
+
+
+class TestRngFromSeed:
+    def test_integer_seed_is_deterministic(self):
+        a = rng_from_seed(42).random(5)
+        b = rng_from_seed(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(rng_from_seed(1).random(5),
+                                  rng_from_seed(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert rng_from_seed(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(rng_from_seed(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_children_are_independent(self):
+        children = spawn_rngs(7, 3)
+        draws = [c.random(4).tolist() for c in children]
+        assert draws[0] != draws[1] != draws[2]
+
+    def test_deterministic_given_seed(self):
+        a = [c.random(3).tolist() for c in spawn_rngs(9, 2)]
+        b = [c.random(3).tolist() for c in spawn_rngs(9, 2)]
+        assert a == b
+
+    def test_repeated_spawn_from_generator_advances(self):
+        gen = np.random.default_rng(0)
+        first = spawn_rngs(gen, 1)[0].random(3).tolist()
+        second = spawn_rngs(gen, 1)[0].random(3).tolist()
+        assert first != second
+
+    def test_zero_children(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,67 @@
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.utils.validation import (
+    check_in_range,
+    check_matrix,
+    check_positive,
+    check_vector,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1e-9)
+
+    @pytest.mark.parametrize("bad", [0, -1, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigError):
+            check_positive("x", bad)
+
+    def test_message_contains_name(self):
+        with pytest.raises(ConfigError, match="r_wire"):
+            check_positive("r_wire", -2)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds_ok(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+
+    def test_exclusive_bounds_rejected(self):
+        with pytest.raises(ConfigError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_outside_raises(self):
+        with pytest.raises(ConfigError):
+            check_in_range("x", 1.5, 0.0, 1.0)
+
+
+class TestCheckVector:
+    def test_returns_float_array(self):
+        out = check_vector("v", [1, 2, 3])
+        assert out.dtype == float
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_length_enforced(self):
+        with pytest.raises(ShapeError):
+            check_vector("v", [1, 2], length=3)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ShapeError):
+            check_vector("v", [[1, 2]])
+
+
+class TestCheckMatrix:
+    def test_shape_enforced(self):
+        with pytest.raises(ShapeError):
+            check_matrix("m", np.zeros((2, 3)), shape=(3, 2))
+
+    def test_accepts_lists(self):
+        out = check_matrix("m", [[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ShapeError):
+            check_matrix("m", [1, 2, 3])

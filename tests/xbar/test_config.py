@@ -1,0 +1,53 @@
+import pytest
+
+from repro.errors import ConfigError
+from repro.xbar.config import CrossbarConfig
+
+
+class TestDefaults:
+    def test_paper_nominals(self):
+        cfg = CrossbarConfig()
+        assert cfg.shape == (64, 64)
+        assert cfg.r_on_ohm == pytest.approx(100e3)
+        assert cfg.onoff_ratio == pytest.approx(6.0)
+        assert cfg.r_source_ohm == pytest.approx(500.0)
+        assert cfg.r_sink_ohm == pytest.approx(100.0)
+        assert cfg.r_wire_ohm == pytest.approx(2.5)
+        assert cfg.v_supply_v == pytest.approx(0.25)
+
+    def test_derived_conductances(self):
+        cfg = CrossbarConfig(r_on_ohm=100e3, onoff_ratio=4.0)
+        assert cfg.g_on_s == pytest.approx(1e-5)
+        assert cfg.g_off_s == pytest.approx(2.5e-6)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"rows": 0}, {"cols": -1}, {"r_on_ohm": 0}, {"onoff_ratio": 1.0},
+        {"r_source_ohm": 0}, {"r_sink_ohm": -5}, {"r_wire_ohm": -0.1},
+        {"v_supply_v": 0}, {"access_r_on_ohm": 0}, {"gmin_s": 0},
+        {"programming_v_ref_v": -0.1},
+    ])
+    def test_rejects(self, kwargs):
+        with pytest.raises(ConfigError):
+            CrossbarConfig(**kwargs)
+
+    def test_zero_wire_resistance_allowed(self):
+        CrossbarConfig(r_wire_ohm=0.0)
+
+
+class TestReplaceAndKey:
+    def test_replace_returns_new(self):
+        base = CrossbarConfig()
+        other = base.replace(rows=16)
+        assert other.rows == 16 and base.rows == 64
+        assert other.cols == 64
+
+    def test_cache_key_stable(self):
+        assert CrossbarConfig().cache_key() == CrossbarConfig().cache_key()
+
+    def test_cache_key_sensitive_to_fields(self):
+        a = CrossbarConfig().cache_key()
+        b = CrossbarConfig(v_supply_v=0.5).cache_key()
+        c = CrossbarConfig(onoff_ratio=10).cache_key()
+        assert len({a, b, c}) == 3

@@ -1,0 +1,39 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ShapeError
+from repro.xbar.ideal import ideal_mvm
+
+
+class TestIdealMvm:
+    def test_matches_matmul(self, rng):
+        v = rng.random(8)
+        g = rng.random((8, 5))
+        np.testing.assert_allclose(ideal_mvm(v, g), v @ g)
+
+    def test_batched(self, rng):
+        v = rng.random((3, 8))
+        g = rng.random((8, 5))
+        out = ideal_mvm(v, g)
+        assert out.shape == (3, 5)
+
+    def test_shape_errors(self):
+        with pytest.raises(ShapeError):
+            ideal_mvm(np.zeros(4), np.zeros((5, 3)))
+        with pytest.raises(ShapeError):
+            ideal_mvm(np.zeros(4), np.zeros(4))
+
+    @given(hnp.arrays(np.float64, (6,), elements=st.floats(0, 1)),
+           hnp.arrays(np.float64, (6, 4), elements=st.floats(0, 1)))
+    def test_nonnegative_inputs_give_nonnegative_outputs(self, v, g):
+        assert np.all(ideal_mvm(v, g) >= 0)
+
+    def test_linearity(self, rng):
+        v1, v2 = rng.random(8), rng.random(8)
+        g = rng.random((8, 5))
+        np.testing.assert_allclose(
+            ideal_mvm(v1 + 2 * v2, g),
+            ideal_mvm(v1, g) + 2 * ideal_mvm(v2, g), rtol=1e-12)

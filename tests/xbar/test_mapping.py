@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.xbar.config import CrossbarConfig
+from repro.xbar.mapping import (
+    conductances_from_levels,
+    conductances_from_weights,
+    levels_from_conductances,
+    normalize_conductances,
+    normalize_voltages,
+    voltages_from_levels,
+    weights_from_conductances,
+)
+
+
+@pytest.fixture
+def cfg():
+    return CrossbarConfig(rows=8, cols=8)
+
+
+class TestConductanceMapping:
+    def test_endpoints(self, cfg):
+        assert conductances_from_levels(0, 16, cfg) == pytest.approx(
+            cfg.g_off_s)
+        assert conductances_from_levels(15, 16, cfg) == pytest.approx(
+            cfg.g_on_s)
+
+    def test_linear_spacing(self, cfg):
+        g = conductances_from_levels(np.arange(16), 16, cfg)
+        diffs = np.diff(g)
+        np.testing.assert_allclose(diffs, diffs[0])
+
+    def test_rejects_out_of_range_levels(self, cfg):
+        with pytest.raises(ConfigError):
+            conductances_from_levels(16, 16, cfg)
+        with pytest.raises(ConfigError):
+            conductances_from_levels(-1, 16, cfg)
+
+    @given(st.integers(0, 15))
+    def test_level_roundtrip(self, level):
+        cfg = CrossbarConfig(rows=8, cols=8)
+        g = conductances_from_levels(level, 16, cfg)
+        assert levels_from_conductances(g, 16, cfg) == level
+
+    def test_weights_roundtrip(self, cfg):
+        w = np.linspace(0, 1, 11)
+        g = conductances_from_weights(w, cfg)
+        np.testing.assert_allclose(weights_from_conductances(g, cfg), w,
+                                   atol=1e-12)
+
+    def test_weights_rejects_outside_unit(self, cfg):
+        with pytest.raises(ConfigError):
+            conductances_from_weights([1.2], cfg)
+
+
+class TestVoltageMapping:
+    def test_endpoints(self, cfg):
+        assert voltages_from_levels(0, 16, cfg) == 0.0
+        assert voltages_from_levels(15, 16, cfg) == pytest.approx(
+            cfg.v_supply_v)
+
+    def test_normalize_voltages(self, cfg):
+        v = voltages_from_levels(np.arange(16), 16, cfg)
+        norm = normalize_voltages(v, cfg)
+        assert norm.min() == 0.0 and norm.max() == pytest.approx(1.0)
+
+
+class TestNormalization:
+    def test_conductance_window_maps_to_unit(self, cfg):
+        g = np.array([cfg.g_off_s, cfg.g_on_s])
+        np.testing.assert_allclose(normalize_conductances(g, cfg),
+                                   [0.0, 1.0], atol=1e-12)
