@@ -6,6 +6,17 @@ Jacobian at the current iterate and performs Newton steps with a backtracking
 same class of algorithm a SPICE DC operating-point analysis uses, minus the
 continuation heuristics, which the mild non-linearities of on-state 1T1R
 cells do not require.
+
+Two drivers share the algorithm:
+
+* :func:`solve_newton` — one system, residual and Jacobian from one callback.
+* :func:`solve_newton_batch` — B independent systems iterated
+  *simultaneously* with a per-system convergence mask. Residual evaluation
+  (the device-model-heavy part) is vectorised across the whole batch, the
+  line search shrinks its working set as systems accept their steps, and
+  converged or stalled systems drop out of subsequent iterations entirely.
+  Only the per-system sparse LU factorisation remains sequential, because
+  each system has its own Jacobian values (the sparsity pattern is shared).
 """
 
 from __future__ import annotations
@@ -50,6 +61,23 @@ class NewtonResult:
     iterations: int
     residual: float
     converged: bool
+
+
+@dataclass
+class NewtonBatchResult:
+    """Outcome of a batched Newton solve over B independent systems.
+
+    Attributes:
+        x: Final iterates, shape ``(B, n)``.
+        iterations: Newton steps taken per system, shape ``(B,)``.
+        residual: Final residual infinity norms, shape ``(B,)``.
+        converged: Per-system convergence flags, shape ``(B,)``.
+    """
+
+    x: np.ndarray
+    iterations: np.ndarray
+    residual: np.ndarray
+    converged: np.ndarray
 
 
 def solve_newton(residual_and_jacobian, x0: np.ndarray,
@@ -110,3 +138,106 @@ def solve_newton(residual_and_jacobian, x0: np.ndarray,
             f"Newton failed to converge: residual {norm:.3e} A after "
             f"{opts.max_iter} iterations (tol {tol:.1e} A)")
     return NewtonResult(x, opts.max_iter, norm, False)
+
+
+def solve_newton_batch(residual_batch, jacobian_batch, x0: np.ndarray,
+                       options: NewtonOptions | None = None,
+                       scale=0.0) -> NewtonBatchResult:
+    """Solve B independent systems ``F_k(x_k) = 0`` simultaneously.
+
+    The iteration is algorithmically identical to :func:`solve_newton`
+    applied per system (same step, damping rule and stall detection), so the
+    two agree to solver tolerance; the batched form exists because residual
+    evaluation vectorises across systems and converged systems stop paying
+    for further iterations.
+
+    Args:
+        residual_batch: Callable ``(x, idx) -> F`` mapping iterates of shape
+            ``(M, n)`` for the systems listed in ``idx`` (an int array of
+            original batch positions, used to select per-system constants
+            such as RHS vectors) to residuals of shape ``(M, n)``.
+        jacobian_batch: Callable ``(x, idx) -> iterable of M sparse
+            matrices`` (each convertible to CSC) — the Jacobians at the
+            given iterates. Only called at accepted iterates, never inside
+            the line search.
+        x0: Initial iterates, shape ``(B, n)``; the crossbar simulator seeds
+            with the batched linear solution. ``B = 0`` is allowed and
+            returns immediately.
+        options: See :class:`NewtonOptions`.
+        scale: Characteristic residual magnitude, scalar or shape ``(B,)``.
+
+    Returns:
+        :class:`NewtonBatchResult` with per-system iterates and statistics.
+    """
+    opts = options or NewtonOptions()
+    x = np.array(x0, dtype=float, copy=True)
+    if x.ndim != 2:
+        raise ValueError(f"x0 must have shape (B, n), got {x.shape}")
+    n_sys, n = x.shape
+    tol = opts.tol_residual + opts.tol_relative * np.abs(
+        np.broadcast_to(np.asarray(scale, dtype=float), (n_sys,)))
+    if n_sys == 0:
+        return NewtonBatchResult(x, np.zeros(0, dtype=int), np.zeros(0),
+                                 np.ones(0, dtype=bool))
+
+    f = np.asarray(residual_batch(x, np.arange(n_sys)), dtype=float)
+    norm = np.max(np.abs(f), axis=1)
+    stalled = np.zeros(n_sys, dtype=int)
+    iterations = np.zeros(n_sys, dtype=int)
+    converged = norm <= tol
+    active = ~converged
+
+    for _ in range(opts.max_iter):
+        if not active.any():
+            break
+        idx = np.nonzero(active)[0]
+        step = np.empty((idx.size, n))
+        for j, jac in enumerate(jacobian_batch(x[idx], idx)):
+            step[j] = splu(jac.tocsc()).solve(-f[idx[j]])
+
+        # Backtracking line search with a per-system step length; systems
+        # leave the working set as soon as their Armijo condition holds.
+        t = np.ones(idx.size)
+        searching = np.ones(idx.size, dtype=bool)
+        base_norm = norm[idx]
+        best_norm = np.full(idx.size, np.inf)
+        best_x = np.empty((idx.size, n))
+        best_f = np.empty((idx.size, n))
+        has_best = np.zeros(idx.size, dtype=bool)
+        for _backtrack in range(opts.max_backtracks + 1):
+            sub = np.nonzero(searching)[0]
+            x_try = x[idx[sub]] + t[sub, None] * step[sub]
+            f_try = np.asarray(residual_batch(x_try, idx[sub]), dtype=float)
+            norm_try = np.max(np.abs(f_try), axis=1)
+            # A system's first trial is always kept (even a NaN residual,
+            # matching solve_newton's `best is None` rule) so the iterate
+            # update below never reads uninitialised storage.
+            improved = ~has_best[sub] | (norm_try < best_norm[sub])
+            has_best[sub] = True
+            upd = sub[improved]
+            best_norm[upd] = norm_try[improved]
+            best_x[upd] = x_try[improved]
+            best_f[upd] = f_try[improved]
+            accepted = norm_try <= (1.0 - 1e-4 * t[sub]) * base_norm[sub]
+            searching[sub[accepted]] = False
+            t[sub[~accepted]] *= 0.5
+            if not searching.any():
+                break
+
+        stalled[idx] = np.where(best_norm > 0.999 * base_norm,
+                                stalled[idx] + 1, 0)
+        x[idx] = best_x
+        f[idx] = best_f
+        norm[idx] = best_norm
+        iterations[idx] += 1
+        now_converged = norm[idx] <= tol[idx]
+        converged[idx] |= now_converged
+        active[idx] = ~now_converged & (stalled[idx] < 3)
+
+    if opts.raise_on_failure and not converged.all():
+        n_bad = int(np.count_nonzero(~converged))
+        worst = float(norm[~converged].max())
+        raise ConvergenceError(
+            f"Newton failed to converge on {n_bad}/{n_sys} batched systems: "
+            f"worst residual {worst:.3e} A (tol {tol.max():.1e} A)")
+    return NewtonBatchResult(x, iterations, norm, converged)

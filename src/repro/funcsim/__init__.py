@@ -16,6 +16,27 @@ layer executes in three phases:
 The analog tile computation is pluggable: exact ideal, GENIEx emulation,
 the linear analytical model, a cheap decoupled IR-drop model, or the full
 circuit simulator.
+
+**Batched tile API.** Every tile model maps a voltage batch ``(M, rows)``
+to currents ``(M, cols)`` in one call, and the engine stacks all active
+stream blocks of a tile-row into a single such batch per tile model — the
+tile models therefore see one large batched inference/solve instead of one
+call per stream, which is what makes non-ideal inference tractable (cf. the
+GENIEx premise of replacing per-vector SPICE solves with batched NN
+inference). With a noiseless ADC (the default), batched and per-stream
+execution produce identical outputs; with ADC noise enabled the two are
+statistically equivalent but not bit-identical, because batching draws the
+seeded noise samples in a different order.
+
+**Tile-result caching.** :class:`CrossbarMvmEngine` memoises measured
+(post-ADC) tile read-outs in an LRU keyed by the exact integer stream-level
+pattern (``tile_cache_size`` entries, default 256; ``0`` disables).
+Repeated activation patterns — ubiquitous in convolution im2col batches —
+skip the analog model entirely. Caching is value-exact, never changes
+results, and is automatically disabled when ADC noise is configured, since
+noisy conversions must be re-sampled. Engine statistics count logical
+read-outs as the modelled hardware would execute them; ``cache_hits``
+tracks the software-side savings separately.
 """
 
 from repro.funcsim.config import FuncSimConfig
@@ -29,6 +50,7 @@ from repro.funcsim.engine import (
     ExactTileFactory,
     GeniexTileFactory,
     IdealMvmEngine,
+    TileResultCache,
     make_engine,
 )
 from repro.funcsim.layers import Conv2dMVM, LinearMVM
@@ -45,6 +67,7 @@ __all__ = [
     "AnalyticalTileFactory",
     "DecoupledTileFactory",
     "CircuitTileFactory",
+    "TileResultCache",
     "make_engine",
     "LinearMVM",
     "Conv2dMVM",

@@ -8,6 +8,30 @@ digitises them; the digital back-end removes the ``g_off`` mapping bias,
 merges streams/slices with shift-and-add and accumulates tile partial sums
 in the fixed-point accumulator.
 
+**Batched execution.** Every tile model accepts voltage batches of shape
+``(M, rows)`` and returns currents of shape ``(M, cols)`` — that is the
+batched tile API. ``matmul`` exploits it by stacking all non-zero
+(activation-sign, stream) blocks of a tile-row into one ``(S * B, rows)``
+voltage batch and issuing a *single* batched call per tile model instead of
+``S`` separate ones, so the per-call overhead (Python dispatch, normaliser
+matmuls, sparse back-substitution setup, Newton bring-up) is paid once per
+tile. The digital decode then walks the measured ``(S, B, cols)`` slices in
+the exact order the sequential pipeline used, keeping results bit-identical
+(for a noiseless ADC; with ADC noise the seeded samples are drawn in a
+different order, so noisy runs are statistically, not bitwise, equivalent
+to per-stream execution — while remaining reproducible run-to-run).
+
+**Tile-result caching.** Measured (post-ADC) tile read-outs are memoised in
+a per-engine LRU keyed by (prepared-matrix id, tile key, stream level
+pattern). Convolution layers re-issue identical stream patterns constantly
+(im2col patches share activation blocks), so repeated patterns skip the
+analog model entirely. The cache is value-exact — keys include the raw
+integer stream levels — and is disabled automatically when ADC noise is
+enabled, because noisy conversions must be re-sampled per read-out.
+``EngineStats`` counts logical read-outs as if no cache existed (the stats
+describe the modelled hardware); ``cache_hits`` reports the software-side
+savings.
+
 Tile models:
 
 * :class:`GeniexTileFactory` — GENIEx emulation (default non-ideal mode),
@@ -16,14 +40,16 @@ Tile models:
 * :class:`AnalyticalTileFactory` — exact linear parasitic model (one sparse
   LU per tile, reused across all streams).
 * :class:`DecoupledTileFactory` — cheap first-order IR-drop model.
-* :class:`CircuitTileFactory` — full non-linear circuit solve (slow; used
-  to validate the emulator in tests).
+* :class:`CircuitTileFactory` — full non-linear circuit solve via the
+  batched Newton path (slow; used to validate the emulator in tests).
 
 :class:`IdealMvmEngine` bypasses the analog pipeline entirely and computes
 the exact fixed-point product ("Ideal FxP" in the paper's figures).
 """
 
 from __future__ import annotations
+
+import itertools
 
 import numpy as np
 
@@ -36,6 +62,7 @@ from repro.funcsim.adc import AdcModel
 from repro.funcsim.config import FuncSimConfig
 from repro.funcsim.slicing import sign_split, split_unsigned
 from repro.funcsim.tiles import n_tiles, pad_axis, tile_matrix
+from repro.utils.cache import LruDict
 from repro.xbar.config import CrossbarConfig
 from repro.xbar.ideal import ideal_mvm
 from repro.xbar.mapping import conductances_from_levels
@@ -219,8 +246,16 @@ class CircuitTileFactory:
 # ----------------------------------------------------------------------
 # Prepared weights
 # ----------------------------------------------------------------------
+_PREPARED_IDS = itertools.count()
+
+
 class PreparedMatrix:
-    """Weight matrix quantised, sliced, tiled and programmed into models."""
+    """Weight matrix quantised, sliced, tiled and programmed into models.
+
+    ``uid`` is a process-unique identifier used to key tile-result cache
+    entries, so results programmed from one weight matrix can never be
+    served for another.
+    """
 
     def __init__(self, n_in: int, n_out: int, qw: np.ndarray, models: dict,
                  t_r: int, t_c: int, sign_present: tuple):
@@ -231,15 +266,47 @@ class PreparedMatrix:
         self.t_r = t_r
         self.t_c = t_c
         self.sign_present = sign_present
+        self.uid = next(_PREPARED_IDS)
+
+
+class TileResultCache(LruDict):
+    """LRU cache of measured (post-ADC) tile read-outs.
+
+    Keys combine the prepared-matrix uid, the tile coordinates and the raw
+    integer stream-level block, so hits are value-exact. ``max_entries``
+    bounds memory at roughly ``max_entries * batch * cols`` floats.
+    """
+
+    def __init__(self, max_entries: int):
+        super().__init__(max_entries)
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        value = super().get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        super().clear()
+        self.hits = 0
+        self.misses = 0
 
 
 class EngineStats:
     """Cumulative event counters of a :class:`CrossbarMvmEngine`.
 
-    ``readouts`` counts actual analog tile evaluations; zero-valued stream
-    blocks are skipped (they drive no current) and tallied separately, so
-    ``readouts + skipped`` equals the static worst case of
-    :func:`repro.funcsim.cost.matmul_cost` scaled by the batch.
+    ``readouts`` counts logical analog tile evaluations — what the modelled
+    hardware would execute, independent of the software tile-result cache;
+    zero-valued stream blocks are skipped (they drive no current) and
+    tallied separately, so ``readouts + skipped`` equals the static worst
+    case of :func:`repro.funcsim.cost.matmul_cost` scaled by the batch.
+    ``cache_hits`` counts read-outs served from the tile-result cache
+    instead of the tile model (a software-side saving; such read-outs still
+    count in ``readouts`` and ``adc_conversions``).
     """
 
     def __init__(self):
@@ -250,12 +317,14 @@ class EngineStats:
         self.readouts = 0
         self.skipped_zero_streams = 0
         self.adc_conversions = 0
+        self.cache_hits = 0
 
     def __repr__(self):
         return (f"EngineStats(matmuls={self.matmuls}, "
                 f"readouts={self.readouts}, "
                 f"skipped={self.skipped_zero_streams}, "
-                f"adc={self.adc_conversions})")
+                f"adc={self.adc_conversions}, "
+                f"cache_hits={self.cache_hits})")
 
 
 # ----------------------------------------------------------------------
@@ -294,15 +363,26 @@ class IdealMvmEngine:
 
 
 class CrossbarMvmEngine:
-    """Bit-sliced, tiled crossbar MVM with a non-ideal tile model."""
+    """Bit-sliced, tiled crossbar MVM with a non-ideal tile model.
+
+    ``tile_cache_size`` bounds the LRU tile-result cache (measured per-tile
+    read-outs keyed by activation pattern); ``0`` disables it. The cache is
+    also disabled when the ADC models noise, because noisy conversions must
+    be re-sampled on every read-out.
+    """
 
     def __init__(self, xbar_config: CrossbarConfig,
-                 sim_config: FuncSimConfig, tile_factory):
+                 sim_config: FuncSimConfig, tile_factory,
+                 tile_cache_size: int = 256):
         tile_factory.check_crossbar(xbar_config)
         self.xbar_config = xbar_config
         self.sim_config = sim_config
         self.tile_factory = tile_factory
         self.name = tile_factory.name
+        if tile_cache_size > 0 and sim_config.adc_noise_lsb == 0.0:
+            self.tile_cache = TileResultCache(tile_cache_size)
+        else:
+            self.tile_cache = None
         # DAC / conductance LSBs of the digital <-> analog mapping.
         self._v_lsb = xbar_config.v_supply_v / (2 ** sim_config.stream_bits - 1)
         n_g_levels = 2 ** sim_config.slice_bits
@@ -349,8 +429,87 @@ class CrossbarMvmEngine:
                               t_r, t_c, sign_present)
 
     # ------------------------------------------------------------------
+    def _measure_tile_row(self, prepared, tr: int, stream_levels: list,
+                          batch: int) -> dict:
+        """One batched analog + ADC pass over every model of a tile-row.
+
+        All ``S`` active stream blocks are stacked into a single
+        ``(S * batch, rows)`` voltage batch; each tile model then runs one
+        batched call (minus any read-outs served by the tile-result cache)
+        and the measured currents come back as per-stream ``(batch, cols)``
+        slices. Returns ``{(sign, slice, tc): [S slices]}``.
+        """
+        cfg = self.sim_config
+        cols = self.xbar_config.cols
+        s_count = len(stream_levels)
+        cache = self.tile_cache
+        # Serialise each stream block once; the key bytes are shared by
+        # every (sign, slice, tile-column) lookup below.
+        level_bytes = [levels.tobytes() for levels in stream_levels] \
+            if cache is not None else None
+        # The stacked voltages and the factory's shared term are only
+        # needed on a cache miss; fully-cached tile-rows skip both.
+        voltages = None
+        shared = None
+
+        measured = {}
+        for sw in prepared.sign_present:
+            for k in range(cfg.n_slices):
+                for tc in range(prepared.t_c):
+                    model = prepared.models[(sw, k, tr, tc)]
+                    self.stats.readouts += s_count
+                    self.stats.adc_conversions += s_count * batch * cols
+                    result = [None] * s_count
+                    keys = [None] * s_count
+                    missing = []
+                    if cache is not None:
+                        for s in range(s_count):
+                            keys[s] = (prepared.uid, sw, k, tr, tc, batch,
+                                       level_bytes[s])
+                            hit = cache.get(keys[s])
+                            if hit is None:
+                                missing.append(s)
+                            else:
+                                result[s] = hit
+                                self.stats.cache_hits += 1
+                    else:
+                        missing = list(range(s_count))
+                    if missing:
+                        if voltages is None:
+                            voltages = np.concatenate(
+                                stream_levels, axis=0) * self._v_lsb
+                            shared = self.tile_factory.prepare_voltages(
+                                voltages)
+                        if len(missing) == s_count:
+                            v_sub, c_sub = voltages, shared
+                        else:
+                            sel = np.concatenate(
+                                [np.arange(s * batch, (s + 1) * batch)
+                                 for s in missing])
+                            v_sub = voltages[sel]
+                            c_sub = shared[sel] \
+                                if isinstance(shared, np.ndarray) else shared
+                        i_meas = self.adc.measure(
+                            model.currents(v_sub, c_sub)
+                        ).reshape(len(missing), batch, cols)
+                        for j, s in enumerate(missing):
+                            result[s] = i_meas[j]
+                            if cache is not None:
+                                # Copy out of the stacked measurement so a
+                                # cache entry never pins the whole block.
+                                cache.put(keys[s], i_meas[j].copy())
+                    measured[(sw, k, tc)] = result
+        return measured
+
     def matmul(self, x: np.ndarray, prepared) -> np.ndarray:
-        """Quantised crossbar product of ``x (B, K)`` with prepared weights."""
+        """Quantised crossbar product of ``x (B, K)`` with prepared weights.
+
+        All non-zero stream blocks of a tile-row are read out through one
+        batched tile-model call each (see the module docstring); the decode
+        applies the same shift-and-add in the same order as a per-stream
+        pipeline, so outputs are identical to sequential execution (up to
+        noise-sample ordering when ADC noise is enabled).
+        """
         if not isinstance(prepared, PreparedMatrix):
             prepared = self.prepare(prepared)
         x = np.atleast_2d(np.asarray(x, dtype=np.float64))
@@ -386,29 +545,33 @@ class CrossbarMvmEngine:
         out_value = np.zeros((batch, t_c * cols))
         for tr in range(t_r):
             row_block = slice(tr * rows, (tr + 1) * rows)
-            tr_counts = np.zeros((batch, t_c * cols))
+            # Gather the non-zero stream blocks of this tile-row in the
+            # (sign, stream) order the decode below consumes them.
+            stream_levels = []
+            stream_info = []
             for sx in x_signs:
-                sx_factor = 1.0 if sx == 0 else -1.0
                 for m in range(cfg.n_streams):
                     levels = streams[sx][m][:, row_block]
                     if not levels.any():
                         # Zero drive => exactly zero currents.
                         self.stats.skipped_zero_streams += per_stream_models
                         continue
-                    voltages = levels * self._v_lsb
-                    cache = self.tile_factory.prepare_voltages(voltages)
-                    stream_sum = levels.sum(axis=1)[:, None]
+                    stream_levels.append(levels)
+                    stream_info.append((sx, m))
+            tr_counts = np.zeros((batch, t_c * cols))
+            if stream_levels:
+                measured = self._measure_tile_row(prepared, tr,
+                                                  stream_levels, batch)
+                for s, (sx, m) in enumerate(stream_info):
+                    sx_factor = 1.0 if sx == 0 else -1.0
+                    stream_sum = stream_levels[s].sum(axis=1)[:, None]
                     stream_scale = float(2 ** (m * cfg.stream_bits))
                     for sw in prepared.sign_present:
                         sw_factor = 1.0 if sw == 0 else -1.0
                         for k in range(cfg.n_slices):
                             slice_scale = float(2 ** (k * cfg.slice_bits))
                             for tc in range(t_c):
-                                model = prepared.models[(sw, k, tr, tc)]
-                                i_raw = model.currents(voltages, cache)
-                                i_meas = self.adc.measure(i_raw)
-                                self.stats.readouts += 1
-                                self.stats.adc_conversions += i_meas.size
+                                i_meas = measured[(sw, k, tc)][s]
                                 counts = i_meas * decode \
                                     - bias_factor * stream_sum
                                 tr_counts[:, tc * cols:(tc + 1) * cols] += (
@@ -422,7 +585,8 @@ class CrossbarMvmEngine:
 
 def make_engine(kind: str, xbar_config: CrossbarConfig,
                 sim_config: FuncSimConfig,
-                emulator: GeniexEmulator | None = None):
+                emulator: GeniexEmulator | None = None,
+                tile_cache_size: int = 256):
     """Engine factory: ``ideal | geniex | analytical | decoupled | circuit``."""
     if kind == "ideal":
         return IdealMvmEngine(sim_config)
@@ -442,4 +606,5 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
         raise ConfigError(
             f"unknown engine kind {kind!r}; expected ideal, exact, geniex, "
             f"analytical, decoupled or circuit")
-    return CrossbarMvmEngine(xbar_config, sim_config, factory)
+    return CrossbarMvmEngine(xbar_config, sim_config, factory,
+                             tile_cache_size=tile_cache_size)

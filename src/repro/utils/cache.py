@@ -1,0 +1,34 @@
+"""Small bounded LRU mapping shared by the solver and engine caches."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LruDict:
+    """Insertion-bounded mapping with least-recently-used eviction.
+
+    ``max_entries <= 0`` keeps the mapping permanently empty, which callers
+    use to disable caching while keeping the code path uniform.
+    """
+
+    def __init__(self, max_entries: int):
+        self.max_entries = int(max_entries)
+        self._data: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key):
+        value = self._data.get(key)
+        if value is not None:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._data[key] = value
+        while len(self._data) > max(self.max_entries, 0):
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()

@@ -1,0 +1,113 @@
+"""Exhaustive MatrixEmulator vs GeniexEmulator agreement tests.
+
+:class:`repro.core.emulator.MatrixEmulator` folds the conductance term of
+the first layer into a precomputed bias; its docstring promises agreement
+with the general :meth:`GeniexEmulator.predict_currents` path to float32
+rounding. These tests make that promise concrete on the edge cases the
+functional simulator actually produces: single-vector batches, 1-D inputs,
+non-contiguous views and mixed float32/float64 voltages.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import build_geniex_dataset
+from repro.core.emulator import GeniexEmulator
+from repro.core.sampling import SamplingSpec
+from repro.core.trainer import TrainSpec, train_geniex
+from repro.xbar.config import CrossbarConfig
+
+CFG = CrossbarConfig(rows=4, cols=4)
+
+# Agreement tolerance: both paths run the same float32 network; they differ
+# only in where the affine first layer is split, so float32 rounding is the
+# only allowed discrepancy.
+RTOL = 1e-5
+ATOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def emulator():
+    dataset = build_geniex_dataset(
+        CFG, SamplingSpec(n_g_matrices=5, n_v_per_g=8, seed=0))
+    model, _ = train_geniex(
+        dataset, TrainSpec(hidden=24, epochs=20, batch_size=16, seed=0))
+    return GeniexEmulator(model), dataset
+
+
+def assert_paths_agree(emulator, voltages, conductance):
+    general = emulator.predict_currents(voltages, conductance)
+    fast = emulator.for_matrix(conductance).predict_currents(voltages)
+    np.testing.assert_allclose(fast, general, rtol=RTOL, atol=ATOL)
+    return general, fast
+
+
+class TestMatrixEmulatorAgreement:
+    def test_single_row_batch(self, emulator):
+        emu, dataset = emulator
+        g = dataset.conductances_s[0]
+        v = dataset.voltages_v[:1]  # (1, rows)
+        general, fast = assert_paths_agree(emu, v, g)
+        assert general.shape == fast.shape == (1, CFG.cols)
+
+    def test_one_dimensional_input(self, emulator):
+        emu, dataset = emulator
+        g = dataset.conductances_s[0]
+        v = dataset.voltages_v[0]  # (rows,)
+        general, fast = assert_paths_agree(emu, v, g)
+        assert general.shape == (1, CFG.cols)
+
+    def test_non_contiguous_voltages(self, emulator):
+        emu, dataset = emulator
+        g = dataset.conductances_s[1]
+        strided = dataset.voltages_v[:16:2]  # stride-2 view
+        assert not strided.flags["C_CONTIGUOUS"]
+        assert_paths_agree(emu, strided, g)
+        transposed = np.asfortranarray(dataset.voltages_v[:6])
+        assert not transposed.flags["C_CONTIGUOUS"]
+        general, _ = assert_paths_agree(emu, transposed, g)
+        np.testing.assert_allclose(
+            general, emu.predict_currents(dataset.voltages_v[:6], g),
+            rtol=RTOL, atol=ATOL)
+
+    def test_non_contiguous_conductance(self, emulator):
+        emu, dataset = emulator
+        big = np.zeros((2 * CFG.rows, 2 * CFG.cols))
+        big[::2, ::2] = dataset.conductances_s[2]
+        view = big[::2, ::2]
+        assert not view.flags["C_CONTIGUOUS"]
+        v = dataset.voltages_v[:5]
+        general, fast = assert_paths_agree(emu, v, view)
+        np.testing.assert_allclose(
+            general, emu.predict_currents(v, dataset.conductances_s[2]),
+            rtol=RTOL, atol=ATOL)
+
+    def test_float32_vs_float64_voltages(self, emulator):
+        emu, dataset = emulator
+        g = dataset.conductances_s[3]
+        v64 = dataset.voltages_v[:8]
+        v32 = v64.astype(np.float32)
+        out64, _ = assert_paths_agree(emu, v64, g)
+        out32, _ = assert_paths_agree(emu, v32, g)
+        # float32 inputs lose at most input-rounding precision; the network
+        # itself already runs in float32, so outputs stay close.
+        np.testing.assert_allclose(out32, out64, rtol=1e-4, atol=1e-10)
+
+    def test_zero_voltages(self, emulator):
+        emu, dataset = emulator
+        g = dataset.conductances_s[0]
+        v = np.zeros((3, CFG.rows))
+        general, fast = assert_paths_agree(emu, v, g)
+        # fR is finite, I_ideal is exactly zero => currents exactly zero.
+        np.testing.assert_array_equal(general, np.zeros((3, CFG.cols)))
+
+    def test_batched_conductance_stack_matches_per_matrix(self, emulator):
+        """The (B, rows, cols) G path agrees with per-matrix fast paths."""
+        emu, dataset = emulator
+        v = dataset.voltages_v[:3]
+        g_stack = dataset.conductances_s[:3]
+        stacked = emu.predict_currents(v, g_stack)
+        for k in range(3):
+            fast = emu.for_matrix(g_stack[k]).predict_currents(v[k])
+            np.testing.assert_allclose(stacked[k], fast[0], rtol=RTOL,
+                                       atol=ATOL)

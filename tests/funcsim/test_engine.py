@@ -135,6 +135,7 @@ class TestNonIdealEngines:
         scale = np.abs(out_a).mean()
         assert np.abs(out_a - out_d).mean() / scale < 0.2
 
+    @pytest.mark.slow
     def test_circuit_engine_small_case(self, rng):
         x = rng.normal(size=(2, 6)) * 0.3
         w = rng.normal(size=(6, 4)) * 0.3

@@ -1,0 +1,207 @@
+"""Golden-output regression tests for the batched MVM engine.
+
+``sequential_matmul`` below is a faithful copy of the pre-refactor
+``CrossbarMvmEngine.matmul`` loop (one tile-model call per stream, decode
+interleaved with the read-outs). The batched engine must reproduce it
+byte-for-byte for every tile factory, with and without the tile-result
+cache, because batching and caching are pure execution-order optimisations
+— the modelled hardware is unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import build_geniex_dataset
+from repro.core.emulator import GeniexEmulator
+from repro.core.sampling import SamplingSpec
+from repro.core.trainer import TrainSpec, train_geniex
+from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.engine import CrossbarMvmEngine, make_engine
+from repro.funcsim.slicing import sign_split, split_unsigned
+from repro.funcsim.tiles import pad_axis
+from repro.xbar.config import CrossbarConfig
+
+XCFG = CrossbarConfig(rows=8, cols=8)
+SCFG = FuncSimConfig().with_precision(8)
+
+
+def sequential_matmul(engine: CrossbarMvmEngine, x, prepared) -> np.ndarray:
+    """The pre-refactor per-stream pipeline, kept verbatim as the oracle."""
+    cfg, xcfg = engine.sim_config, engine.xbar_config
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    batch = x.shape[0]
+    rows, cols = xcfg.rows, xcfg.cols
+    t_r, t_c = prepared.t_r, prepared.t_c
+    qx = cfg.activation_format.quantize_to_int(x)
+    qx = pad_axis(qx, 1, rows)
+    x_parts = sign_split(qx)
+    x_signs = [k for k, part in enumerate(x_parts) if np.any(part)] or [0]
+    streams = {sx: split_unsigned(x_parts[sx],
+                                  cfg.activation_format.magnitude_bits,
+                                  cfg.stream_bits)
+               for sx in x_signs}
+    value_lsb = (cfg.activation_format.resolution *
+                 cfg.weight_format.resolution)
+    acc = cfg.accumulator_format
+    bias_factor = xcfg.g_off_s / engine._g_lsb
+    decode = 1.0 / (engine._v_lsb * engine._g_lsb)
+    out_value = np.zeros((batch, t_c * cols))
+    for tr in range(t_r):
+        row_block = slice(tr * rows, (tr + 1) * rows)
+        tr_counts = np.zeros((batch, t_c * cols))
+        for sx in x_signs:
+            sx_factor = 1.0 if sx == 0 else -1.0
+            for m in range(cfg.n_streams):
+                levels = streams[sx][m][:, row_block]
+                if not levels.any():
+                    continue
+                voltages = levels * engine._v_lsb
+                cache = engine.tile_factory.prepare_voltages(voltages)
+                stream_sum = levels.sum(axis=1)[:, None]
+                stream_scale = float(2 ** (m * cfg.stream_bits))
+                for sw in prepared.sign_present:
+                    sw_factor = 1.0 if sw == 0 else -1.0
+                    for k in range(cfg.n_slices):
+                        slice_scale = float(2 ** (k * cfg.slice_bits))
+                        for tc in range(t_c):
+                            model = prepared.models[(sw, k, tr, tc)]
+                            i_meas = engine.adc.measure(
+                                model.currents(voltages, cache))
+                            counts = i_meas * decode \
+                                - bias_factor * stream_sum
+                            tr_counts[:, tc * cols:(tc + 1) * cols] += (
+                                sx_factor * sw_factor * stream_scale
+                                * slice_scale * counts)
+        out_value = acc.quantize(out_value + tr_counts * value_lsb)
+    return out_value[:, :prepared.n_out]
+
+
+@pytest.fixture(scope="module")
+def geniex_emulator():
+    cfg = CrossbarConfig(rows=4, cols=4)
+    dataset = build_geniex_dataset(
+        cfg, SamplingSpec(n_g_matrices=5, n_v_per_g=8, seed=0))
+    model, _ = train_geniex(
+        dataset, TrainSpec(hidden=24, epochs=20, batch_size=16, seed=0))
+    return GeniexEmulator(model)
+
+
+@pytest.fixture
+def operands(rng):
+    x = rng.normal(size=(5, 20)) * 0.4
+    w = rng.normal(size=(20, 13)) * 0.3
+    return x, w
+
+
+class TestGoldenEquivalence:
+    """Batched matmul is byte-for-byte the sequential pipeline."""
+
+    @pytest.mark.parametrize("kind", ["exact", "analytical", "decoupled"])
+    def test_fast_factories(self, kind, operands):
+        x, w = operands
+        engine = make_engine(kind, XCFG, SCFG)
+        prepared = engine.prepare(w)
+        golden = sequential_matmul(engine, x, prepared)
+        np.testing.assert_array_equal(engine.matmul(x, prepared), golden)
+
+    @pytest.mark.slow
+    def test_circuit_factory(self, rng):
+        cfg = FuncSimConfig().with_precision(6)
+        xcfg = CrossbarConfig(rows=6, cols=6)
+        engine = make_engine("circuit", xcfg, cfg)
+        x = rng.normal(size=(2, 6)) * 0.3
+        w = rng.normal(size=(6, 4)) * 0.3
+        prepared = engine.prepare(w)
+        golden = sequential_matmul(engine, x, prepared)
+        np.testing.assert_array_equal(engine.matmul(x, prepared), golden)
+
+    def test_geniex_factory(self, geniex_emulator, rng):
+        cfg = FuncSimConfig().with_precision(6)
+        xcfg = CrossbarConfig(rows=4, cols=4)
+        engine = make_engine("geniex", xcfg, cfg, emulator=geniex_emulator)
+        x = rng.normal(size=(4, 10)) * 0.3
+        w = rng.normal(size=(10, 7)) * 0.3
+        prepared = engine.prepare(w)
+        golden = sequential_matmul(engine, x, prepared)
+        np.testing.assert_array_equal(engine.matmul(x, prepared), golden)
+
+    def test_negative_and_sparse_inputs(self, rng):
+        engine = make_engine("analytical", XCFG, SCFG)
+        x = np.where(rng.random((6, 20)) < 0.5, 0.0,
+                     rng.normal(size=(6, 20))) * 0.4
+        w = rng.normal(size=(20, 13)) * 0.3
+        prepared = engine.prepare(w)
+        golden = sequential_matmul(engine, x, prepared)
+        np.testing.assert_array_equal(engine.matmul(x, prepared), golden)
+
+    def test_empty_batch(self, operands):
+        _, w = operands
+        engine = make_engine("analytical", XCFG, SCFG)
+        prepared = engine.prepare(w)
+        out = engine.matmul(np.zeros((0, 20)), prepared)
+        assert out.shape == (0, 13)
+
+
+class TestTileResultCache:
+    def test_cache_hits_do_not_change_results(self, operands):
+        x, w = operands
+        engine = make_engine("analytical", XCFG, SCFG)
+        prepared = engine.prepare(w)
+        cold = engine.matmul(x, prepared)
+        assert engine.stats.cache_hits == 0
+        warm = engine.matmul(x, prepared)
+        assert engine.stats.cache_hits > 0
+        np.testing.assert_array_equal(warm, cold)
+        # And both equal the uncached sequential oracle.
+        np.testing.assert_array_equal(cold,
+                                      sequential_matmul(engine, x, prepared))
+
+    def test_cache_respects_prepared_identity(self, operands, rng):
+        """Two different weight matrices must never share cache entries."""
+        x, w = operands
+        w2 = rng.normal(size=w.shape) * 0.3
+        engine = make_engine("analytical", XCFG, SCFG)
+        p1, p2 = engine.prepare(w), engine.prepare(w2)
+        out1 = engine.matmul(x, p1)
+        out2 = engine.matmul(x, p2)  # same x: identical stream patterns
+        reference = make_engine("analytical", XCFG, SCFG,
+                                tile_cache_size=0)
+        np.testing.assert_array_equal(out1, reference.matmul(x, p1))
+        np.testing.assert_array_equal(out2, reference.matmul(x, p2))
+
+    def test_cache_disabled_by_size_zero(self, operands):
+        x, w = operands
+        engine = make_engine("analytical", XCFG, SCFG, tile_cache_size=0)
+        assert engine.tile_cache is None
+        prepared = engine.prepare(w)
+        engine.matmul(x, prepared)
+        engine.matmul(x, prepared)
+        assert engine.stats.cache_hits == 0
+
+    def test_cache_disabled_under_adc_noise(self):
+        noisy = SCFG.replace(adc_noise_lsb=0.5)
+        engine = make_engine("analytical", XCFG, noisy)
+        assert engine.tile_cache is None
+
+    def test_lru_eviction_bounded(self, operands):
+        x, w = operands
+        engine = make_engine("analytical", XCFG, SCFG, tile_cache_size=4)
+        prepared = engine.prepare(w)
+        engine.matmul(x, prepared)
+        assert len(engine.tile_cache) <= 4
+
+    def test_stats_count_logical_readouts(self, operands):
+        """Cache hits keep hardware stats identical to uncached runs."""
+        x, w = operands
+        cached = make_engine("analytical", XCFG, SCFG)
+        uncached = make_engine("analytical", XCFG, SCFG, tile_cache_size=0)
+        pc, pu = cached.prepare(w), uncached.prepare(w)
+        for engine, prepared in ((cached, pc), (uncached, pu)):
+            engine.matmul(x, prepared)
+            engine.matmul(x, prepared)
+        assert cached.stats.readouts == uncached.stats.readouts
+        assert cached.stats.adc_conversions == uncached.stats.adc_conversions
+        assert cached.stats.skipped_zero_streams == \
+            uncached.stats.skipped_zero_streams
+        assert cached.stats.cache_hits > 0
+        assert uncached.stats.cache_hits == 0

@@ -9,6 +9,10 @@ import numpy as np
 import pytest
 
 from repro.analytical import AnalyticalLinearModel
+
+# Full-circuit dataset generation + training: the heaviest validation in
+# the suite, filterable in CI via `-m "not slow"`.
+pytestmark = pytest.mark.slow
 from repro.core import (
     GeniexEmulator,
     SamplingSpec,
