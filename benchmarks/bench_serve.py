@@ -1,0 +1,182 @@
+"""Load generator for the serving layer: microbatching vs per-request.
+
+Boots a real :class:`EmulationServer` (random port, background thread) and
+hammers the ``/v1/matmul`` endpoint with a realistic DNN-layer workload: a
+64x32 weight matrix mapped onto 16x16 GENIEx crossbar tiles (4x2 tile
+grid, paper-default 16-bit formats), one input vector per request, from
+``C`` concurrent keep-alive client connections. Two server configurations
+are compared at identical load:
+
+* **microbatch** — ``max_batch_rows=64``, 2 ms flush deadline: concurrent
+  single-vector requests coalesce into large engine batches;
+* **per-request** — ``max_batch_rows=1``: every request is dispatched as
+  its own engine call (the pre-serving execution model).
+
+Results (requests/sec at concurrency 1/16/64, mean coalesced batch size,
+speedups) are printed and written to ``BENCH_serve.json`` at the repo
+root. Asserted invariant: at concurrency 64 microbatching sustains >= 5x
+the per-request throughput, with real coalescing (mean batch > 4 rows).
+
+Run with ``pytest benchmarks/bench_serve.py -s`` or directly with
+``PYTHONPATH=src python benchmarks/bench_serve.py``.
+"""
+
+import json
+import os
+import tempfile
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.zoo import GeniexZoo
+from repro.serve.client import ServeClient, ServerBusyError
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import EmulationServer, ServerThread
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUTPUT = os.path.join(ROOT, "BENCH_serve.json")
+
+MODEL = {
+    "rows": 16, "cols": 16,
+    "sampling": {"n_g_matrices": 6, "n_v_per_g": 10, "seed": 0},
+    "training": {"hidden": 32, "epochs": 15, "batch_size": 32, "seed": 0},
+}
+LAYER_SHAPE = (64, 32)  # spans a 4x2 grid of 16x16 crossbar tiles
+CONCURRENCY = (1, 16, 64)
+MEASURE_S = 2.0
+WARMUP_S = 0.4
+SPEEDUP_FLOOR = 5.0
+
+
+def _cache_dir():
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return env or os.path.join(tempfile.gettempdir(), "repro-bench-serve")
+
+
+def _boot(max_batch_rows: int):
+    registry = ModelRegistry(GeniexZoo(cache_dir=_cache_dir()),
+                             tile_cache_size=0)  # measure the model, not
+    server = EmulationServer(registry,          # the tile-result cache
+                             max_batch_rows=max_batch_rows,
+                             flush_deadline_s=0.002,
+                             max_queue_rows=8192)
+    return ServerThread(server)
+
+
+def _workload(port: int, weights_key: str, concurrency: int):
+    """Fire single-vector matmul requests from ``concurrency`` clients.
+
+    Thread-per-connection load generation in-process: on the small CI
+    boxes this repo targets (often one core) extra load-generator
+    processes only add scheduler thrash, and the client-side work is
+    identical for both server configurations, so the comparison stays
+    fair.
+    """
+    rng = np.random.default_rng(42)
+    vectors = rng.standard_normal((256, LAYER_SHAPE[0])).tolist()
+    stop = threading.Event()
+    counts = [0] * concurrency
+    rejected = [0] * concurrency
+    errors = []
+    start_barrier = threading.Barrier(concurrency + 1)
+
+    def worker(wid):
+        try:
+            with ServeClient("127.0.0.1", port, timeout=60) as client:
+                start_barrier.wait()
+                i = wid
+                while not stop.is_set():
+                    try:
+                        client.matmul(vectors[i % len(vectors)],
+                                      weights_key=weights_key)
+                        counts[wid] += 1
+                    except ServerBusyError:
+                        rejected[wid] += 1
+                        time.sleep(0.001)
+                    i += 1
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(w,))
+               for w in range(concurrency)]
+    for t in threads:
+        t.start()
+    start_barrier.wait()
+    time.sleep(WARMUP_S)
+    baseline = sum(counts)
+    t0 = time.perf_counter()
+    time.sleep(MEASURE_S)
+    measured = sum(counts) - baseline
+    elapsed = time.perf_counter() - t0
+    stop.set()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return measured / elapsed, sum(rejected)
+
+
+def _run_mode(label: str, max_batch_rows: int) -> dict:
+    results = {}
+    for concurrency in CONCURRENCY:
+        with _boot(max_batch_rows) as handle:
+            with ServeClient("127.0.0.1", handle.port, timeout=300) as c:
+                c.load_model(MODEL)
+                weights = (np.random.default_rng(7)
+                           .standard_normal(LAYER_SHAPE) * 0.4)
+                key = c.register_weights(MODEL, weights, engine="geniex")
+                rps, rejected = _workload(handle.port, key, concurrency)
+                micro = c.metrics()["microbatch"]
+            results[str(concurrency)] = {
+                "requests_per_s": round(rps, 1),
+                "rejected": rejected,
+                "mean_batch_rows": round(micro["mean_rows_per_batch"], 2),
+                "batches": micro["batches"],
+            }
+            print(f"{label:<12} c={concurrency:<3} "
+                  f"{rps:>8.1f} req/s   "
+                  f"mean batch {micro['mean_rows_per_batch']:.2f} rows "
+                  f"({rejected} rejected)")
+    return results
+
+
+def run_bench() -> dict:
+    print(f"\nserving benchmark: 64x32 layer on 16x16 GENIEx crossbar "
+          f"tiles, {MEASURE_S:.0f}s per point, zoo cache at {_cache_dir()}")
+    micro = _run_mode("microbatch", 64)
+    single = _run_mode("per-request", 1)
+    speedups = {c: round(micro[c]["requests_per_s"]
+                         / single[c]["requests_per_s"], 2)
+                for c in micro}
+    report = {
+        "workload": "POST /v1/matmul, one 64-vector per request, 64x32 "
+                    "weight layer on 16x16 geniex crossbar tiles, "
+                    "paper-default 16-bit formats",
+        "measure_seconds": MEASURE_S,
+        "microbatch": micro,
+        "per_request": single,
+        "speedup": speedups,
+    }
+    with open(OUTPUT, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nspeedup vs per-request dispatch: "
+          + "  ".join(f"c={c}: {s:.2f}x" for c, s in speedups.items()))
+    print(f"wrote {OUTPUT}")
+    return report
+
+
+@pytest.mark.bench
+def test_serve_throughput_scales_with_microbatching():
+    report = run_bench()
+    assert report["speedup"]["64"] >= SPEEDUP_FLOOR
+    # Microbatching must actually be coalescing at high concurrency…
+    assert report["microbatch"]["64"]["mean_batch_rows"] > 4.0
+    # …while per-request dispatch stays at batch size 1 by construction.
+    assert report["per_request"]["64"]["mean_batch_rows"] == 1.0
+
+
+if __name__ == "__main__":
+    run_bench()

@@ -4,7 +4,8 @@ Commands:
 
 * ``characterize`` — NF statistics of a crossbar configuration;
 * ``train-geniex`` — characterise + fit a GENIEx model (cached in the zoo);
-* ``fig`` — regenerate one of the paper's figures/tables from the terminal.
+* ``fig`` — regenerate one of the paper's figures/tables from the terminal;
+* ``serve`` — run the async emulation service with dynamic microbatching.
 
 Every option maps 1:1 onto :class:`repro.xbar.config.CrossbarConfig` and the
 experiment profiles, so the CLI is a thin, scriptable veneer over the same
@@ -111,6 +112,44 @@ def _cmd_fig(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.core.zoo import GeniexZoo
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.server import EmulationServer
+
+    registry = ModelRegistry(
+        GeniexZoo(cache_dir=args.cache_dir, verbose=True,
+                  max_memory_entries=args.max_models),
+        max_models=args.max_models,
+        tile_cache_size=args.tile_cache)
+    server = EmulationServer(
+        registry,
+        max_batch_rows=args.max_batch,
+        flush_deadline_s=args.flush_deadline_ms / 1000.0,
+        max_queue_rows=args.max_queue,
+        max_workers=args.workers)
+
+    async def run() -> None:
+        await server.start(args.host, args.port)
+        print(f"repro serve listening on http://{server.host}:{server.port} "
+              f"(max_batch={args.max_batch}, "
+              f"flush_deadline={args.flush_deadline_ms:g} ms)", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", flush=True)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -139,6 +178,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig = sub.add_parser("fig", help="regenerate a paper figure/table")
     p_fig.add_argument("name", choices=sorted(_FIG_RUNNERS))
     p_fig.set_defaults(func=_cmd_fig)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the emulation service (JSON over HTTP)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8000,
+                         help="0 picks a free port")
+    p_serve.add_argument("--max-batch", type=int, default=64,
+                         help="rows per coalesced microbatch")
+    p_serve.add_argument("--flush-deadline-ms", type=float, default=2.0,
+                         help="max time a queued request waits for peers")
+    p_serve.add_argument("--max-queue", type=int, default=4096,
+                         help="pending rows per key before 429")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="executor threads running batched model calls")
+    p_serve.add_argument("--max-models", type=int, default=8,
+                         help="warm emulators kept in memory (LRU)")
+    p_serve.add_argument("--tile-cache", type=int, default=256,
+                         help="per-engine tile-result LRU size; 0 disables")
+    p_serve.add_argument("--cache-dir", default=None,
+                         help="GENIEx zoo directory (default: "
+                              "$REPRO_CACHE_DIR or ~/.cache/repro/geniex)")
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -17,33 +17,53 @@ import numpy as np
 
 from repro.core.model import GeniexNet
 from repro.errors import NotFittedError, ShapeError
+from repro.utils.numerics import batch_invariant_matmul
 from repro.xbar.ideal import ideal_mvm
 
 
 class MatrixEmulator:
-    """Fast per-crossbar emulator with the G-term folded into the bias."""
+    """Fast per-crossbar emulator with the G-term folded into the bias.
 
-    def __init__(self, emulator: "GeniexEmulator", conductance_s: np.ndarray):
+    ``batch_invariant=True`` routes every matmul through
+    :func:`repro.utils.numerics.batch_invariant_matmul`, so the prediction
+    for a voltage vector is bitwise independent of whatever else shares its
+    batch. The serving layer relies on this: dynamically coalesced requests
+    must return byte-identical results to a direct per-request call. The
+    default BLAS path is faster and agrees to float rounding (tested).
+    """
+
+    def __init__(self, emulator: "GeniexEmulator", conductance_s: np.ndarray,
+                 batch_invariant: bool = False):
         self._norm = emulator.normalizer
         self._model = emulator.model
+        self.batch_invariant = bool(batch_invariant)
         self.conductance_s = np.asarray(conductance_s, dtype=float)
         w1v, w1g, b1 = self._model.first_layer_views()
         g_norm = self._norm.normalize_g(self.conductance_s).reshape(-1)
-        self._w1v = w1v
+        self._w1v_t = np.ascontiguousarray(w1v.T)
         self._hidden_bias = (g_norm @ w1g.T + b1).astype(np.float32)
+
+    def _matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if self.batch_invariant:
+            return batch_invariant_matmul(a, b)
+        return a @ b
 
     def predict_fr(self, voltages_v: np.ndarray) -> np.ndarray:
         """Distortion ratio fR for a batch of voltage vectors ``(B, rows)``."""
         v_norm = self._norm.normalize_v(np.atleast_2d(voltages_v))
-        hidden = v_norm @ self._w1v.T + self._hidden_bias
-        fr_norm = self._model.forward_hidden(hidden)
+        hidden = self._matmul(v_norm, self._w1v_t) + self._hidden_bias
+        fr_norm = self._model.forward_hidden(
+            hidden, matmul=self._matmul if self.batch_invariant else None)
         return self._norm.denormalize_fr(fr_norm)
 
     def predict_currents(self, voltages_v: np.ndarray) -> np.ndarray:
         """Non-ideal currents ``I_ideal / fR`` for a voltage batch."""
         voltages_v = np.atleast_2d(np.asarray(voltages_v, dtype=float))
         fr = self.predict_fr(voltages_v)
-        i_ideal = ideal_mvm(voltages_v, self.conductance_s)
+        if self.batch_invariant:
+            i_ideal = batch_invariant_matmul(voltages_v, self.conductance_s)
+        else:
+            i_ideal = ideal_mvm(voltages_v, self.conductance_s)
         return i_ideal / fr
 
 
@@ -101,11 +121,13 @@ class GeniexEmulator:
             i_ideal = np.einsum("ni,nij->nj", voltages_v, conductance_s)
         return i_ideal / fr
 
-    def for_matrix(self, conductance_s) -> MatrixEmulator:
+    def for_matrix(self, conductance_s,
+                   batch_invariant: bool = False) -> MatrixEmulator:
         """Specialise to one programmed crossbar (precomputes the G term)."""
         conductance_s = np.asarray(conductance_s, dtype=float)
         if conductance_s.shape != (self.rows, self.cols):
             raise ShapeError(
                 f"expected G of shape ({self.rows}, {self.cols}), "
                 f"got {conductance_s.shape}")
-        return MatrixEmulator(self, conductance_s)
+        return MatrixEmulator(self, conductance_s,
+                              batch_invariant=batch_invariant)

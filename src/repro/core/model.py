@@ -124,13 +124,22 @@ class GeniexNet(Module):
         w1 = first.weight.data
         return w1[:, :self.rows], w1[:, self.rows:], first.bias.data
 
-    def forward_hidden(self, hidden: np.ndarray) -> np.ndarray:
-        """Run the layers after the first ReLU on a raw hidden batch."""
+    def forward_hidden(self, hidden: np.ndarray, matmul=None) -> np.ndarray:
+        """Run the layers after the first ReLU on a raw hidden batch.
+
+        ``matmul`` overrides the matrix product (default BLAS ``@``); the
+        serving layer passes a batch-invariant kernel here so predictions
+        do not depend on how requests were coalesced into the batch.
+        """
         np.maximum(hidden, 0.0, out=hidden)
         layers = list(self.body)[2:]
         for layer in layers:
             if isinstance(layer, Linear):
-                hidden = hidden @ layer.weight.data.T + layer.bias.data
+                if matmul is None:
+                    hidden = hidden @ layer.weight.data.T
+                else:
+                    hidden = matmul(hidden, layer.weight.data.T)
+                hidden = hidden + layer.bias.data
             else:
                 np.maximum(hidden, 0.0, out=hidden)
         return hidden

@@ -13,6 +13,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
+import threading
 
 import numpy as np
 
@@ -22,6 +24,7 @@ from repro.core.model import GeniexNet, Normalizer
 from repro.core.sampling import SamplingSpec
 from repro.core.trainer import TrainSpec, train_geniex
 from repro.errors import SerializationError
+from repro.utils.cache import LruDict
 from repro.xbar.config import CrossbarConfig
 
 
@@ -36,10 +39,26 @@ def default_cache_dir() -> str:
 class GeniexZoo:
     """Train-once cache of :class:`GeniexEmulator` instances."""
 
-    def __init__(self, cache_dir: str | None = None, verbose: bool = False):
+    def __init__(self, cache_dir: str | None = None, verbose: bool = False,
+                 max_memory_entries: int = 32):
         self.cache_dir = cache_dir or default_cache_dir()
         self.verbose = verbose
-        self._memory: dict[str, GeniexEmulator] = {}
+        # Bounded LRU: evicted emulators reload from disk in milliseconds,
+        # while an unbounded dict would pin every trained network a
+        # long-running process (e.g. the serving registry) ever touched.
+        self._memory = LruDict(max_memory_entries)
+        # ``_mutex`` guards the per-key lock table; per-key locks serialise
+        # concurrent get-or-train calls for the same artifact so
+        # characterisation + training runs at most once.
+        self._mutex = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+
+    def _lock_for(self, key: str) -> threading.Lock:
+        with self._mutex:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = threading.Lock()
+            return lock
 
     # ------------------------------------------------------------------
     # Keys and paths
@@ -63,9 +82,19 @@ class GeniexZoo:
     # ------------------------------------------------------------------
     @staticmethod
     def save_model(model: GeniexNet, path: str) -> None:
+        """Atomically write a model artifact.
+
+        The archive is written to a temporary sibling file and moved into
+        place with :func:`os.replace`, so readers either see the complete
+        previous artifact or the complete new one — never a half-written
+        ``.npz`` — and a crash mid-write leaves the target untouched.
+        Concurrent writers race benignly: both produce identical,
+        deterministic artifacts and the last rename wins.
+        """
         if model.normalizer is None:
             raise SerializationError("cannot save a model without normalizer")
-        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        path = os.path.abspath(path)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
         meta = {
             "rows": model.rows,
             "cols": model.cols,
@@ -76,20 +105,45 @@ class GeniexZoo:
         arrays = {f"param::{k}": v for k, v in model.state_dict().items()}
         arrays["meta_json"] = np.frombuffer(
             json.dumps(meta).encode(), dtype=np.uint8)
-        np.savez(path, **arrays)
+        fd, tmp_path = tempfile.mkstemp(
+            suffix=".npz", prefix=".tmp-", dir=os.path.dirname(path))
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                # savez would append ".npz" to a bare path; a file object
+                # writes exactly where the temp file lives.
+                np.savez(handle, **arrays)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
 
     @staticmethod
     def load_model(path: str) -> GeniexNet:
         if not os.path.exists(path):
             raise SerializationError(f"no GENIEx artifact at {path}")
-        with np.load(path) as archive:
-            meta = json.loads(bytes(archive["meta_json"]).decode())
-            state = {k[len("param::"):]: archive[k]
-                     for k in archive.files if k.startswith("param::")}
-        model = GeniexNet(meta["rows"], meta["cols"], hidden=meta["hidden"],
-                          hidden_layers=meta.get("hidden_layers", 1),
-                          normalizer=Normalizer(**meta["normalizer"]))
-        model.load_state_dict(state)
+        try:
+            with np.load(path) as archive:
+                meta = json.loads(bytes(archive["meta_json"]).decode())
+                state = {k[len("param::"):]: archive[k]
+                         for k in archive.files if k.startswith("param::")}
+            # Construction stays inside the wrapper: a schema-mismatched
+            # artifact (missing meta key, wrong parameter shapes) is just
+            # as unusable as a truncated one and must also surface as
+            # SerializationError so get_or_train falls back to retraining.
+            model = GeniexNet(meta["rows"], meta["cols"],
+                              hidden=meta["hidden"],
+                              hidden_layers=meta.get("hidden_layers", 1),
+                              normalizer=Normalizer(**meta["normalizer"]))
+            model.load_state_dict(state)
+        except SerializationError:
+            raise
+        except Exception as exc:
+            raise SerializationError(
+                f"corrupt, unreadable or schema-mismatched GENIEx "
+                f"artifact at {path}: {exc}") from exc
         model.eval()
         return model
 
@@ -105,22 +159,55 @@ class GeniexZoo:
         sampling = sampling or SamplingSpec()
         training = training or TrainSpec()
         key = self.artifact_key(config, sampling, training, mode)
-        if key in self._memory:
-            return self._memory[key]
-        path = self._path(key)
-        if os.path.exists(path):
-            emulator = GeniexEmulator(self.load_model(path))
-            self._memory[key] = emulator
-            return emulator
-        if self.verbose or progress:
-            print(f"[geniex-zoo] training model for "
-                  f"{config.rows}x{config.cols} r_on={config.r_on_ohm:g} "
-                  f"onoff={config.onoff_ratio:g} "
-                  f"v={config.v_supply_v:g} (key {key})", flush=True)
-        dataset = build_geniex_dataset(config, sampling, mode=mode,
-                                       progress=progress)
-        model, _ = train_geniex(dataset, training, verbose=progress)
-        self.save_model(model, path)
-        emulator = GeniexEmulator(model)
-        self._memory[key] = emulator
-        return emulator
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        try:
+            with self._lock_for(key):
+                # Re-check under the key lock: a concurrent caller may have
+                # trained (or loaded) the artifact while we waited.
+                cached = self._memory.get(key)
+                if cached is not None:
+                    return cached
+                path = self._path(key)
+                emulator = self._load_if_present(path)
+                if emulator is None:
+                    if self.verbose or progress:
+                        print(f"[geniex-zoo] training model for "
+                              f"{config.rows}x{config.cols} "
+                              f"r_on={config.r_on_ohm:g} "
+                              f"onoff={config.onoff_ratio:g} "
+                              f"v={config.v_supply_v:g} (key {key})",
+                              flush=True)
+                    dataset = build_geniex_dataset(config, sampling,
+                                                   mode=mode,
+                                                   progress=progress)
+                    model, _ = train_geniex(dataset, training,
+                                            verbose=progress)
+                    self.save_model(model, path)
+                    emulator = GeniexEmulator(model)
+                self._memory.put(key, emulator)
+                return emulator
+        finally:
+            # Drop idle per-key locks so the table is bounded by in-flight
+            # training runs, not by every key ever requested. A waiter that
+            # raced the drop keeps its reference and at worst repeats the
+            # (idempotent, atomically-saved) load/train.
+            with self._mutex:
+                lock = self._key_locks.get(key)
+                if lock is not None and not lock.locked():
+                    del self._key_locks[key]
+
+    def _load_if_present(self, path: str) -> GeniexEmulator | None:
+        """Load an artifact if it exists and is readable.
+
+        A missing file means "train it"; so does an unreadable one (e.g.
+        an artifact from an older, non-atomic writer that crashed mid-save)
+        — retraining simply rewrites it atomically.
+        """
+        if not os.path.exists(path):
+            return None
+        try:
+            return GeniexEmulator(self.load_model(path))
+        except SerializationError:
+            return None

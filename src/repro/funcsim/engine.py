@@ -63,6 +63,7 @@ from repro.funcsim.config import FuncSimConfig
 from repro.funcsim.slicing import sign_split, split_unsigned
 from repro.funcsim.tiles import n_tiles, pad_axis, tile_matrix
 from repro.utils.cache import LruDict
+from repro.utils.numerics import batch_invariant_matmul
 from repro.xbar.config import CrossbarConfig
 from repro.xbar.ideal import ideal_mvm
 from repro.xbar.mapping import conductances_from_levels
@@ -73,6 +74,15 @@ from scipy.sparse.linalg import splu
 # ----------------------------------------------------------------------
 # Tile models
 # ----------------------------------------------------------------------
+def _select_matmul(batch_invariant: bool):
+    """Tile-math matrix product: BLAS by default, einsum when the caller
+    needs per-row results that are independent of the batch size (see
+    :func:`repro.utils.numerics.batch_invariant_matmul`)."""
+    if batch_invariant:
+        return batch_invariant_matmul
+    return np.matmul
+
+
 class ExactTileFactory:
     """Ideality oracle: tiles compute the exact analog dot product.
 
@@ -85,8 +95,10 @@ class ExactTileFactory:
 
     name = "exact"
 
-    def __init__(self, config: CrossbarConfig):
+    def __init__(self, config: CrossbarConfig, batch_invariant: bool = False):
         self.config = config
+        self.batch_invariant = bool(batch_invariant)
+        self._matmul = _select_matmul(batch_invariant)
 
     def check_crossbar(self, config: CrossbarConfig) -> None:
         if config.shape != self.config.shape:
@@ -97,9 +109,12 @@ class ExactTileFactory:
 
     def build(self, conductance_s: np.ndarray):
         g = np.asarray(conductance_s, dtype=float)
+        matmul = self._matmul if self.batch_invariant else None
 
         class _Tile:
             def currents(self, voltages_v, cache=None):
+                if matmul is not None:
+                    return matmul(np.atleast_2d(voltages_v), g)
                 return ideal_mvm(voltages_v, g)
 
         return _Tile()
@@ -110,8 +125,11 @@ class GeniexTileFactory:
 
     name = "geniex"
 
-    def __init__(self, emulator: GeniexEmulator):
+    def __init__(self, emulator: GeniexEmulator,
+                 batch_invariant: bool = False):
         self.emulator = emulator
+        self.batch_invariant = bool(batch_invariant)
+        self._matmul = _select_matmul(batch_invariant)
         w1v, _, _ = emulator.model.first_layer_views()
         self._w1v_t = np.ascontiguousarray(w1v.T)
 
@@ -125,7 +143,7 @@ class GeniexTileFactory:
     def prepare_voltages(self, voltages_v: np.ndarray):
         """Hidden-layer voltage term, shared by every tile in a tile-row."""
         v_norm = self.emulator.normalizer.normalize_v(voltages_v)
-        return v_norm @ self._w1v_t
+        return self._matmul(v_norm, self._w1v_t)
 
     def build(self, conductance_s: np.ndarray) -> "GeniexTileModel":
         return GeniexTileModel(self, conductance_s)
@@ -147,9 +165,15 @@ class GeniexTileModel:
         if cache is None:
             cache = factory.prepare_voltages(voltages_v)
         hidden = cache + self._hidden_bias
-        fr_norm = factory.emulator.model.forward_hidden(hidden)
+        fr_norm = factory.emulator.model.forward_hidden(
+            hidden, matmul=factory._matmul if factory.batch_invariant
+            else None)
         fr = factory.emulator.normalizer.denormalize_fr(fr_norm)
-        i_ideal = ideal_mvm(voltages_v, self.conductance_s)
+        if factory.batch_invariant:
+            i_ideal = factory._matmul(np.atleast_2d(voltages_v),
+                                      self.conductance_s)
+        else:
+            i_ideal = ideal_mvm(voltages_v, self.conductance_s)
         return i_ideal / fr
 
 
@@ -165,8 +189,10 @@ class AnalyticalTileFactory:
 
     name = "analytical"
 
-    def __init__(self, config: CrossbarConfig):
+    def __init__(self, config: CrossbarConfig, batch_invariant: bool = False):
         self.config = config
+        self.batch_invariant = bool(batch_invariant)
+        self._matmul = _select_matmul(batch_invariant)
         self._solver = LinearCrossbarSolver(config)
 
     def check_crossbar(self, config: CrossbarConfig) -> None:
@@ -178,15 +204,16 @@ class AnalyticalTileFactory:
 
     def build(self, conductance_s: np.ndarray) -> "AnalyticalTileModel":
         return AnalyticalTileModel(
-            self._solver.transfer_matrix(conductance_s))
+            self._solver.transfer_matrix(conductance_s), self._matmul)
 
 
 class AnalyticalTileModel:
-    def __init__(self, transfer: np.ndarray):
+    def __init__(self, transfer: np.ndarray, matmul=np.matmul):
         self._transfer = transfer
+        self._matmul = matmul
 
     def currents(self, voltages_v: np.ndarray, cache=None) -> np.ndarray:
-        return np.atleast_2d(voltages_v) @ self._transfer
+        return self._matmul(np.atleast_2d(voltages_v), self._transfer)
 
 
 class DecoupledTileFactory:
@@ -586,22 +613,47 @@ class CrossbarMvmEngine:
 def make_engine(kind: str, xbar_config: CrossbarConfig,
                 sim_config: FuncSimConfig,
                 emulator: GeniexEmulator | None = None,
-                tile_cache_size: int = 256):
-    """Engine factory: ``ideal | geniex | analytical | decoupled | circuit``."""
+                tile_cache_size: int = 256,
+                batch_invariant: bool = False):
+    """Engine factory: ``ideal | geniex | analytical | decoupled | circuit``.
+
+    ``batch_invariant=True`` routes tile matmuls through the einsum kernel
+    so each output row is bitwise independent of the batch it shares (the
+    serving layer needs this; see :mod:`repro.utils.numerics`). Supported
+    for ``geniex``, ``exact`` and ``analytical``; ``ideal`` is inherently
+    invariant (exact integer arithmetic); the iterative ``decoupled`` and
+    ``circuit`` models are not, and reject the flag. Invariance also
+    requires a deterministic, zero-preserving ADC: the engine skips
+    all-zero stream blocks *per batch*, which only equals per-row
+    execution when ``measure(0) == 0``, so converter offset or noise is
+    rejected too.
+    """
     if kind == "ideal":
         return IdealMvmEngine(sim_config)
+    if batch_invariant and (sim_config.adc_offset_lsb != 0.0
+                            or sim_config.adc_noise_lsb != 0.0):
+        raise ConfigError(
+            "batch-invariant execution requires a deterministic, "
+            "zero-preserving ADC (adc_offset_lsb == adc_noise_lsb == 0); "
+            "zero-drive stream blocks are skipped per batch and would "
+            "otherwise measure differently depending on batch composition")
     if kind == "geniex":
         if emulator is None:
             raise ConfigError("geniex engine requires a trained emulator")
-        factory = GeniexTileFactory(emulator)
+        factory = GeniexTileFactory(emulator, batch_invariant=batch_invariant)
     elif kind == "exact":
-        factory = ExactTileFactory(xbar_config)
+        factory = ExactTileFactory(xbar_config,
+                                   batch_invariant=batch_invariant)
     elif kind == "analytical":
-        factory = AnalyticalTileFactory(xbar_config)
-    elif kind == "decoupled":
-        factory = DecoupledTileFactory(xbar_config)
-    elif kind == "circuit":
-        factory = CircuitTileFactory(xbar_config)
+        factory = AnalyticalTileFactory(xbar_config,
+                                        batch_invariant=batch_invariant)
+    elif kind in ("decoupled", "circuit"):
+        if batch_invariant:
+            raise ConfigError(
+                f"batch-invariant execution is not supported for the "
+                f"iterative {kind!r} tile model")
+        factory = DecoupledTileFactory(xbar_config) if kind == "decoupled" \
+            else CircuitTileFactory(xbar_config)
     else:
         raise ConfigError(
             f"unknown engine kind {kind!r}; expected ideal, exact, geniex, "

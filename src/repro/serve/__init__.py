@@ -1,0 +1,34 @@
+"""Async crossbar-emulation service with dynamic microbatching.
+
+The serving subsystem exposes the GENIEx stack over a stdlib-only JSON/HTTP
+API. Concurrent single-vector requests for the same programmed crossbar are
+coalesced by :class:`~repro.serve.scheduler.MicrobatchScheduler` into exactly
+the large batches :class:`~repro.core.emulator.MatrixEmulator` and
+:class:`~repro.funcsim.engine.CrossbarMvmEngine` are fast at, with bounded
+queues, backpressure and a ``/metrics`` endpoint.
+
+Layers:
+
+* :mod:`repro.serve.protocol` — wire format (specs, arrays, errors);
+* :mod:`repro.serve.metrics` — thread-safe serving counters/histograms;
+* :mod:`repro.serve.scheduler` — per-key dynamic microbatching;
+* :mod:`repro.serve.registry` — warm-model LRU over :class:`GeniexZoo`;
+* :mod:`repro.serve.server` — the asyncio HTTP server;
+* :mod:`repro.serve.client` — a small blocking HTTP client.
+"""
+
+from repro.serve.client import ServeClient, ServerBusyError, ServerError
+from repro.serve.registry import ModelRegistry
+from repro.serve.scheduler import MicrobatchScheduler, QueueFullError
+from repro.serve.server import EmulationServer, ServerThread
+
+__all__ = [
+    "EmulationServer",
+    "MicrobatchScheduler",
+    "ModelRegistry",
+    "QueueFullError",
+    "ServeClient",
+    "ServerBusyError",
+    "ServerError",
+    "ServerThread",
+]

@@ -1,0 +1,182 @@
+"""Small blocking HTTP client for the emulation service.
+
+Wraps :class:`http.client.HTTPConnection` with keep-alive, one reconnect
+retry (servers may drop idle persistent connections), JSON encoding and
+numpy conversion. Each :class:`ServeClient` owns one connection and is not
+thread-safe; give each load-generator worker its own instance.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+class ServerError(ReproError, RuntimeError):
+    """The server answered with a non-2xx status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServerBusyError(ServerError):
+    """HTTP 429 — the microbatching queue is full; retry later."""
+
+
+class ServeClient:
+    """Blocking JSON client for one ``repro serve`` endpoint."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._conn = None
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        body = None
+        headers = {"Connection": "keep-alive"}
+        if payload is not None:
+            body = json.dumps(payload)
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # The request never went out (dead keep-alive socket):
+                # safe to reconnect and re-send, even for POSTs.
+                self.close()
+                if attempt:
+                    raise
+                continue
+            try:
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (http.client.RemoteDisconnected,
+                    ConnectionResetError, BrokenPipeError):
+                # Server closed the idle connection as our bytes arrived —
+                # the one failure mode where re-sending is safe. Timeouts
+                # and other errors are NOT retried: the request may be
+                # executing, and repeating a POST would double the work.
+                self.close()
+                if attempt:
+                    raise
+            except (http.client.HTTPException, OSError):
+                self.close()
+                raise
+        try:
+            parsed = json.loads(data.decode() or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            parsed = {"error": data.decode(errors="replace")}
+        if not 200 <= response.status < 300:
+            message = parsed.get("error", "") if isinstance(parsed, dict) \
+                else str(parsed)
+            if response.status == 429:
+                raise ServerBusyError(response.status, message)
+            raise ServerError(response.status, message)
+        return parsed
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def models(self) -> list:
+        return self._request("GET", "/v1/models")["models"]
+
+    def load_model(self, model: dict) -> dict:
+        """Train (or load) a model spec into the server's warm registry."""
+        return self._request("POST", "/v1/models", {"model": model})
+
+    def register_crossbar(self, model: dict, conductances) -> str:
+        """Program a conductance matrix; returns its ``crossbar_key``."""
+        payload = {"model": model,
+                   "conductances": np.asarray(conductances).tolist()}
+        return self._request("POST", "/v1/crossbars",
+                             payload)["crossbar_key"]
+
+    def _predict(self, path: str, field: str, voltages, *,
+                 model: dict | None = None, conductances=None,
+                 crossbar_key: str | None = None) -> np.ndarray:
+        voltages = np.asarray(voltages)
+        payload: dict = {"voltages": voltages.tolist()}
+        if crossbar_key is not None:
+            payload["crossbar_key"] = crossbar_key
+        else:
+            if model is None or conductances is None:
+                raise ValueError(
+                    "pass either crossbar_key or model + conductances")
+            payload["model"] = model
+            payload["conductances"] = np.asarray(conductances).tolist()
+        return np.asarray(self._request("POST", path, payload)[field])
+
+    def predict_fr(self, voltages, **kwargs) -> np.ndarray:
+        """Distortion ratios fR; see :meth:`predict_currents` for kwargs."""
+        return self._predict("/v1/predict_fr", "fr", voltages, **kwargs)
+
+    def predict_currents(self, voltages, **kwargs) -> np.ndarray:
+        """Non-ideal currents for ``voltages`` (``(rows,)`` or
+        ``(B, rows)``), addressed by ``crossbar_key=...`` or
+        ``model=... , conductances=...``."""
+        return self._predict("/v1/predict_currents", "currents", voltages,
+                             **kwargs)
+
+    def register_weights(self, model: dict, weights, *,
+                         engine: str = "geniex",
+                         sim: dict | None = None) -> str:
+        """Prepare an MVM engine for a weight matrix; returns its key."""
+        payload = {"model": model, "engine": engine,
+                   "weights": np.asarray(weights).tolist()}
+        if sim is not None:
+            payload["sim"] = sim
+        return self._request("POST", "/v1/weights", payload)["weights_key"]
+
+    def matmul(self, x, *, weights_key: str | None = None,
+               model: dict | None = None, weights=None,
+               engine: str = "geniex",
+               sim: dict | None = None) -> np.ndarray:
+        """Bit-sliced crossbar product for ``x`` (``(K,)`` or ``(B, K)``)."""
+        x = np.asarray(x)
+        payload: dict = {"x": x.tolist()}
+        if weights_key is not None:
+            payload["weights_key"] = weights_key
+        else:
+            if model is None or weights is None:
+                raise ValueError(
+                    "pass either weights_key or model + weights")
+            payload["model"] = model
+            payload["engine"] = engine
+            payload["weights"] = np.asarray(weights).tolist()
+            if sim is not None:
+                payload["sim"] = sim
+        return np.asarray(self._request("POST", "/v1/matmul", payload)["y"])

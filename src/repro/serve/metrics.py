@@ -1,0 +1,83 @@
+"""Thread-safe serving metrics: counters, gauges and the batch histogram.
+
+One :class:`ServeMetrics` instance is shared between the asyncio event loop
+(request accounting) and the scheduler's executor threads (batch
+accounting), hence the lock. ``snapshot`` renders everything into the plain
+JSON object the ``/metrics`` endpoint returns.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+
+
+class ServeMetrics:
+    """Cumulative serving counters for one server instance."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.requests: Counter = Counter()       # endpoint -> count
+        self.responses: Counter = Counter()      # HTTP status -> count
+        self.rejected = 0                        # 429s from backpressure
+        # Microbatching: one observation per flushed batch.
+        self.batches = 0
+        self.batched_rows = 0
+        self.batched_requests = 0
+        self.batch_rows_histogram: Counter = Counter()  # rows -> batches
+        # full | deadline | completion | drain
+        self.flush_reasons: Counter = Counter()
+        # Queue gauges (updated by the scheduler).
+        self.queue_rows = 0
+        self.queue_rows_peak = 0
+
+    # ------------------------------------------------------------------
+    def record_request(self, endpoint: str) -> None:
+        with self._lock:
+            self.requests[endpoint] += 1
+
+    def record_response(self, status: int) -> None:
+        with self._lock:
+            self.responses[status] += 1
+            if status == 429:
+                self.rejected += 1
+
+    def record_batch(self, rows: int, requests: int, reason: str) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_rows += rows
+            self.batched_requests += requests
+            self.batch_rows_histogram[rows] += 1
+            self.flush_reasons[reason] += 1
+
+    def record_queue_delta(self, delta_rows: int) -> None:
+        with self._lock:
+            self.queue_rows += delta_rows
+            self.queue_rows_peak = max(self.queue_rows_peak, self.queue_rows)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        with self._lock:
+            batches = self.batches
+            return {
+                "requests": dict(self.requests),
+                "responses": {str(k): v for k, v in self.responses.items()},
+                "rejected": self.rejected,
+                "microbatch": {
+                    "batches": batches,
+                    "rows": self.batched_rows,
+                    "requests": self.batched_requests,
+                    "mean_rows_per_batch": (
+                        self.batched_rows / batches if batches else 0.0),
+                    "mean_requests_per_batch": (
+                        self.batched_requests / batches if batches else 0.0),
+                    "rows_histogram": {
+                        str(k): v for k, v
+                        in sorted(self.batch_rows_histogram.items())},
+                    "flush_reasons": dict(self.flush_reasons),
+                },
+                "queue": {
+                    "rows": self.queue_rows,
+                    "rows_peak": self.queue_rows_peak,
+                },
+            }

@@ -1,0 +1,141 @@
+"""Wire format of the emulation service.
+
+Requests and responses are JSON. A *model spec* describes everything needed
+to train (or load) a GENIEx emulator — the crossbar configuration plus the
+sampling/training hyper-parameters — and maps 1:1 onto the dataclasses the
+rest of the library uses, so a spec submitted over HTTP hits exactly the
+same zoo cache key as the equivalent in-process call.
+
+All validation failures raise :class:`ProtocolError`, which the server maps
+to HTTP 400 with the message in the body.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.sampling import SamplingSpec
+from repro.core.trainer import TrainSpec
+from repro.devices.rram import RramParameters
+from repro.errors import ConfigError, ReproError
+from repro.funcsim.config import FuncSimConfig
+from repro.xbar.config import CrossbarConfig
+
+ENGINE_KINDS = ("geniex", "exact", "analytical", "decoupled", "circuit",
+                "ideal")
+MODES = ("full", "linear")
+
+
+class ProtocolError(ReproError, ValueError):
+    """A request payload is malformed or fails validation."""
+
+
+def _build_dataclass(cls, payload, what: str):
+    """Instantiate a config dataclass from a JSON object, strictly.
+
+    Unknown fields are rejected (a typo silently falling back to a default
+    would key a *different* zoo artifact than the caller intended); list
+    values are converted to the tuples the frozen dataclasses expect.
+    """
+    if payload is None:
+        payload = {}
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"{what} must be a JSON object, "
+                            f"got {type(payload).__name__}")
+    allowed = {f.name for f in dataclasses.fields(cls)}
+    kwargs = {}
+    for key, value in payload.items():
+        if key not in allowed:
+            raise ProtocolError(
+                f"unknown {what} field {key!r}; expected one of "
+                f"{sorted(allowed)}")
+        if isinstance(value, list):
+            value = tuple(value)
+        if key == "rram":
+            value = _build_dataclass(RramParameters, value, "rram")
+        kwargs[key] = value
+    try:
+        return cls(**kwargs)
+    except (ConfigError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid {what}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One GENIEx model identity: crossbar + sampling + training + mode."""
+
+    config: CrossbarConfig
+    sampling: SamplingSpec
+    training: TrainSpec
+    mode: str = "full"
+
+    @classmethod
+    def from_payload(cls, payload) -> "ModelSpec":
+        if not isinstance(payload, dict):
+            raise ProtocolError("\"model\" must be a JSON object")
+        payload = dict(payload)
+        sampling = payload.pop("sampling", None)
+        training = payload.pop("training", None)
+        mode = payload.pop("mode", "full")
+        if mode not in MODES:
+            raise ProtocolError(
+                f"unknown mode {mode!r}; expected one of {MODES}")
+        return cls(config=_build_dataclass(CrossbarConfig, payload,
+                                           "crossbar config"),
+                   sampling=_build_dataclass(SamplingSpec, sampling,
+                                             "sampling spec"),
+                   training=_build_dataclass(TrainSpec, training,
+                                             "training spec"),
+                   mode=mode)
+
+
+def parse_model_spec(body: dict) -> ModelSpec:
+    if "model" not in body:
+        raise ProtocolError("request requires a \"model\" object")
+    return ModelSpec.from_payload(body["model"])
+
+
+def parse_sim_config(body: dict) -> FuncSimConfig:
+    """Functional-simulator config from the optional ``sim`` object."""
+    return _build_dataclass(FuncSimConfig, body.get("sim"), "sim config")
+
+
+def parse_engine_kind(body: dict) -> str:
+    kind = body.get("engine", "geniex")
+    if kind not in ENGINE_KINDS:
+        raise ProtocolError(
+            f"unknown engine {kind!r}; expected one of {ENGINE_KINDS}")
+    return kind
+
+
+def decode_array(body: dict, field: str, ndim: tuple = (1, 2)) -> np.ndarray:
+    """Decode a JSON number array into a float64 ndarray, strictly.
+
+    Rejects missing fields, ragged nesting, non-numeric entries and
+    non-finite values — a NaN smuggled into a coalesced batch must not be
+    able to poison other requests' outputs downstream.
+    """
+    if field not in body:
+        raise ProtocolError(f"request requires a {field!r} array")
+    try:
+        array = np.asarray(body[field], dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"{field!r} is not a numeric array: "
+                            f"{exc}") from exc
+    if array.ndim not in ndim:
+        raise ProtocolError(
+            f"{field!r} must have {' or '.join(map(str, ndim))} "
+            f"dimension(s), got shape {array.shape}")
+    if array.size == 0:
+        raise ProtocolError(f"{field!r} must not be empty")
+    if not np.all(np.isfinite(array)):
+        raise ProtocolError(f"{field!r} contains non-finite values")
+    return array
+
+
+def encode_array(array: np.ndarray) -> list:
+    """JSON-encodable nested lists; float64 repr round-trips bit-exactly."""
+    return np.asarray(array, dtype=np.float64).tolist()

@@ -1,0 +1,254 @@
+"""Warm-model registry: async-safe LRU caches layered on the GENIEx zoo.
+
+Three tiers, all keyed by deterministic content digests so identical
+requests — from any client, in any order — land on the same warm object
+(and therefore the same microbatching queue):
+
+* **models** — trained :class:`GeniexEmulator` instances, keyed by the zoo
+  artifact key of the model spec. Misses train (or load) through
+  :class:`GeniexZoo` on an executor thread; an asyncio per-key lock
+  collapses concurrent misses into one training run while the event loop
+  keeps serving other traffic.
+* **crossbars** — :class:`MatrixEmulator` instances for a programmed
+  conductance matrix, keyed by (model key, G digest). Always built with
+  ``batch_invariant=True`` so coalesced predictions are byte-identical to
+  direct per-request calls.
+* **engines** — prepared :class:`CrossbarMvmEngine` pipelines (engine +
+  :class:`PreparedMatrix`), keyed by (model, engine kind, sim config,
+  weights digest). Preparing programs every (sign, slice, tile) model, so
+  it also runs on the executor under a per-key lock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.emulator import GeniexEmulator, MatrixEmulator
+from repro.core.zoo import GeniexZoo
+from repro.errors import ShapeError
+from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.engine import make_engine
+from repro.serve.protocol import ModelSpec
+from repro.utils.cache import LruDict
+
+
+@dataclass
+class PreparedEngine:
+    """One servable engine pipeline: the engine plus its prepared weights."""
+
+    key: str
+    kind: str
+    engine: object
+    prepared: object
+    n_in: int
+    n_out: int
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        return self.engine.matmul(x, self.prepared)
+
+
+class _CacheStats:
+    __slots__ = ("hits", "misses")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+
+
+class ModelRegistry:
+    """LRU registry of warm emulators, crossbars and prepared engines."""
+
+    def __init__(self, zoo: GeniexZoo | None = None, *,
+                 max_models: int = 8, max_crossbars: int = 128,
+                 max_engines: int = 16, tile_cache_size: int = 256):
+        self.zoo = zoo or GeniexZoo()
+        self.tile_cache_size = int(tile_cache_size)
+        self._models = LruDict(max_models)      # model key -> emulator
+        self._crossbars = LruDict(max_crossbars)
+        self._engines = LruDict(max_engines)
+        self._stats = {"models": _CacheStats(), "crossbars": _CacheStats(),
+                       "engines": _CacheStats()}
+        # Per-key locks are only touched from the event loop, so a plain
+        # dict is safe; the slow work they guard runs on executor threads.
+        self._locks: dict = {}
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def model_key(spec: ModelSpec) -> str:
+        return GeniexZoo.artifact_key(spec.config, spec.sampling,
+                                      spec.training, spec.mode)
+
+    @staticmethod
+    def crossbar_key(model_key: str, conductance_s: np.ndarray) -> str:
+        digest = hashlib.sha256()
+        digest.update(model_key.encode())
+        digest.update(repr(conductance_s.shape).encode())
+        digest.update(np.ascontiguousarray(conductance_s,
+                                           dtype=np.float64).tobytes())
+        return "xb-" + digest.hexdigest()[:20]
+
+    @staticmethod
+    def engine_key(model_key: str, kind: str, sim_config: FuncSimConfig,
+                   weights: np.ndarray) -> str:
+        digest = hashlib.sha256()
+        digest.update(f"{model_key}|{kind}|{sim_config!r}".encode())
+        digest.update(repr(weights.shape).encode())
+        digest.update(np.ascontiguousarray(weights,
+                                           dtype=np.float64).tobytes())
+        return "eng-" + digest.hexdigest()[:20]
+
+    def _lock_for(self, key: str) -> asyncio.Lock:
+        lock = self._locks.get(key)
+        if lock is None:
+            lock = self._locks[key] = asyncio.Lock()
+        return lock
+
+    def _drop_lock(self, key: str) -> None:
+        """Forget a per-key lock once it is idle.
+
+        Keeps the lock table bounded by in-flight work instead of growing
+        with every distinct key ever served. If a waiter raced the drop it
+        still holds a reference to the old lock; the worst case is one
+        redundant (idempotent, cache-guarded) build, not corruption.
+        """
+        lock = self._locks.get(key)
+        if lock is not None and not lock.locked():
+            del self._locks[key]
+
+    def _lookup(self, cache_name: str, key: str):
+        value = getattr(self, f"_{cache_name}").get(key)
+        stats = self._stats[cache_name]
+        if value is None:
+            stats.misses += 1
+        else:
+            stats.hits += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # Tiers
+    # ------------------------------------------------------------------
+    async def emulator(self, spec: ModelSpec) -> tuple:
+        """Warm (or train) the emulator for a model spec.
+
+        Returns ``(model_key, emulator)``. Training runs on an executor
+        thread; concurrent requests for the same key await one shared run.
+        """
+        key = self.model_key(spec)
+        emulator = self._lookup("models", key)
+        if emulator is not None:
+            return key, emulator
+        try:
+            async with self._lock_for("model:" + key):
+                emulator = self._models.get(key)
+                if emulator is None:
+                    loop = asyncio.get_running_loop()
+                    emulator = await loop.run_in_executor(
+                        None, lambda: self.zoo.get_or_train(
+                            spec.config, spec.sampling, spec.training,
+                            mode=spec.mode))
+                    self._models.put(key, emulator)
+                return key, emulator
+        finally:
+            self._drop_lock("model:" + key)
+
+    async def matrix_emulator(self, spec: ModelSpec,
+                              conductance_s: np.ndarray) -> tuple:
+        """Warm the batch-invariant :class:`MatrixEmulator` for (spec, G)."""
+        model_key = self.model_key(spec)
+        key = self.crossbar_key(model_key, conductance_s)
+        warm = self._lookup("crossbars", key)
+        if warm is not None:
+            return key, warm
+        # Validate the shape before (possibly) paying for training.
+        if conductance_s.shape != spec.config.shape:
+            raise ShapeError(
+                f"conductances must have shape {spec.config.shape}, "
+                f"got {conductance_s.shape}")
+        _, emulator = await self.emulator(spec)
+        warm = emulator.for_matrix(conductance_s, batch_invariant=True)
+        self._crossbars.put(key, warm)
+        return key, warm
+
+    def crossbar(self, key: str) -> MatrixEmulator | None:
+        """Fetch a previously registered crossbar by key (or ``None``)."""
+        return self._lookup("crossbars", key)
+
+    async def engine(self, spec: ModelSpec, kind: str,
+                     sim_config: FuncSimConfig,
+                     weights: np.ndarray) -> PreparedEngine:
+        """Warm a prepared MVM engine for (spec, kind, sim, weights)."""
+        model_key = self.model_key(spec)
+        key = self.engine_key(model_key, kind, sim_config, weights)
+        warm = self._lookup("engines", key)
+        if warm is not None:
+            return warm
+        try:
+            async with self._lock_for("engine:" + key):
+                warm = self._engines.get(key)
+                if warm is not None:
+                    return warm
+                emulator = None
+                if kind == "geniex":
+                    _, emulator = await self.emulator(spec)
+                loop = asyncio.get_running_loop()
+                # geniex/exact/analytical run batch-invariantly so coalesced
+                # matmul responses are byte-identical to direct calls. The
+                # iterative decoupled/circuit models cannot, and neither can
+                # any engine whose ADC models offset or noise (zero-drive
+                # stream skipping is a per-batch decision); those are served
+                # with plain BLAS math, exact at flush granularity only.
+                invariant = (kind in ("geniex", "exact", "analytical")
+                             and sim_config.adc_offset_lsb == 0.0
+                             and sim_config.adc_noise_lsb == 0.0)
+
+                def build() -> PreparedEngine:
+                    engine = make_engine(
+                        kind, spec.config, sim_config, emulator=emulator,
+                        tile_cache_size=self.tile_cache_size,
+                        batch_invariant=invariant)
+                    prepared = engine.prepare(weights)
+                    return PreparedEngine(key=key, kind=kind, engine=engine,
+                                          prepared=prepared,
+                                          n_in=prepared.n_in,
+                                          n_out=prepared.n_out)
+
+                warm = await loop.run_in_executor(None, build)
+                self._engines.put(key, warm)
+                return warm
+        finally:
+            self._drop_lock("engine:" + key)
+
+    def prepared_engine(self, key: str) -> PreparedEngine | None:
+        """Fetch a previously prepared engine by key (or ``None``)."""
+        return self._lookup("engines", key)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def list_models(self) -> list:
+        out = []
+        for key in self._models.keys():
+            emulator: GeniexEmulator = self._models.get(key)
+            out.append({"model_key": key, "rows": emulator.rows,
+                        "cols": emulator.cols})
+        return out
+
+    def stats(self) -> dict:
+        caches = {}
+        for name, stats in self._stats.items():
+            cache: LruDict = getattr(self, f"_{name}")
+            total = stats.hits + stats.misses
+            caches[name] = {
+                "size": len(cache),
+                "capacity": cache.max_entries,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "hit_rate": stats.hits / total if total else 0.0,
+            }
+        return caches

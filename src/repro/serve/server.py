@@ -1,0 +1,396 @@
+"""The asyncio HTTP front-end of the emulation service.
+
+Stdlib-only: connections are handled with :func:`asyncio.start_server` and
+a minimal HTTP/1.1 parser (request line, headers, ``Content-Length`` body,
+keep-alive). Every response is JSON.
+
+Endpoints
+---------
+
+===========================  ========================================
+``GET  /healthz``            liveness probe
+``GET  /metrics``            serving metrics (batch histogram, queue
+                             depths, registry cache hit rates)
+``GET  /v1/models``          warm models in the registry
+``POST /v1/models``          train/load a model spec into the registry
+``POST /v1/crossbars``       program a conductance matrix, returns
+                             ``crossbar_key`` for cheap later requests
+``POST /v1/predict_fr``      distortion ratios fR for voltage vector(s)
+``POST /v1/predict_currents``  non-ideal currents for voltage vector(s)
+``POST /v1/weights``         prepare an MVM engine for a weight matrix,
+                             returns ``weights_key``
+``POST /v1/matmul``          full bit-sliced crossbar matmul
+===========================  ========================================
+
+Prediction and matmul requests are coalesced per warm object by the
+:class:`MicrobatchScheduler`; a full queue surfaces as HTTP 429 with a
+``Retry-After`` hint. Error mapping: protocol/shape/config problems are
+400, unknown registry keys 404, backpressure 429, everything else 500.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import numpy as np
+
+from repro.errors import ConfigError, ReproError, ShapeError
+from repro.serve.metrics import ServeMetrics
+from repro.serve.protocol import (ProtocolError, decode_array, encode_array,
+                                  parse_engine_kind, parse_model_spec,
+                                  parse_sim_config)
+from repro.serve.registry import ModelRegistry
+from repro.serve.scheduler import MicrobatchScheduler, QueueFullError
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+
+class _NotFound(ReproError, KeyError):
+    """A referenced registry key is unknown (HTTP 404)."""
+
+
+class _PayloadTooLarge(ReproError, ValueError):
+    """The declared request body exceeds ``max_body_bytes`` (HTTP 413)."""
+
+
+class EmulationServer:
+    """Asyncio HTTP server wiring registry + scheduler + metrics."""
+
+    # Bodies above this size have their JSON parse/encode offloaded to the
+    # executor: a multi-MB matrix decoded on the event loop would stall
+    # every flush-deadline timer and connection for its duration.
+    OFFLOAD_BYTES = 256 * 1024
+
+    def __init__(self, registry: ModelRegistry | None = None, *,
+                 max_batch_rows: int = 64, flush_deadline_s: float = 0.002,
+                 max_queue_rows: int = 4096, max_workers: int = 1,
+                 max_body_bytes: int = 32 * 1024 * 1024,
+                 idle_timeout_s: float = 120.0):
+        self.registry = registry or ModelRegistry()
+        self.metrics = ServeMetrics()
+        self.scheduler = MicrobatchScheduler(
+            max_batch_rows=max_batch_rows,
+            flush_deadline_s=flush_deadline_s,
+            max_queue_rows=max_queue_rows,
+            max_workers=max_workers,
+            metrics=self.metrics)
+        self.max_body_bytes = int(max_body_bytes)
+        self.idle_timeout_s = float(idle_timeout_s)
+        self.host = None
+        self.port = None
+        self._server = None
+        self._routes = {
+            ("GET", "/healthz"): self._get_healthz,
+            ("GET", "/metrics"): self._get_metrics,
+            ("GET", "/v1/models"): self._get_models,
+            ("POST", "/v1/models"): self._post_models,
+            ("POST", "/v1/crossbars"): self._post_crossbars,
+            ("POST", "/v1/predict_fr"): self._post_predict_fr,
+            ("POST", "/v1/predict_currents"): self._post_predict_currents,
+            ("POST", "/v1/weights"): self._post_weights,
+            ("POST", "/v1/matmul"): self._post_matmul,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start accepting; ``port=0`` picks a free port."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.close()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    # The idle timeout bounds how long a silent or stalled
+                    # client may pin this handler and its socket; a client
+                    # whose keep-alive connection is reaped mid-send sees
+                    # a clean close and reconnects.
+                    request = await asyncio.wait_for(
+                        self._read_request(reader), self.idle_timeout_s)
+                except TimeoutError:
+                    break
+                except _PayloadTooLarge as exc:
+                    # The body was never read, so the connection cannot be
+                    # reused — but the client deserves to learn the limit.
+                    self.metrics.record_response(413)
+                    data = json.dumps({"error": str(exc)}).encode()
+                    writer.write(
+                        (f"HTTP/1.1 413 {_REASONS[413]}"
+                         f"\r\nContent-Type: application/json"
+                         f"\r\nContent-Length: {len(data)}"
+                         f"\r\nConnection: close\r\n\r\n").encode() + data)
+                    await writer.drain()
+                    break
+                except ValueError:
+                    # Oversized request line/headers (StreamReader converts
+                    # LimitOverrunError to ValueError) or a malformed
+                    # Content-Length: drop the connection.
+                    break
+                if request is None:
+                    break
+                method, path, body, keep_alive = request
+                status, payload = await self._dispatch(method, path, body)
+                self.metrics.record_response(status)
+                if len(body) > self.OFFLOAD_BYTES:
+                    # Big request -> likely big response: encode off-loop
+                    # so deadline timers and other connections keep moving.
+                    data = await asyncio.get_running_loop().run_in_executor(
+                        None, lambda: json.dumps(payload).encode())
+                else:
+                    data = json.dumps(payload).encode()
+                connection = "keep-alive" if keep_alive else "close"
+                head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}"
+                        f"\r\nContent-Type: application/json"
+                        f"\r\nContent-Length: {len(data)}"
+                        f"\r\nConnection: {connection}")
+                if status == 429:
+                    head += "\r\nRetry-After: 1"
+                writer.write(head.encode() + b"\r\n\r\n" + data)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancels in-flight connection handlers; treat
+            # it as a normal close instead of surfacing a stack trace.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line or request_line.strip() == b"":
+            return None
+        try:
+            method, target, _version = \
+                request_line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+            if len(headers) > 128:
+                return None
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0:
+            return None
+        if length > self.max_body_bytes:
+            raise _PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte limit")
+        body = await reader.readexactly(length) if length else b""
+        keep_alive = headers.get("connection", "keep-alive").lower() \
+            != "close"
+        path = target.split("?", 1)[0]
+        return method.upper(), path, body, keep_alive
+
+    async def _dispatch(self, method: str, path: str, body: bytes):
+        handler = self._routes.get((method, path))
+        if handler is None:
+            if any(p == path for (_, p) in self._routes):
+                return 405, {"error": f"method {method} not allowed "
+                                      f"for {path}"}
+            return 404, {"error": f"unknown endpoint {path}"}
+        self.metrics.record_request(f"{method} {path}")
+        try:
+            if method == "POST":
+                try:
+                    if len(body) > self.OFFLOAD_BYTES:
+                        loop = asyncio.get_running_loop()
+                        parsed = await loop.run_in_executor(
+                            None, json.loads, body)
+                    else:
+                        parsed = json.loads(body.decode() or "{}")
+                except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                    raise ProtocolError(f"invalid JSON body: {exc}") from exc
+                if not isinstance(parsed, dict):
+                    raise ProtocolError("request body must be a JSON object")
+                return 200, await handler(parsed)
+            return 200, await handler()
+        except QueueFullError as exc:
+            return 429, {"error": str(exc)}
+        except _NotFound as exc:
+            return 404, {"error": str(exc.args[0])}
+        except (ProtocolError, ShapeError, ConfigError) as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # pragma: no cover - defensive 500 path
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    async def _get_healthz(self) -> dict:
+        return {"status": "ok"}
+
+    async def _get_metrics(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        snapshot["queue"]["per_key"] = self.scheduler.queue_depths()
+        snapshot["registry"] = self.registry.stats()
+        return snapshot
+
+    async def _get_models(self) -> dict:
+        return {"models": self.registry.list_models()}
+
+    async def _post_models(self, body: dict) -> dict:
+        spec = parse_model_spec(body)
+        key, emulator = await self.registry.emulator(spec)
+        return {"model_key": key, "rows": emulator.rows,
+                "cols": emulator.cols}
+
+    async def _post_crossbars(self, body: dict) -> dict:
+        key, warm = await self._resolve_crossbar(body)
+        rows, cols = warm.conductance_s.shape
+        return {"crossbar_key": key, "rows": rows, "cols": cols}
+
+    async def _resolve_crossbar(self, body: dict):
+        """A warm crossbar from ``crossbar_key`` or (model, conductances)."""
+        if "crossbar_key" in body:
+            key = str(body["crossbar_key"])
+            warm = self.registry.crossbar(key)
+            if warm is None:
+                raise _NotFound(f"unknown crossbar_key {key!r}; register "
+                                f"it via POST /v1/crossbars")
+            return key, warm
+        spec = parse_model_spec(body)
+        conductances = decode_array(body, "conductances", ndim=(2,))
+        return await self.registry.matrix_emulator(spec, conductances)
+
+    async def _predict(self, body: dict, endpoint: str, field: str) -> dict:
+        key, warm = await self._resolve_crossbar(body)
+        voltages = decode_array(body, "voltages")
+        single = voltages.ndim == 1
+        rows = warm.conductance_s.shape[0]
+        if voltages.shape[-1] != rows:
+            raise ProtocolError(
+                f"voltages must have {rows} entries per vector, "
+                f"got shape {voltages.shape}")
+        batch_fn = warm.predict_fr if field == "fr" \
+            else warm.predict_currents
+        result = await self.scheduler.submit(
+            (endpoint, key), np.atleast_2d(voltages), batch_fn)
+        if single:
+            result = result[0]
+        return {field: encode_array(result), "crossbar_key": key}
+
+    async def _post_predict_fr(self, body: dict) -> dict:
+        return await self._predict(body, "fr", "fr")
+
+    async def _post_predict_currents(self, body: dict) -> dict:
+        return await self._predict(body, "currents", "currents")
+
+    async def _post_weights(self, body: dict) -> dict:
+        warm = await self._resolve_engine(body)
+        return {"weights_key": warm.key, "n_in": warm.n_in,
+                "n_out": warm.n_out, "engine": warm.kind}
+
+    async def _resolve_engine(self, body: dict):
+        if "weights_key" in body:
+            key = str(body["weights_key"])
+            warm = self.registry.prepared_engine(key)
+            if warm is None:
+                raise _NotFound(f"unknown weights_key {key!r}; register "
+                                f"it via POST /v1/weights")
+            return warm
+        spec = parse_model_spec(body)
+        kind = parse_engine_kind(body)
+        sim_config = parse_sim_config(body)
+        weights = decode_array(body, "weights", ndim=(2,))
+        return await self.registry.engine(spec, kind, sim_config, weights)
+
+    async def _post_matmul(self, body: dict) -> dict:
+        warm = await self._resolve_engine(body)
+        x = decode_array(body, "x")
+        single = x.ndim == 1
+        if x.shape[-1] != warm.n_in:
+            raise ProtocolError(
+                f"x must have {warm.n_in} entries per vector, "
+                f"got shape {x.shape}")
+        result = await self.scheduler.submit(
+            ("matmul", warm.key), np.atleast_2d(x), warm.matmul)
+        if single:
+            result = result[0]
+        return {"y": encode_array(result), "weights_key": warm.key}
+
+
+class ServerThread:
+    """Run an :class:`EmulationServer` on a background thread.
+
+    Synchronous harness used by tests, the load benchmark and the CI smoke
+    job:
+
+    >>> with ServerThread(EmulationServer()) as handle:
+    ...     client = ServeClient("127.0.0.1", handle.port)
+    """
+
+    def __init__(self, server: EmulationServer,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.server = server
+        self.host = host
+        self.port = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._startup_error = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._requested_port = port
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            await self.server.start(self.host, self._requested_port)
+        except Exception as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.port = self.server.port
+        self._ready.set()
+        await self._stop.wait()
+        await self.server.close()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30 s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)

@@ -1,7 +1,8 @@
-"""Small bounded LRU mapping shared by the solver and engine caches."""
+"""Small bounded LRU mapping shared by the solver, engine and serve caches."""
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 
@@ -10,25 +11,48 @@ class LruDict:
 
     ``max_entries <= 0`` keeps the mapping permanently empty, which callers
     use to disable caching while keeping the code path uniform.
+
+    All operations take an internal lock, so a single instance may be shared
+    between the asyncio event loop and executor threads (the serving layer
+    does exactly that). The lock is re-entrant to keep subclass overrides
+    that call back into the base class safe.
     """
 
     def __init__(self, max_entries: int):
         self.max_entries = int(max_entries)
         self._data: OrderedDict = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._data
 
     def get(self, key):
-        value = self._data.get(key)
-        if value is not None:
-            self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data.get(key)
+            if value is not None:
+                self._data.move_to_end(key)
+            return value
 
     def put(self, key, value) -> None:
-        self._data[key] = value
-        while len(self._data) > max(self.max_entries, 0):
-            self._data.popitem(last=False)
+        with self._lock:
+            self._data[key] = value
+            # Re-putting an existing key must also refresh its recency;
+            # plain assignment leaves the key at its old position, so hot
+            # entries would be evicted as if they were cold.
+            self._data.move_to_end(key)
+            while len(self._data) > max(self.max_entries, 0):
+                self._data.popitem(last=False)
+
+    def keys(self) -> list:
+        """Snapshot of the keys, oldest first."""
+        with self._lock:
+            return list(self._data.keys())
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()

@@ -25,6 +25,21 @@ def safe_divide(num, den, fallback=0.0, eps: float = 0.0):
     return out
 
 
+def batch_invariant_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``a @ b`` whose per-row results do not depend on the batch size.
+
+    BLAS gemm/gemv pick blocking (and with threading, split points) as a
+    function of the *whole* problem shape, so row ``i`` of ``(B, K) @ (K, M)``
+    can differ in the low-order bits between ``B = 1`` and ``B = 64`` even
+    for identical inputs. The serving layer coalesces many requests into one
+    batch and must return byte-identical results to a direct per-request
+    call, so it routes matmuls through :func:`np.einsum` (``optimize=False``),
+    which accumulates each output element over ``K`` in a fixed order
+    independent of ``B``. Slower than BLAS, but batch-invariant.
+    """
+    return np.einsum("ik,kj->ij", np.atleast_2d(a), b)
+
+
 def relative_error(reference, value, eps: float = 1e-30):
     """Element-wise ``|value - reference| / max(|reference|, eps)``."""
     reference = np.asarray(reference, dtype=float)

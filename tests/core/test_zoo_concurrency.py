@@ -1,0 +1,161 @@
+"""Crash-safety and race-safety of the GENIEx model zoo."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import build_geniex_dataset
+from repro.core.sampling import SamplingSpec
+from repro.core.trainer import TrainSpec, train_geniex
+from repro.core.zoo import GeniexZoo
+from repro.errors import SerializationError
+from repro.xbar.config import CrossbarConfig
+
+CFG = CrossbarConfig(rows=4, cols=4)
+SAMPLING = SamplingSpec(n_g_matrices=3, n_v_per_g=4, seed=0)
+TRAINING = TrainSpec(hidden=8, epochs=2, batch_size=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    dataset = build_geniex_dataset(CFG, SAMPLING)
+    model, _ = train_geniex(dataset, TRAINING)
+    return model
+
+
+class TestAtomicSave:
+    def test_no_temp_files_left_behind(self, tiny_model, tmp_path):
+        path = str(tmp_path / "model.npz")
+        GeniexZoo.save_model(tiny_model, path)
+        assert sorted(os.listdir(tmp_path)) == ["model.npz"]
+        GeniexZoo.load_model(path)
+
+    def test_overwrite_is_atomic_replace(self, tiny_model, tmp_path):
+        path = str(tmp_path / "model.npz")
+        GeniexZoo.save_model(tiny_model, path)
+        first = os.stat(path).st_ino
+        GeniexZoo.save_model(tiny_model, path)
+        assert sorted(os.listdir(tmp_path)) == ["model.npz"]
+        # A fresh inode proves replace-by-rename rather than in-place write.
+        assert os.stat(path).st_ino != first
+
+    def test_failed_save_leaves_previous_artifact(self, tiny_model,
+                                                  tmp_path, monkeypatch):
+        path = str(tmp_path / "model.npz")
+        GeniexZoo.save_model(tiny_model, path)
+        good = GeniexZoo.load_model(path)
+
+        def boom(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", boom)
+        with pytest.raises(OSError):
+            GeniexZoo.save_model(tiny_model, path)
+        monkeypatch.undo()
+        assert sorted(os.listdir(tmp_path)) == ["model.npz"]
+        reloaded = GeniexZoo.load_model(path)
+        np.testing.assert_array_equal(good.body[0].weight.data,
+                                      reloaded.body[0].weight.data)
+
+    def test_corrupt_artifact_raises_serialization_error(self, tmp_path):
+        path = tmp_path / "geniex-bad.npz"
+        path.write_bytes(b"half a zip archi")
+        with pytest.raises(SerializationError):
+            GeniexZoo.load_model(str(path))
+
+    def test_schema_mismatched_artifact_raises_serialization_error(
+            self, tmp_path):
+        """A readable archive with the wrong schema is equally unusable."""
+        import json
+        path = str(tmp_path / "geniex-schema.npz")
+        meta = np.frombuffer(json.dumps({"rows": 4}).encode(),
+                             dtype=np.uint8)
+        np.savez(path, meta_json=meta)  # no cols/hidden/params
+        with pytest.raises(SerializationError):
+            GeniexZoo.load_model(path)
+
+    def test_schema_mismatch_triggers_retrain(self, tmp_path):
+        import json
+        zoo = GeniexZoo(cache_dir=str(tmp_path))
+        key = zoo.artifact_key(CFG, SAMPLING, TRAINING, "full")
+        os.makedirs(tmp_path, exist_ok=True)
+        meta = np.frombuffer(json.dumps({"rows": 4}).encode(),
+                             dtype=np.uint8)
+        np.savez(zoo._path(key), meta_json=meta)
+        emulator = zoo.get_or_train(CFG, SAMPLING, TRAINING)
+        assert emulator.rows == 4
+        GeniexZoo.load_model(zoo._path(key))  # rewritten, loadable now
+
+
+class TestConcurrentGetOrTrain:
+    def test_threads_share_one_training_run(self, tmp_path):
+        zoo = GeniexZoo(cache_dir=str(tmp_path))
+        results = [None] * 4
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def worker(i):
+            try:
+                barrier.wait()
+                results[i] = zoo.get_or_train(CFG, SAMPLING, TRAINING)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # All callers got the same in-memory emulator and exactly one
+        # artifact landed on disk.
+        assert all(r is results[0] for r in results)
+        assert len(os.listdir(tmp_path)) == 1
+
+    def test_tolerates_corrupt_artifact_from_crashed_writer(self, tmp_path):
+        zoo = GeniexZoo(cache_dir=str(tmp_path))
+        key = zoo.artifact_key(CFG, SAMPLING, TRAINING, "full")
+        os.makedirs(tmp_path, exist_ok=True)
+        with open(zoo._path(key), "wb") as handle:
+            handle.write(b"truncated by a crash")
+        emulator = zoo.get_or_train(CFG, SAMPLING, TRAINING)
+        assert emulator.rows == 4
+        # The corrupt artifact was replaced by a loadable one.
+        zoo2 = GeniexZoo(cache_dir=str(tmp_path))
+        again = zoo2.get_or_train(CFG, SAMPLING, TRAINING)
+        np.testing.assert_array_equal(
+            emulator.model.body[0].weight.data,
+            again.model.body[0].weight.data)
+
+    def test_concurrent_writer_wins_benignly(self, tiny_model, tmp_path):
+        """A second zoo writing the same key is tolerated (last rename wins)."""
+        zoo_a = GeniexZoo(cache_dir=str(tmp_path))
+        zoo_b = GeniexZoo(cache_dir=str(tmp_path))
+        key = zoo_a.artifact_key(CFG, SAMPLING, TRAINING, "full")
+        GeniexZoo.save_model(tiny_model, zoo_a._path(key))
+        GeniexZoo.save_model(tiny_model, zoo_b._path(key))
+        a = zoo_a.get_or_train(CFG, SAMPLING, TRAINING)
+        b = zoo_b.get_or_train(CFG, SAMPLING, TRAINING)
+        np.testing.assert_array_equal(a.model.body[0].weight.data,
+                                      b.model.body[0].weight.data)
+
+
+class TestBoundedMemoryCache:
+    def test_memory_cache_is_lru_bounded(self, tiny_model, tmp_path):
+        """Evicted emulators reload from disk instead of pinning memory."""
+        zoo = GeniexZoo(cache_dir=str(tmp_path), max_memory_entries=1)
+        key_a = zoo.artifact_key(CFG, SAMPLING, TRAINING, "full")
+        training_b = TrainSpec(hidden=8, epochs=3, batch_size=8, seed=1)
+        key_b = zoo.artifact_key(CFG, SAMPLING, training_b, "full")
+        GeniexZoo.save_model(tiny_model, zoo._path(key_a))
+        GeniexZoo.save_model(tiny_model, zoo._path(key_b))
+        first = zoo.get_or_train(CFG, SAMPLING, TRAINING)
+        zoo.get_or_train(CFG, SAMPLING, training_b)  # evicts key_a
+        assert len(zoo._memory) == 1
+        again = zoo.get_or_train(CFG, SAMPLING, TRAINING)  # disk reload
+        assert again is not first
+        np.testing.assert_array_equal(first.model.body[0].weight.data,
+                                      again.model.body[0].weight.data)

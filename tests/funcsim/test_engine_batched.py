@@ -205,3 +205,41 @@ class TestTileResultCache:
             uncached.stats.skipped_zero_streams
         assert cached.stats.cache_hits > 0
         assert uncached.stats.cache_hits == 0
+
+
+class TestBatchInvariantEngines:
+    """Serving-mode engines: per-row results independent of the batch."""
+
+    @pytest.mark.parametrize("kind", ["exact", "analytical", "geniex"])
+    def test_rows_independent_of_batch(self, kind, geniex_emulator):
+        xcfg = CrossbarConfig(rows=4, cols=4) if kind == "geniex" else XCFG
+        emulator = geniex_emulator if kind == "geniex" else None
+        engine = make_engine(kind, xcfg, SCFG, emulator=emulator,
+                             tile_cache_size=0, batch_invariant=True)
+        n = xcfg.rows
+        weights = np.random.default_rng(0).standard_normal((n, n)) * 0.4
+        prepared = engine.prepare(weights)
+        x = np.random.default_rng(1).standard_normal((7, n))
+        full = engine.matmul(x, prepared)
+        for i in range(7):
+            np.testing.assert_array_equal(
+                engine.matmul(x[i:i + 1], prepared), full[i:i + 1])
+
+    def test_iterative_models_reject_the_flag(self):
+        with pytest.raises(Exception):
+            make_engine("decoupled", XCFG, SCFG, batch_invariant=True)
+        with pytest.raises(Exception):
+            make_engine("circuit", XCFG, SCFG, batch_invariant=True)
+
+    def test_non_zero_preserving_adc_rejects_the_flag(self):
+        """Zero-stream skipping is per batch, so an ADC with offset or
+        noise would measure skipped blocks differently depending on batch
+        composition — invariance cannot be honoured."""
+        with pytest.raises(Exception):
+            make_engine("exact", XCFG, SCFG.replace(adc_offset_lsb=0.7),
+                        batch_invariant=True)
+        with pytest.raises(Exception):
+            make_engine("exact", XCFG, SCFG.replace(adc_noise_lsb=0.1),
+                        batch_invariant=True)
+        # The default BLAS path accepts the same configs unchanged.
+        make_engine("exact", XCFG, SCFG.replace(adc_offset_lsb=0.7))

@@ -1,0 +1,111 @@
+"""Wire-format parsing and validation tests."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SamplingSpec
+from repro.core.trainer import TrainSpec
+from repro.serve.protocol import (ModelSpec, ProtocolError, decode_array,
+                                  encode_array, parse_engine_kind,
+                                  parse_model_spec, parse_sim_config)
+from repro.xbar.config import CrossbarConfig
+
+
+class TestModelSpec:
+    def test_defaults(self):
+        spec = ModelSpec.from_payload({})
+        assert spec.config == CrossbarConfig()
+        assert spec.sampling == SamplingSpec()
+        assert spec.training == TrainSpec()
+        assert spec.mode == "full"
+
+    def test_full_payload_maps_onto_dataclasses(self):
+        spec = ModelSpec.from_payload({
+            "rows": 8, "cols": 16, "r_on_ohm": 50e3, "onoff_ratio": 2.0,
+            "v_supply_v": 0.5,
+            "rram": {"i0_a": 2e-4},
+            "sampling": {"n_g_matrices": 5, "v_sparsity": [0.0, 0.5]},
+            "training": {"hidden": 32, "epochs": 7},
+            "mode": "linear",
+        })
+        assert spec.config.rows == 8 and spec.config.cols == 16
+        assert spec.config.rram.i0_a == 2e-4
+        assert spec.sampling.n_g_matrices == 5
+        assert spec.sampling.v_sparsity == (0.0, 0.5)
+        assert spec.training.hidden == 32 and spec.training.epochs == 7
+        assert spec.mode == "linear"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown crossbar config"):
+            ModelSpec.from_payload({"rowz": 8})
+        with pytest.raises(ProtocolError, match="unknown sampling"):
+            ModelSpec.from_payload({"sampling": {"n_samples": 3}})
+
+    def test_invalid_values_rejected_with_400_class_error(self):
+        with pytest.raises(ProtocolError, match="invalid crossbar config"):
+            ModelSpec.from_payload({"rows": 0})
+        with pytest.raises(ProtocolError, match="mode"):
+            ModelSpec.from_payload({"mode": "quadratic"})
+
+    def test_non_object_payloads_rejected(self):
+        with pytest.raises(ProtocolError):
+            ModelSpec.from_payload([1, 2])
+        with pytest.raises(ProtocolError):
+            ModelSpec.from_payload({"sampling": 7})
+
+    def test_parse_model_spec_requires_model(self):
+        with pytest.raises(ProtocolError, match="model"):
+            parse_model_spec({})
+
+    def test_same_payload_same_identity(self):
+        a = ModelSpec.from_payload({"rows": 8, "training": {"epochs": 5}})
+        b = ModelSpec.from_payload({"rows": 8, "training": {"epochs": 5}})
+        assert a == b
+
+
+class TestSimAndEngine:
+    def test_sim_defaults_and_overrides(self):
+        assert parse_sim_config({}).adc_bits == 14
+        cfg = parse_sim_config({"sim": {"adc_bits": 8, "stream_bits": 2}})
+        assert cfg.adc_bits == 8 and cfg.stream_bits == 2
+
+    def test_sim_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_sim_config({"sim": {"adc": 8}})
+
+    def test_engine_kinds(self):
+        assert parse_engine_kind({}) == "geniex"
+        assert parse_engine_kind({"engine": "exact"}) == "exact"
+        with pytest.raises(ProtocolError):
+            parse_engine_kind({"engine": "quantum"})
+
+
+class TestArrays:
+    def test_decode_validates_presence_shape_and_content(self):
+        with pytest.raises(ProtocolError, match="requires"):
+            decode_array({}, "voltages")
+        with pytest.raises(ProtocolError, match="numeric"):
+            decode_array({"voltages": [[1.0], [1.0, 2.0]]}, "voltages")
+        with pytest.raises(ProtocolError, match="numeric"):
+            decode_array({"voltages": ["a", "b"]}, "voltages")
+        with pytest.raises(ProtocolError, match="dimension"):
+            decode_array({"voltages": [[[1.0]]]}, "voltages")
+        with pytest.raises(ProtocolError, match="dimension"):
+            decode_array({"voltages": [1.0, 2.0]}, "voltages", ndim=(2,))
+        with pytest.raises(ProtocolError, match="empty"):
+            decode_array({"voltages": []}, "voltages")
+        with pytest.raises(ProtocolError, match="non-finite"):
+            decode_array({"voltages": [1.0, float("nan")]}, "voltages")
+
+    def test_decode_accepts_1d_and_2d(self):
+        assert decode_array({"v": [1, 2]}, "v").shape == (2,)
+        assert decode_array({"v": [[1, 2], [3, 4]]}, "v").shape == (2, 2)
+
+    def test_encode_round_trips_float64_bit_exactly(self):
+        rng = np.random.default_rng(0)
+        array = rng.standard_normal((5, 3)) * 1e-7
+        back = np.asarray(json.loads(json.dumps(encode_array(array))))
+        np.testing.assert_array_equal(back, array)
+        assert back.dtype == np.float64

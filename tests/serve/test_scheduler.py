@@ -1,0 +1,384 @@
+"""Unit tests for the dynamic microbatching scheduler."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.serve.metrics import ServeMetrics
+from repro.serve.scheduler import MicrobatchScheduler, QueueFullError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def double(batch):
+    return np.asarray(batch) * 2.0
+
+
+def negate(batch):
+    return -np.asarray(batch)
+
+
+class TestCoalescing:
+    def test_full_batch_coalesces_into_one_call(self):
+        """max_batch concurrent single-row requests -> exactly one flush."""
+        calls = []
+
+        def batch_fn(batch):
+            calls.append(batch.shape)
+            return batch * 2.0
+
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=4,
+                                        flush_deadline_s=5.0)
+            rows = [np.full((1, 3), float(i)) for i in range(4)]
+            results = await asyncio.gather(
+                *[sched.submit("k", r, batch_fn) for r in rows])
+            await sched.close()
+            return results, sched.metrics
+
+        results, metrics = run(scenario())
+        assert calls == [(4, 3)]
+        for i, result in enumerate(results):
+            np.testing.assert_array_equal(result, np.full((1, 3), 2.0 * i))
+        snap = metrics.snapshot()["microbatch"]
+        assert snap["batches"] == 1
+        assert snap["rows_histogram"] == {"4": 1}
+        assert snap["flush_reasons"] == {"full": 1}
+
+    def test_excess_requests_roll_into_second_batch(self):
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=4,
+                                        flush_deadline_s=0.02)
+            rows = [np.full((1, 2), float(i)) for i in range(6)]
+            results = await asyncio.gather(
+                *[sched.submit("k", r, double) for r in rows])
+            await sched.close()
+            return results, sched.metrics.snapshot()["microbatch"]
+
+        results, snap = run(scenario())
+        assert snap["batches"] == 2
+        assert snap["rows"] == 6
+        for i, result in enumerate(results):
+            np.testing.assert_array_equal(result, np.full((1, 2), 2.0 * i))
+
+    def test_requests_are_never_split_across_flushes(self):
+        """A request straddling the boundary keeps its rows together."""
+        calls = []
+
+        def batch_fn(batch):
+            calls.append(batch.shape[0])
+            return batch
+
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=8,
+                                        flush_deadline_s=0.02)
+            await asyncio.gather(
+                sched.submit("k", np.zeros((5, 2)), batch_fn),
+                sched.submit("k", np.ones((5, 2)), batch_fn))
+            await sched.close()
+
+        run(scenario())
+        assert calls == [5, 5]
+
+    def test_oversized_request_flushes_alone(self):
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=4,
+                                        flush_deadline_s=5.0)
+            result = await sched.submit("k", np.ones((10, 2)), double)
+            await sched.close()
+            return result, sched.metrics.snapshot()["microbatch"]
+
+        result, snap = run(scenario())
+        np.testing.assert_array_equal(result, np.full((10, 2), 2.0))
+        assert snap["rows_histogram"] == {"10": 1}
+
+
+class TestDeadline:
+    def test_partial_batch_flushes_on_deadline(self):
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=64,
+                                        flush_deadline_s=0.01)
+            results = await asyncio.gather(
+                *[sched.submit("k", np.full((1, 2), float(i)), double)
+                  for i in range(3)])
+            await sched.close()
+            return results, sched.metrics.snapshot()["microbatch"]
+
+        results, snap = run(scenario())
+        assert snap["batches"] == 1
+        assert snap["flush_reasons"] == {"deadline": 1}
+        assert snap["rows_histogram"] == {"3": 1}
+        for i, result in enumerate(results):
+            np.testing.assert_array_equal(result, np.full((1, 2), 2.0 * i))
+
+    def test_deadline_bounds_latency(self):
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=64,
+                                        flush_deadline_s=0.02)
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            await sched.submit("k", np.zeros((1, 2)), double)
+            elapsed = loop.time() - start
+            await sched.close()
+            return elapsed
+
+        # One lone request must not wait for a full batch that never comes.
+        assert run(scenario()) < 1.0
+
+
+class TestKeyIsolation:
+    def test_keys_never_share_batches(self):
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=4,
+                                        flush_deadline_s=0.02)
+            a = [sched.submit("a", np.full((1, 2), float(i)), double)
+                 for i in range(3)]
+            b = [sched.submit("b", np.full((1, 2), float(i)), negate)
+                 for i in range(3)]
+            results = await asyncio.gather(*a, *b)
+            await sched.close()
+            return results, sched.metrics.snapshot()["microbatch"]
+
+        results, snap = run(scenario())
+        assert snap["batches"] == 2
+        for i in range(3):
+            np.testing.assert_array_equal(results[i],
+                                          np.full((1, 2), 2.0 * i))
+            np.testing.assert_array_equal(results[3 + i],
+                                          np.full((1, 2), -float(i)))
+
+    def test_queue_depths_reported_per_key(self):
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=64,
+                                        flush_deadline_s=5.0,
+                                        max_queue_rows=64)
+            tasks = [asyncio.ensure_future(
+                sched.submit("a", np.zeros((2, 2)), double))]
+            await asyncio.sleep(0)
+            depths = dict(sched.queue_depths())
+            total = sched.queue_rows
+            for task in tasks:
+                task.cancel()
+            await sched.close()
+            return depths, total
+
+        depths, total = run(scenario())
+        assert depths == {"a": 2} and total == 2
+
+
+class TestBackpressure:
+    def test_full_queue_raises(self):
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=8,
+                                        flush_deadline_s=5.0,
+                                        max_queue_rows=8)
+            waiting = asyncio.ensure_future(
+                sched.submit("k", np.zeros((6, 2)), double))
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFullError):
+                await sched.submit("k", np.zeros((3, 2)), double)
+            # A different key still has capacity (per-key isolation).
+            other = asyncio.ensure_future(
+                sched.submit("other", np.zeros((3, 2)), double))
+            await asyncio.sleep(0)
+            waiting.cancel()
+            await sched.close()  # drains the "other" queue immediately
+            return await other
+
+        assert run(scenario()).shape == (3, 2)
+
+    def test_oversized_request_is_a_permanent_error(self):
+        """A request that can never fit must not look like backpressure.
+
+        429 + Retry-After would send the client into an infinite retry
+        loop; a request larger than the whole queue is a caller bug and
+        surfaces as ConfigError (HTTP 400), without leaking queue state.
+        """
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=8,
+                                        flush_deadline_s=5.0,
+                                        max_queue_rows=8)
+            with pytest.raises(ConfigError):
+                await sched.submit("fresh", np.zeros((9, 2)), double)
+            depths = sched.queue_depths()
+            total = sched.queue_rows
+            await sched.close()
+            return depths, total, len(sched._queues)
+
+        depths, total, n_queues = run(scenario())
+        assert depths == {} and total == 0 and n_queues == 0
+
+    def test_rejected_request_leaves_queue_state_intact(self):
+        """A backpressure bounce must not disturb the pending queue."""
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=8,
+                                        flush_deadline_s=5.0,
+                                        max_queue_rows=8)
+            waiting = asyncio.ensure_future(
+                sched.submit("k", np.zeros((6, 2)), double))
+            await asyncio.sleep(0)
+            with pytest.raises(QueueFullError):
+                await sched.submit("k", np.zeros((4, 2)), double)
+            depths = dict(sched.queue_depths())
+            waiting.cancel()
+            await sched.close()
+            return depths
+
+        assert run(scenario()) == {"k": 6}
+
+    def test_queue_drains_after_flush(self):
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=4,
+                                        flush_deadline_s=0.01,
+                                        max_queue_rows=4)
+            await sched.submit("k", np.zeros((4, 2)), double)
+            # The previous batch flushed; the queue accepts new rows again.
+            result = await sched.submit("k", np.ones((4, 2)), double)
+            await sched.close()
+            return result
+
+        np.testing.assert_array_equal(run(scenario()), np.full((4, 2), 2.0))
+
+
+class TestPerKeySerialization:
+    def test_same_key_batches_never_overlap_with_many_workers(self):
+        """Tile models are not thread-safe: one in-flight batch per key."""
+        import threading
+        import time
+        active = {"now": 0, "peak": 0}
+        guard = threading.Lock()
+
+        def slow(batch):
+            with guard:
+                active["now"] += 1
+                active["peak"] = max(active["peak"], active["now"])
+            time.sleep(0.02)
+            with guard:
+                active["now"] -= 1
+            return batch
+
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=2,
+                                        flush_deadline_s=0.005,
+                                        max_workers=4)
+            await asyncio.gather(
+                *[sched.submit("k", np.zeros((1, 2)), slow)
+                  for _ in range(8)])
+            await sched.close()
+
+        run(scenario())
+        assert active["peak"] == 1
+
+    def test_different_keys_run_in_parallel_with_many_workers(self):
+        import threading
+        import time
+        active = {"now": 0, "peak": 0}
+        guard = threading.Lock()
+
+        def slow(batch):
+            with guard:
+                active["now"] += 1
+                active["peak"] = max(active["peak"], active["now"])
+            time.sleep(0.05)
+            with guard:
+                active["now"] -= 1
+            return batch
+
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=1,
+                                        flush_deadline_s=0.005,
+                                        max_workers=4)
+            await asyncio.gather(
+                *[sched.submit(f"k{i}", np.zeros((1, 2)), slow)
+                  for i in range(4)])
+            await sched.close()
+
+        run(scenario())
+        assert active["peak"] > 1
+
+
+class TestErrorHandling:
+    def test_batch_fn_exception_propagates_to_every_request(self):
+        def broken(batch):
+            raise ValueError("model exploded")
+
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=2,
+                                        flush_deadline_s=0.01)
+            results = await asyncio.gather(
+                sched.submit("k", np.zeros((1, 2)), broken),
+                sched.submit("k", np.zeros((1, 2)), broken),
+                return_exceptions=True)
+            await sched.close()
+            return results
+
+        results = run(scenario())
+        assert all(isinstance(r, ValueError) for r in results)
+
+    def test_wrong_row_count_is_an_error(self):
+        def truncating(batch):
+            return batch[:-1]
+
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=2,
+                                        flush_deadline_s=0.01)
+            results = await asyncio.gather(
+                sched.submit("k", np.zeros((2, 2)), truncating),
+                return_exceptions=True)
+            await sched.close()
+            return results
+
+        assert isinstance(run(scenario())[0], RuntimeError)
+
+    def test_submit_after_close_rejected(self):
+        async def scenario():
+            sched = MicrobatchScheduler()
+            await sched.close()
+            with pytest.raises(RuntimeError):
+                await sched.submit("k", np.zeros((1, 2)), double)
+
+        run(scenario())
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigError):
+            MicrobatchScheduler(max_batch_rows=0)
+        with pytest.raises(ConfigError):
+            MicrobatchScheduler(max_batch_rows=8, max_queue_rows=4)
+        with pytest.raises(ConfigError):
+            MicrobatchScheduler(flush_deadline_s=-1.0)
+
+
+class TestClose:
+    def test_close_drains_pending_requests(self):
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=64,
+                                        flush_deadline_s=5.0)
+            pending = asyncio.ensure_future(
+                sched.submit("k", np.ones((2, 2)), double))
+            await asyncio.sleep(0)
+            await sched.close()
+            return await pending, sched.metrics.snapshot()["microbatch"]
+
+        result, snap = run(scenario())
+        np.testing.assert_array_equal(result, np.full((2, 2), 2.0))
+        assert snap["flush_reasons"] == {"drain": 1}
+
+    def test_metrics_queue_gauge_returns_to_zero(self):
+        metrics = ServeMetrics()
+
+        async def scenario():
+            sched = MicrobatchScheduler(max_batch_rows=4,
+                                        flush_deadline_s=0.01,
+                                        metrics=metrics)
+            await asyncio.gather(
+                *[sched.submit("k", np.zeros((1, 2)), double)
+                  for _ in range(6)])
+            await sched.close()
+
+        run(scenario())
+        snap = metrics.snapshot()["queue"]
+        assert snap["rows"] == 0 and snap["rows_peak"] >= 4

@@ -1,0 +1,412 @@
+"""End-to-end HTTP tests: round-trips, equivalence, errors, backpressure.
+
+The module boots one real server (random port, background thread) with a
+tiny fast-to-train GENIEx model and drives it through
+:class:`repro.serve.client.ServeClient` — the same path the CI smoke job
+and the load benchmark use.
+
+The equivalence tests assert **byte-identical** agreement with direct
+in-process calls: predictions go through the batch-invariant
+:class:`MatrixEmulator`, so a response must match a direct per-request
+call bit-for-bit even when the scheduler coalesced it with other traffic.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.zoo import GeniexZoo
+from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.engine import make_engine
+from repro.serve.client import ServeClient, ServerBusyError, ServerError
+from repro.serve.protocol import ModelSpec
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import EmulationServer, ServerThread
+
+MODEL = {
+    "rows": 4, "cols": 4,
+    "sampling": {"n_g_matrices": 3, "n_v_per_g": 4, "seed": 0},
+    "training": {"hidden": 8, "epochs": 2, "batch_size": 8, "seed": 0},
+}
+SIM = {"weight_bits": 8, "weight_frac_bits": 5,
+       "activation_bits": 8, "activation_frac_bits": 5}
+SPEC = ModelSpec.from_payload(MODEL)
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    zoo = GeniexZoo(cache_dir=str(tmp_path_factory.mktemp("zoo")))
+    server = EmulationServer(ModelRegistry(zoo), max_batch_rows=16,
+                             flush_deadline_s=0.002)
+    with ServerThread(server) as handle:
+        with ServeClient("127.0.0.1", handle.port) as client:
+            client.load_model(MODEL)  # warm once for the whole module
+            yield handle, zoo
+
+
+@pytest.fixture
+def client(served):
+    handle, _ = served
+    with ServeClient("127.0.0.1", handle.port) as c:
+        yield c
+
+
+def direct_matrix_emulator(zoo: GeniexZoo, conductances: np.ndarray):
+    """The exact object the server predicts with, built in-process."""
+    emulator = zoo.get_or_train(SPEC.config, SPEC.sampling, SPEC.training,
+                                mode=SPEC.mode)
+    return emulator.for_matrix(conductances, batch_invariant=True)
+
+
+def random_g(seed):
+    cfg = SPEC.config
+    return np.random.default_rng(seed).uniform(cfg.g_off_s, cfg.g_on_s,
+                                               size=cfg.shape)
+
+
+def random_v(seed, shape):
+    return np.random.default_rng(seed).uniform(0.0, SPEC.config.v_supply_v,
+                                               size=shape)
+
+
+class TestBasics:
+    def test_health(self, client):
+        assert client.health() == {"status": "ok"}
+
+    def test_model_listed_after_load(self, client):
+        models = client.models()
+        assert len(models) == 1
+        assert models[0]["rows"] == 4 and models[0]["cols"] == 4
+
+    def test_load_model_is_idempotent(self, client):
+        first = client.load_model(MODEL)
+        second = client.load_model(MODEL)
+        assert first == second
+
+    def test_register_crossbar_is_deterministic(self, client):
+        g = random_g(7)
+        assert client.register_crossbar(MODEL, g) == \
+            client.register_crossbar(MODEL, g)
+
+
+class TestPredictionEquivalence:
+    def test_single_vector_byte_identical(self, client, served):
+        _, zoo = served
+        g, v = random_g(1), random_v(2, 4)
+        out = client.predict_currents(v, model=MODEL, conductances=g)
+        direct = direct_matrix_emulator(zoo, g).predict_currents(v)[0]
+        np.testing.assert_array_equal(out, direct)
+        assert out.shape == (4,)
+
+    def test_batch_request_byte_identical(self, client, served):
+        _, zoo = served
+        g, v = random_g(3), random_v(4, (6, 4))
+        out = client.predict_currents(v, model=MODEL, conductances=g)
+        direct = direct_matrix_emulator(zoo, g).predict_currents(v)
+        np.testing.assert_array_equal(out, direct)
+
+    def test_predict_fr_byte_identical(self, client, served):
+        _, zoo = served
+        g, v = random_g(5), random_v(6, (3, 4))
+        key = client.register_crossbar(MODEL, g)
+        out = client.predict_fr(v, crossbar_key=key)
+        direct = direct_matrix_emulator(zoo, g).predict_fr(v)
+        np.testing.assert_array_equal(out, direct)
+
+    def test_coalesced_concurrent_requests_byte_identical(self, served):
+        """The acceptance property: microbatching must be invisible.
+
+        32 threads fire single-vector requests at one crossbar; whatever
+        way the scheduler coalesces them, every response must equal the
+        direct single-request computation bit-for-bit.
+        """
+        handle, zoo = served
+        g = random_g(8)
+        voltages = random_v(9, (32, 4))
+        with ServeClient("127.0.0.1", handle.port) as warmup:
+            key = warmup.register_crossbar(MODEL, g)
+        results = [None] * 32
+        errors = []
+        barrier = threading.Barrier(32)
+
+        def worker(i):
+            try:
+                with ServeClient("127.0.0.1", handle.port) as c:
+                    barrier.wait()
+                    results[i] = c.predict_currents(voltages[i],
+                                                    crossbar_key=key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(32)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        warm = direct_matrix_emulator(zoo, g)
+        for i in range(32):
+            direct = warm.predict_currents(voltages[i])[0]
+            np.testing.assert_array_equal(results[i], direct)
+
+    def test_coalescing_actually_happened(self, client):
+        """The previous test's traffic must have formed multi-row batches."""
+        histogram = client.metrics()["microbatch"]["rows_histogram"]
+        assert any(int(rows) > 1 for rows in histogram)
+
+
+class TestMatmulEquivalence:
+    def test_exact_engine_byte_identical(self, client, served):
+        weights = np.random.default_rng(0).standard_normal((4, 4)) * 0.4
+        x = np.random.default_rng(1).standard_normal((5, 4))
+        y = client.matmul(x, model=MODEL, weights=weights, engine="exact",
+                          sim=SIM)
+        engine = make_engine("exact", SPEC.config, FuncSimConfig(**SIM),
+                             batch_invariant=True)
+        direct = engine.matmul(x, engine.prepare(weights))
+        np.testing.assert_array_equal(y, direct)
+
+    def test_geniex_engine_via_weights_key(self, client, served):
+        _, zoo = served
+        weights = np.random.default_rng(2).standard_normal((4, 4)) * 0.4
+        x = np.random.default_rng(3).standard_normal((3, 4))
+        key = client.register_weights(MODEL, weights, engine="geniex",
+                                      sim=SIM)
+        y = client.matmul(x, weights_key=key)
+        emulator = zoo.get_or_train(SPEC.config, SPEC.sampling,
+                                    SPEC.training, mode=SPEC.mode)
+        engine = make_engine("geniex", SPEC.config, FuncSimConfig(**SIM),
+                             emulator=emulator, batch_invariant=True)
+        direct = engine.matmul(x, engine.prepare(weights))
+        np.testing.assert_array_equal(y, direct)
+
+    def test_coalesced_matmul_byte_identical(self, served):
+        """Engine responses must also be coalescing-invariant."""
+        handle, zoo = served
+        weights = np.random.default_rng(4).standard_normal((4, 4)) * 0.4
+        xs = np.random.default_rng(5).standard_normal((16, 4))
+        with ServeClient("127.0.0.1", handle.port) as warmup:
+            key = warmup.register_weights(MODEL, weights, engine="geniex",
+                                          sim=SIM)
+        results = [None] * 16
+        errors = []
+        barrier = threading.Barrier(16)
+
+        def worker(i):
+            try:
+                with ServeClient("127.0.0.1", handle.port) as c:
+                    barrier.wait()
+                    results[i] = c.matmul(xs[i], weights_key=key)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        emulator = zoo.get_or_train(SPEC.config, SPEC.sampling,
+                                    SPEC.training, mode=SPEC.mode)
+        engine = make_engine("geniex", SPEC.config, FuncSimConfig(**SIM),
+                             emulator=emulator, batch_invariant=True)
+        prepared = engine.prepare(weights)
+        for i in range(16):
+            direct = engine.matmul(xs[i:i + 1], prepared)[0]
+            np.testing.assert_array_equal(results[i], direct)
+
+    def test_single_vector_matmul_shape(self, client):
+        weights = np.eye(4) * 0.3
+        y = client.matmul(np.ones(4) * 0.1, model=MODEL, weights=weights,
+                          engine="exact", sim=SIM)
+        assert y.shape == (4,)
+
+
+class TestErrorMapping:
+    def test_unknown_endpoint_404(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/v1/nothing")
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_405(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client._request("GET", "/v1/predict_currents")
+        assert excinfo.value.status == 405
+
+    def test_bad_json_400(self, client):
+        conn = client._connection()
+        conn.request("POST", "/v1/models", body="{nope",
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        response.read()
+        assert response.status == 400
+
+    def test_unknown_crossbar_key_404(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.predict_currents(np.zeros(4), crossbar_key="xb-nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_weights_key_404(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.matmul(np.zeros(4), weights_key="eng-nope")
+        assert excinfo.value.status == 404
+
+    def test_wrong_voltage_width_400(self, client):
+        key = client.register_crossbar(MODEL, random_g(11))
+        with pytest.raises(ServerError) as excinfo:
+            client.predict_currents(np.zeros(5), crossbar_key=key)
+        assert excinfo.value.status == 400
+
+    def test_bad_model_spec_400(self, client):
+        with pytest.raises(ServerError) as excinfo:
+            client.load_model({"rows": -3})
+        assert excinfo.value.status == 400
+
+    def test_oversized_request_line_drops_connection(self, served, client):
+        """A >64 KiB request line must not crash the connection handler."""
+        import socket
+        handle, _ = served
+        with socket.create_connection(("127.0.0.1", handle.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"GET /" + b"a" * 70000 + b" HTTP/1.1\r\n\r\n")
+            assert sock.recv(4096) == b""  # server closed, no traceback
+        # The server keeps serving afterwards.
+        assert client.health() == {"status": "ok"}
+
+    def test_malformed_content_length_drops_connection(self, served,
+                                                       client):
+        import socket
+        handle, _ = served
+        with socket.create_connection(("127.0.0.1", handle.port),
+                                      timeout=10) as sock:
+            sock.sendall(b"POST /v1/models HTTP/1.1\r\n"
+                         b"Content-Length: banana\r\n\r\n")
+            assert sock.recv(4096) == b""
+        assert client.health() == {"status": "ok"}
+
+    def test_non_finite_voltages_400(self, client):
+        key = client.register_crossbar(MODEL, random_g(11))
+        with pytest.raises(ServerError) as excinfo:
+            client._request("POST", "/v1/predict_currents",
+                            {"crossbar_key": key,
+                             "voltages": [0.1, None, 0.1, 0.1]})
+        assert excinfo.value.status == 400
+
+
+class TestBackpressure:
+    def test_full_queue_maps_to_429(self, tmp_path):
+        """A saturated per-key queue rejects with 429 + Retry-After."""
+        zoo = GeniexZoo(cache_dir=str(tmp_path / "zoo"))
+        server = EmulationServer(ModelRegistry(zoo), max_batch_rows=8,
+                                 flush_deadline_s=0.5, max_queue_rows=8)
+        with ServerThread(server) as handle:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                client.load_model(MODEL)
+                g = random_g(1)
+                key = client.register_crossbar(MODEL, g)
+
+                # 6 rows sit in the queue waiting out the 500 ms deadline…
+                def send_blocked():
+                    with ServeClient("127.0.0.1", handle.port) as c:
+                        c.predict_currents(random_v(0, (6, 4)),
+                                           crossbar_key=key)
+
+                blocked = threading.Thread(target=send_blocked)
+                blocked.start()
+                try:
+                    # …give it time to enqueue, then a 3-row probe must
+                    # bounce: 6 + 3 > max_queue_rows = 8.
+                    import time
+                    time.sleep(0.15)
+                    with pytest.raises(ServerBusyError) as excinfo:
+                        client.predict_currents(random_v(1, (3, 4)),
+                                                crossbar_key=key)
+                    assert excinfo.value.status == 429
+                finally:
+                    blocked.join()
+
+
+class TestIdleConnections:
+    def test_silent_connection_is_reaped_and_client_recovers(self,
+                                                             tmp_path):
+        import socket
+        import time
+        zoo = GeniexZoo(cache_dir=str(tmp_path / "zoo"))
+        server = EmulationServer(ModelRegistry(zoo), idle_timeout_s=0.2)
+        with ServerThread(server) as handle:
+            # A client that connects and never sends anything must not pin
+            # a handler forever.
+            sock = socket.create_connection(("127.0.0.1", handle.port),
+                                            timeout=10)
+            assert sock.recv(4096) == b""  # closed by the idle timeout
+            sock.close()
+            # A keep-alive client whose connection was reaped while idle
+            # reconnects transparently on the next request.
+            with ServeClient("127.0.0.1", handle.port) as client:
+                assert client.health() == {"status": "ok"}
+                time.sleep(0.4)
+                assert client.health() == {"status": "ok"}
+
+
+class TestWeightsKeyEcho:
+    def test_weights_key_lookup_reports_actual_engine(self, client):
+        weights = np.eye(4) * 0.3
+        first = client._request("POST", "/v1/weights",
+                                {"model": MODEL, "engine": "analytical",
+                                 "weights": weights.tolist()})
+        assert first["engine"] == "analytical"
+        # Re-fetching by key (no engine field in the body) must report the
+        # engine actually serving the key, not the request default.
+        again = client._request("POST", "/v1/weights",
+                                {"weights_key": first["weights_key"]})
+        assert again["engine"] == "analytical"
+        assert again["n_in"] == 4 and again["n_out"] == 4
+
+
+class TestOversizedRequest:
+    def test_oversized_body_gets_413(self, tmp_path):
+        import socket
+        zoo = GeniexZoo(cache_dir=str(tmp_path / "zoo"))
+        server = EmulationServer(ModelRegistry(zoo), max_body_bytes=1024)
+        with ServerThread(server) as handle:
+            with socket.create_connection(("127.0.0.1", handle.port),
+                                          timeout=10) as sock:
+                sock.sendall(b"POST /v1/models HTTP/1.1\r\n"
+                             b"Content-Length: 999999\r\n\r\n")
+                reply = sock.recv(4096)
+            assert reply.startswith(b"HTTP/1.1 413")
+            assert b"exceeds" in reply
+
+    def test_request_larger_than_queue_is_400_not_429(self, tmp_path):
+        """A request that can never fit must not tell the client to retry."""
+        zoo = GeniexZoo(cache_dir=str(tmp_path / "zoo"))
+        server = EmulationServer(ModelRegistry(zoo), max_batch_rows=8,
+                                 flush_deadline_s=0.002, max_queue_rows=8)
+        with ServerThread(server) as handle:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                client.load_model(MODEL)
+                key = client.register_crossbar(MODEL, random_g(1))
+                with pytest.raises(ServerError) as excinfo:
+                    client.predict_currents(random_v(0, (9, 4)),
+                                            crossbar_key=key)
+                assert excinfo.value.status == 400
+                assert not isinstance(excinfo.value, ServerBusyError)
+
+
+class TestMetricsEndpoint:
+    def test_metrics_structure(self, client):
+        snapshot = client.metrics()
+        assert {"requests", "responses", "microbatch", "queue",
+                "registry"} <= set(snapshot)
+        micro = snapshot["microbatch"]
+        assert micro["batches"] >= 1
+        assert micro["rows"] >= micro["batches"]
+        assert micro["mean_rows_per_batch"] > 0
+        assert sum(micro["rows_histogram"].values()) == micro["batches"]
+        registry = snapshot["registry"]
+        assert registry["crossbars"]["hits"] > 0
+        assert 0.0 <= registry["crossbars"]["hit_rate"] <= 1.0
+        assert snapshot["queue"]["rows_peak"] >= 1

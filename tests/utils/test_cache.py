@@ -1,0 +1,123 @@
+"""Unit tests for the shared LRU mapping."""
+
+import threading
+
+import pytest
+
+from repro.utils.cache import LruDict
+
+
+class TestLruBasics:
+    def test_get_put_roundtrip(self):
+        cache = LruDict(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert len(cache) == 1
+        assert "a" in cache and "missing" not in cache
+
+    def test_eviction_order_is_lru(self):
+        cache = LruDict(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now the LRU entry
+        cache.put("c", 3)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_zero_capacity_stays_empty(self):
+        cache = LruDict(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None and len(cache) == 0
+
+    def test_clear(self):
+        cache = LruDict(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0 and cache.get("a") is None
+
+    def test_keys_snapshot_oldest_first(self):
+        cache = LruDict(4)
+        for k in "abc":
+            cache.put(k, k)
+        cache.get("a")
+        assert cache.keys() == ["b", "c", "a"]
+
+
+class TestRecencyOnRePut:
+    def test_reput_refreshes_recency(self):
+        """Re-putting an existing key must move it to the MRU end.
+
+        Regression test: plain ``dict`` assignment keeps the old position,
+        so a hot, repeatedly-rewritten key was evicted as if it were cold.
+        """
+        cache = LruDict(2)
+        cache.put("hot", 1)
+        cache.put("cold", 2)
+        cache.put("hot", 3)  # rewrite: "cold" must now be the LRU entry
+        cache.put("new", 4)
+        assert cache.get("cold") is None
+        assert cache.get("hot") == 3 and cache.get("new") == 4
+
+    def test_reput_updates_value(self):
+        cache = LruDict(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2 and len(cache) == 1
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("max_entries", [1, 8, 64])
+    def test_hammer_from_many_threads(self, max_entries):
+        cache = LruDict(max_entries)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(tid):
+            try:
+                barrier.wait()
+                for i in range(500):
+                    key = (tid * 7 + i) % 32
+                    cache.put(key, (tid, i))
+                    got = cache.get(key)
+                    # Another thread may have evicted or rewritten the key,
+                    # but a stored value is always a well-formed pair.
+                    if got is not None and len(got) != 2:
+                        errors.append((key, got))
+                    len(cache)
+                    if i % 100 == 0:
+                        cache.keys()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= max_entries
+
+    def test_concurrent_clear_and_put(self):
+        cache = LruDict(16)
+        stop = threading.Event()
+        errors = []
+
+        def clearer():
+            try:
+                while not stop.is_set():
+                    cache.clear()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        t = threading.Thread(target=clearer)
+        t.start()
+        try:
+            for i in range(2000):
+                cache.put(i % 10, i)
+                cache.get(i % 10)
+        finally:
+            stop.set()
+            t.join()
+        assert not errors
