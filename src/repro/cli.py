@@ -104,7 +104,12 @@ _FIG_RUNNERS = {
 
 def _cmd_fig(args) -> int:
     import importlib
+    import os
 
+    if args.workers is not None:
+        # The experiment drivers read the worker count through
+        # repro.experiments.common.default_workers().
+        os.environ["REPRO_WORKERS"] = str(args.workers)
     module_name, func_name = _FIG_RUNNERS[args.name].split(":")
     runner = getattr(importlib.import_module(module_name), func_name)
     result = runner()
@@ -123,7 +128,8 @@ def _cmd_serve(args) -> int:
         GeniexZoo(cache_dir=args.cache_dir, verbose=True,
                   max_memory_entries=args.max_models),
         max_models=args.max_models,
-        tile_cache_size=args.tile_cache)
+        tile_cache_size=args.tile_cache,
+        engine_workers=args.engine_workers)
     server = EmulationServer(
         registry,
         max_batch_rows=args.max_batch,
@@ -177,6 +183,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fig = sub.add_parser("fig", help="regenerate a paper figure/table")
     p_fig.add_argument("name", choices=sorted(_FIG_RUNNERS))
+    p_fig.add_argument("--workers", type=int, default=None,
+                       help="funcsim runtime workers for DNN accuracy "
+                            "experiments (default: $REPRO_WORKERS or 1; "
+                            ">1 uses the sharded process backend)")
     p_fig.set_defaults(func=_cmd_fig)
 
     p_serve = sub.add_parser(
@@ -196,6 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="warm emulators kept in memory (LRU)")
     p_serve.add_argument("--tile-cache", type=int, default=256,
                          help="per-engine tile-result LRU size; 0 disables")
+    p_serve.add_argument("--engine-workers", type=int, default=1,
+                         help="shard prepared-engine matmuls across this "
+                              "many runtime threads (1 = inline)")
     p_serve.add_argument("--cache-dir", default=None,
                          help="GENIEx zoo directory (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro/geniex)")

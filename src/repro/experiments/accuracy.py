@@ -16,8 +16,8 @@ import numpy as np
 from repro.core.emulator import GeniexEmulator
 from repro.datasets import make_shapes_split, make_textures_split
 from repro.errors import ConfigError
-from repro.experiments.common import Profile, dnn_cache_dir
-from repro.funcsim import convert_to_mvm, make_engine
+from repro.experiments.common import Profile, default_workers, dnn_cache_dir
+from repro.funcsim import close_mvm_executor, convert_to_mvm, make_engine
 from repro.funcsim.config import FuncSimConfig
 from repro.models import ResNet
 from repro.nn import Adam, cross_entropy, load_state_dict, save_state_dict
@@ -107,24 +107,45 @@ def evaluate_float(model, x: np.ndarray, y: np.ndarray,
 
 
 def evaluate_engine(model, x: np.ndarray, y: np.ndarray, engine,
-                    batch: int = 64) -> float:
-    """Top-1 accuracy of the model converted onto an MVM engine."""
-    converted = convert_to_mvm(model, engine)
+                    batch: int = 64, workers: int | None = None,
+                    executor=None) -> float:
+    """Top-1 accuracy of the model converted onto an MVM engine.
+
+    ``workers`` (default: ``REPRO_WORKERS`` env, i.e. 1) shards converted
+    inference over the funcsim runtime; ``executor`` picks the backend
+    (spec string or instance; ``workers > 1`` alone selects ``process``).
+    The executor's worker pool is torn down before returning unless a
+    ready-made instance was passed in (the caller owns its lifecycle).
+    """
+    owns_executor = not hasattr(executor, "matmul")
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 and executor is None:
+        converted = convert_to_mvm(model, engine)
+    else:
+        converted = convert_to_mvm(model, engine, executor=executor,
+                                   workers=workers)
     hits = 0
-    with no_grad():
-        for start in range(0, len(x), batch):
-            logits = converted(Tensor(x[start:start + batch]))
-            hits += int((logits.data.argmax(axis=1)
-                         == y[start:start + batch]).sum())
+    try:
+        with no_grad():
+            for start in range(0, len(x), batch):
+                logits = converted(Tensor(x[start:start + batch]))
+                hits += int((logits.data.argmax(axis=1)
+                             == y[start:start + batch]).sum())
+    finally:
+        if owns_executor:
+            close_mvm_executor(converted)
     return hits / len(x)
 
 
 def evaluate_mode(model, x, y, mode: str, xbar: CrossbarConfig,
                   sim: FuncSimConfig, batch: int = 64,
-                  emulator: GeniexEmulator | None = None) -> float:
+                  emulator: GeniexEmulator | None = None,
+                  workers: int | None = None) -> float:
     """Accuracy under a named engine mode (``ideal``/``geniex``/...)."""
     engine = make_engine(mode, xbar, sim, emulator=emulator)
-    return evaluate_engine(model, x, y, engine, batch=batch)
+    return evaluate_engine(model, x, y, engine, batch=batch,
+                           workers=workers)
 
 
 __all__ = [

@@ -206,6 +206,22 @@ def get_profile(name: str | None = None) -> Profile:
             f"unknown profile {name!r}; choose from {sorted(_PROFILES)}")
 
 
+def default_workers() -> int:
+    """Funcsim runtime worker count (``REPRO_WORKERS`` env, default 1).
+
+    Threaded through every accuracy experiment: ``1`` keeps the historical
+    single-core inline path; ``> 1`` shards converted-model inference over
+    the process backend (see :mod:`repro.funcsim.runtime`). The CLI's
+    ``fig --workers`` sets the variable for one invocation.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+    except ValueError:
+        raise ConfigError(
+            f"REPRO_WORKERS must be an integer, "
+            f"got {os.environ.get('REPRO_WORKERS')!r}")
+
+
 def shared_zoo(verbose: bool = False) -> GeniexZoo:
     """The GENIEx model zoo used by every experiment (disk-cached)."""
     return GeniexZoo(verbose=verbose)

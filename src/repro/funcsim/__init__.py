@@ -17,8 +17,30 @@ The analog tile computation is pluggable: exact ideal, GENIEx emulation,
 the linear analytical model, a cheap decoupled IR-drop model, or the full
 circuit simulator.
 
+**Plan/execute split.** The simulator separates *compilation* from
+*execution*:
+
+* :meth:`CrossbarMvmEngine.prepare` (compile) quantises, slices and tiles
+  a weight matrix, programs every (sign, slice, tile) crossbar model and
+  lowers the layer into a static, picklable
+  :class:`~repro.funcsim.planner.LayerProgram` — the tile stream-block
+  schedule, ADC/shift-add merge plan and cost metadata
+  (:mod:`repro.funcsim.planner`);
+* the :mod:`~repro.funcsim.runtime` package (execute) runs programs as
+  independent (tile-row, batch-chunk) shards on one of three pluggable
+  backends — ``serial`` (single core, the reference), ``threads`` and
+  ``process`` (worker processes with shared-memory activation/output
+  arrays) — merging partial sums digitally in tile-row order as the
+  hardware's peripheral logic would. :func:`convert_to_mvm` compiles a
+  whole network into one :class:`~repro.funcsim.planner.NetworkProgram`
+  and attaches the executor to every converted layer.
+
+In batch-invariant mode all backends produce bit-identical outputs at any
+worker count; with ADC noise, per-shard noise streams are keyed by tile
+coordinates so noisy runs reproduce exactly regardless of scheduling.
+
 **Batched tile API.** Every tile model maps a voltage batch ``(M, rows)``
-to currents ``(M, cols)`` in one call, and the engine stacks all active
+to currents ``(M, cols)`` in one call, and the kernel stacks all active
 stream blocks of a tile-row into a single such batch per tile model — the
 tile models therefore see one large batched inference/solve instead of one
 call per stream, which is what makes non-ideal inference tractable (cf. the
@@ -47,14 +69,32 @@ from repro.funcsim.engine import (
     CircuitTileFactory,
     CrossbarMvmEngine,
     DecoupledTileFactory,
+    EngineStats,
     ExactTileFactory,
     GeniexTileFactory,
     IdealMvmEngine,
     TileResultCache,
     make_engine,
 )
+from repro.funcsim.planner import (
+    LayerPlan,
+    LayerProgram,
+    NetworkProgram,
+    plan_layer,
+)
+from repro.funcsim.runtime import (
+    ExecutorBase,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.funcsim.layers import Conv2dMVM, LinearMVM
-from repro.funcsim.convert import convert_to_mvm
+from repro.funcsim.convert import (
+    close_mvm_executor,
+    compile_network,
+    convert_to_mvm,
+)
 
 __all__ = [
     "FuncSimConfig",
@@ -62,6 +102,7 @@ __all__ = [
     "AdcModel",
     "CrossbarMvmEngine",
     "IdealMvmEngine",
+    "EngineStats",
     "ExactTileFactory",
     "GeniexTileFactory",
     "AnalyticalTileFactory",
@@ -69,7 +110,18 @@ __all__ = [
     "CircuitTileFactory",
     "TileResultCache",
     "make_engine",
+    "LayerPlan",
+    "LayerProgram",
+    "NetworkProgram",
+    "plan_layer",
+    "ExecutorBase",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     "LinearMVM",
     "Conv2dMVM",
     "convert_to_mvm",
+    "compile_network",
+    "close_mvm_executor",
 ]

@@ -6,14 +6,25 @@
 normalisation and pooling untouched — exactly the ``Model.py ->
 Model-mvm.py`` step in the paper's Fig. 6. The converted model is
 inference-only.
+
+Conversion is also the network-level *compile* step of the runtime: every
+replaced layer's weights are prepared (programmed into tile models and
+lowered to a :class:`~repro.funcsim.planner.LayerProgram`) exactly once,
+and with ``executor=...`` the per-layer programs are aggregated into one
+:class:`~repro.funcsim.planner.NetworkProgram`, loaded into the executor
+in a single call (one process-pool initialisation for the whole network)
+and every MVM layer dispatches through the sharded backend. The executor
+is exposed as ``converted.mvm_executor``; call ``close()`` on it (or on
+the model via :func:`close_mvm_executor`) to release worker pools.
 """
 
 from __future__ import annotations
 
 import copy
 
-from repro.nn.modules import Conv2d, Linear, Module
 from repro.funcsim.layers import Conv2dMVM, LinearMVM
+from repro.funcsim.planner import NetworkProgram
+from repro.nn.modules import Conv2d, Linear, Module
 
 
 def _replace_layers(module: Module, engine, chunk_rows: int | None) -> None:
@@ -29,14 +40,59 @@ def _replace_layers(module: Module, engine, chunk_rows: int | None) -> None:
             _replace_layers(child, engine, chunk_rows)
 
 
-def convert_to_mvm(model: Module, engine,
-                   chunk_rows: int | None = None) -> Module:
+def mvm_layers(model: Module) -> list:
+    """Every :class:`LinearMVM` / :class:`Conv2dMVM` in forward order."""
+    return [m for m in model.modules()
+            if isinstance(m, (LinearMVM, Conv2dMVM))]
+
+
+def compile_network(model: Module) -> NetworkProgram:
+    """Aggregate the compiled programs of a converted model's MVM layers.
+
+    Layers programmed from identical weights on the same engine share a
+    program entry (content-digest layer ids), which is value-exact.
+    """
+    network = NetworkProgram()
+    for layer in mvm_layers(model):
+        if layer.prepared.program is not None:
+            network.add(layer.prepared.uid, layer.prepared.program)
+    return network
+
+
+def close_mvm_executor(model: Module) -> None:
+    """Release the worker pool of a model converted with ``executor=...``."""
+    executor = getattr(model, "mvm_executor", None)
+    if executor is not None:
+        executor.close()
+
+
+def convert_to_mvm(model: Module, engine, chunk_rows: int | None = None,
+                   executor=None, workers: int | None = None) -> Module:
     """Return an MVM copy of ``model`` running on ``engine``.
 
     The original model is untouched. The copy is put in eval mode; running
     statistics of normalisation layers are preserved by the deep copy.
+
+    ``executor`` routes every converted layer through a runtime backend:
+    a spec string (``"serial"`` / ``"threads"`` / ``"process"``), an
+    :class:`repro.funcsim.runtime.ExecutorBase` instance, or ``None`` for
+    the engine's inline path. ``workers`` sets the backend parallelism;
+    given alone (``workers > 1``) it selects the process backend. The whole
+    network is compiled and loaded into the executor before the first
+    forward pass.
     """
     converted = copy.deepcopy(model)
     _replace_layers(converted, engine, chunk_rows)
     converted.eval()
+    if executor is None and workers is not None and workers > 1:
+        executor = "process"
+    if executor is not None:
+        from repro.funcsim.runtime import make_executor
+
+        executor = make_executor(executor, workers=workers)
+        executor.load_program(compile_network(converted))
+        for layer in mvm_layers(converted):
+            if layer.prepared.program is not None:
+                layer.attach_executor(executor)
+        object.__setattr__(converted, "mvm_executor", executor)
     return converted

@@ -1,28 +1,41 @@
 """MVM engines: the bit-sliced crossbar pipeline with pluggable tile models.
 
-``CrossbarMvmEngine.matmul`` reproduces the paper's execution model. For each
-tile-row the quantised activations are sign-split and streamed
-``stream_bits`` at a time as DAC voltages; every (weight-sign, slice, tile)
-crossbar returns analog bit-line currents from its *tile model*; the ADC
-digitises them; the digital back-end removes the ``g_off`` mapping bias,
-merges streams/slices with shift-and-add and accumulates tile partial sums
-in the fixed-point accumulator.
+``CrossbarMvmEngine`` reproduces the paper's execution model in two phases
+(the plan/execute split):
+
+* **Compile** — :meth:`CrossbarMvmEngine.prepare` quantises, sign-splits,
+  slices and tiles a weight matrix, programs one tile model per
+  (weight-sign, slice, tile) and lowers the result into a static, picklable
+  :class:`~repro.funcsim.planner.LayerProgram` (tile schedule, decode
+  constants, ADC transfer, cost metadata).
+* **Execute** — :meth:`CrossbarMvmEngine.matmul` streams quantised
+  activations through the program via the shard kernel
+  (:mod:`repro.funcsim.runtime.kernel`): per tile-row the sign-split
+  activations are streamed ``stream_bits`` at a time as DAC voltages; every
+  (weight-sign, slice, tile) crossbar returns analog bit-line currents from
+  its *tile model*; the ADC digitises them; the digital back-end removes
+  the ``g_off`` mapping bias, merges streams/slices with shift-and-add and
+  accumulates tile partial sums in the fixed-point accumulator.
+
+Without an executor the engine runs the kernel inline on the calling
+thread — bit-identical to the historical monolithic implementation,
+including the sequential ADC noise stream. With an executor
+(``make_engine(..., executor="process", workers=4)`` or any
+:class:`repro.funcsim.runtime.ExecutorBase`) execution is sharded across
+tile-rows and batch chunks on threads or worker processes; see
+:mod:`repro.funcsim.runtime` for the determinism contract.
 
 **Batched execution.** Every tile model accepts voltage batches of shape
 ``(M, rows)`` and returns currents of shape ``(M, cols)`` — that is the
-batched tile API. ``matmul`` exploits it by stacking all non-zero
+batched tile API. The kernel exploits it by stacking all non-zero
 (activation-sign, stream) blocks of a tile-row into one ``(S * B, rows)``
 voltage batch and issuing a *single* batched call per tile model instead of
 ``S`` separate ones, so the per-call overhead (Python dispatch, normaliser
 matmuls, sparse back-substitution setup, Newton bring-up) is paid once per
-tile. The digital decode then walks the measured ``(S, B, cols)`` slices in
-the exact order the sequential pipeline used, keeping results bit-identical
-(for a noiseless ADC; with ADC noise the seeded samples are drawn in a
-different order, so noisy runs are statistically, not bitwise, equivalent
-to per-stream execution — while remaining reproducible run-to-run).
+tile.
 
 **Tile-result caching.** Measured (post-ADC) tile read-outs are memoised in
-a per-engine LRU keyed by (prepared-matrix id, tile key, stream level
+a per-engine LRU keyed by (prepared-matrix uid, tile key, stream level
 pattern). Convolution layers re-issue identical stream patterns constantly
 (im2col patches share activation blocks), so repeated patterns skip the
 analog model entirely. The cache is value-exact — keys include the raw
@@ -49,7 +62,8 @@ the exact fixed-point product ("Ideal FxP" in the paper's figures).
 
 from __future__ import annotations
 
-import itertools
+import hashlib
+import threading
 
 import numpy as np
 
@@ -60,15 +74,21 @@ from repro.core.emulator import GeniexEmulator
 from repro.errors import ConfigError, ShapeError
 from repro.funcsim.adc import AdcModel
 from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.planner import plan_layer
+from repro.funcsim.runtime.base import make_executor
+from repro.funcsim.runtime.kernel import (
+    active_signs,
+    execute_tile_row,
+    new_stat_counts,
+    quantize_input,
+)
 from repro.funcsim.slicing import sign_split, split_unsigned
-from repro.funcsim.tiles import n_tiles, pad_axis, tile_matrix
+from repro.funcsim.tiles import n_tiles, tile_matrix
 from repro.utils.cache import LruDict
 from repro.utils.numerics import batch_invariant_matmul
 from repro.xbar.config import CrossbarConfig
 from repro.xbar.ideal import ideal_mvm
 from repro.xbar.mapping import conductances_from_levels
-
-from scipy.sparse.linalg import splu
 
 
 # ----------------------------------------------------------------------
@@ -81,6 +101,20 @@ def _select_matmul(batch_invariant: bool):
     if batch_invariant:
         return batch_invariant_matmul
     return np.matmul
+
+
+class ExactTileModel:
+    """Tile computing the exact analog dot product (ideality oracle)."""
+
+    def __init__(self, conductance_s: np.ndarray, matmul=None):
+        self.conductance_s = np.asarray(conductance_s, dtype=float)
+        self._matmul = matmul
+
+    def currents(self, voltages_v, cache=None) -> np.ndarray:
+        if self._matmul is not None:
+            return self._matmul(np.atleast_2d(voltages_v),
+                                self.conductance_s)
+        return ideal_mvm(voltages_v, self.conductance_s)
 
 
 class ExactTileFactory:
@@ -107,17 +141,13 @@ class ExactTileFactory:
     def prepare_voltages(self, voltages_v: np.ndarray):
         return None
 
-    def build(self, conductance_s: np.ndarray):
-        g = np.asarray(conductance_s, dtype=float)
-        matmul = self._matmul if self.batch_invariant else None
+    def cache_token(self) -> str:
+        return f"exact|bi={int(self.batch_invariant)}"
 
-        class _Tile:
-            def currents(self, voltages_v, cache=None):
-                if matmul is not None:
-                    return matmul(np.atleast_2d(voltages_v), g)
-                return ideal_mvm(voltages_v, g)
-
-        return _Tile()
+    def build(self, conductance_s: np.ndarray) -> ExactTileModel:
+        return ExactTileModel(
+            conductance_s,
+            self._matmul if self.batch_invariant else None)
 
 
 class GeniexTileFactory:
@@ -132,6 +162,7 @@ class GeniexTileFactory:
         self._matmul = _select_matmul(batch_invariant)
         w1v, _, _ = emulator.model.first_layer_views()
         self._w1v_t = np.ascontiguousarray(w1v.T)
+        self._cache_token = None
 
     def check_crossbar(self, config: CrossbarConfig) -> None:
         if (self.emulator.rows, self.emulator.cols) != config.shape:
@@ -144,6 +175,23 @@ class GeniexTileFactory:
         """Hidden-layer voltage term, shared by every tile in a tile-row."""
         v_norm = self.emulator.normalizer.normalize_v(voltages_v)
         return self._matmul(v_norm, self._w1v_t)
+
+    def cache_token(self) -> str:
+        """Identity of the emulation function, not just its topology.
+
+        Digests the trained network's parameters so two engines backed by
+        *differently trained* emulators (same crossbar shape) can never
+        share prepared-matrix uids — and with them tile-result cache
+        entries or runtime layer programs.
+        """
+        if self._cache_token is None:
+            digest = hashlib.sha256()
+            for name, array in self.emulator.model.state_dict().items():
+                digest.update(name.encode())
+                digest.update(np.ascontiguousarray(array).tobytes())
+            self._cache_token = (f"geniex|bi={int(self.batch_invariant)}"
+                                 f"|em={digest.hexdigest()[:16]}")
+        return self._cache_token
 
     def build(self, conductance_s: np.ndarray) -> "GeniexTileModel":
         return GeniexTileModel(self, conductance_s)
@@ -202,9 +250,24 @@ class AnalyticalTileFactory:
     def prepare_voltages(self, voltages_v: np.ndarray):
         return None
 
+    def cache_token(self) -> str:
+        return f"analytical|bi={int(self.batch_invariant)}"
+
     def build(self, conductance_s: np.ndarray) -> "AnalyticalTileModel":
         return AnalyticalTileModel(
             self._solver.transfer_matrix(conductance_s), self._matmul)
+
+    def __getstate__(self):
+        # The sparse-LU cache inside the solver is not picklable (and not
+        # needed after tiles are built); worker processes rebuild it lazily.
+        state = self.__dict__.copy()
+        state["_solver"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self._solver is None:
+            self._solver = LinearCrossbarSolver(self.config)
 
 
 class AnalyticalTileModel:
@@ -214,6 +277,18 @@ class AnalyticalTileModel:
 
     def currents(self, voltages_v: np.ndarray, cache=None) -> np.ndarray:
         return self._matmul(np.atleast_2d(voltages_v), self._transfer)
+
+
+class DecoupledTileModel:
+    """Tile evaluating the first-order IR-drop approximation."""
+
+    def __init__(self, model: DecoupledIrDropModel,
+                 conductance_s: np.ndarray):
+        self._model = model
+        self.conductance_s = np.asarray(conductance_s, dtype=float)
+
+    def currents(self, voltages_v, cache=None) -> np.ndarray:
+        return self._model.predict_currents(voltages_v, self.conductance_s)
 
 
 class DecoupledTileFactory:
@@ -232,15 +307,25 @@ class DecoupledTileFactory:
     def prepare_voltages(self, voltages_v: np.ndarray):
         return None
 
-    def build(self, conductance_s: np.ndarray):
-        model = self._model
-        g = np.asarray(conductance_s, dtype=float)
+    def cache_token(self) -> str:
+        return f"decoupled|sweeps={self._model.n_sweeps}"
 
-        class _Tile:
-            def currents(self, voltages_v, cache=None):
-                return model.predict_currents(voltages_v, g)
+    def build(self, conductance_s: np.ndarray) -> DecoupledTileModel:
+        return DecoupledTileModel(self._model,
+                                  np.asarray(conductance_s, dtype=float))
 
-        return _Tile()
+
+class CircuitTileModel:
+    """Tile running a full non-linear circuit solve per readout."""
+
+    def __init__(self, simulator: CrossbarCircuitSimulator,
+                 conductance_s: np.ndarray):
+        self._simulator = simulator
+        self.conductance_s = np.asarray(conductance_s, dtype=float)
+
+    def currents(self, voltages_v, cache=None) -> np.ndarray:
+        return self._simulator.solve_batch(voltages_v, self.conductance_s,
+                                           mode="full")
 
 
 class CircuitTileFactory:
@@ -259,33 +344,47 @@ class CircuitTileFactory:
     def prepare_voltages(self, voltages_v: np.ndarray):
         return None
 
-    def build(self, conductance_s: np.ndarray):
-        simulator = self._simulator
-        g = np.asarray(conductance_s, dtype=float)
+    def cache_token(self) -> str:
+        return "circuit"
 
-        class _Tile:
-            def currents(self, voltages_v, cache=None):
-                return simulator.solve_batch(voltages_v, g, mode="full")
-
-        return _Tile()
+    def build(self, conductance_s: np.ndarray) -> CircuitTileModel:
+        return CircuitTileModel(self._simulator,
+                                np.asarray(conductance_s, dtype=float))
 
 
 # ----------------------------------------------------------------------
 # Prepared weights
 # ----------------------------------------------------------------------
-_PREPARED_IDS = itertools.count()
+def _content_uid(token: str, qw: np.ndarray, t_r: int, t_c: int,
+                 sign_present: tuple) -> str:
+    """Deterministic prepared-matrix identifier.
+
+    A digest of the quantised weights and the tiling layout (plus an
+    engine-configuration token), so uids are stable across processes —
+    fork-safe, unlike a per-process counter — and equal exactly when the
+    programmed tiles are value-identical, which makes any tile-result
+    cache sharing value-exact by construction.
+    """
+    digest = hashlib.sha256()
+    digest.update(token.encode())
+    digest.update(repr((qw.shape, t_r, t_c, tuple(sign_present))).encode())
+    digest.update(np.ascontiguousarray(qw).tobytes())
+    return digest.hexdigest()[:16]
 
 
 class PreparedMatrix:
     """Weight matrix quantised, sliced, tiled and programmed into models.
 
-    ``uid`` is a process-unique identifier used to key tile-result cache
-    entries, so results programmed from one weight matrix can never be
-    served for another.
+    ``uid`` identifies the prepared content in tile-result cache keys and
+    runtime layer programs. It is a content digest (weights + tiling +
+    engine token), not a process-local counter: two workers that prepare
+    the same matrix agree on the uid, and two *different* matrices can
+    never collide just because they were prepared in forked processes with
+    the same counter state.
     """
 
     def __init__(self, n_in: int, n_out: int, qw: np.ndarray, models: dict,
-                 t_r: int, t_c: int, sign_present: tuple):
+                 t_r: int, t_c: int, sign_present: tuple, token: str = ""):
         self.n_in = n_in
         self.n_out = n_out
         self.qw = qw
@@ -293,7 +392,10 @@ class PreparedMatrix:
         self.t_r = t_r
         self.t_c = t_c
         self.sign_present = sign_present
-        self.uid = next(_PREPARED_IDS)
+        self.uid = _content_uid(token, qw, t_r, t_c, sign_present)
+        #: Compiled :class:`~repro.funcsim.planner.LayerProgram`, attached
+        #: by the preparing engine (``None`` for the ideal engine).
+        self.program = None
 
 
 class TileResultCache(LruDict):
@@ -302,6 +404,10 @@ class TileResultCache(LruDict):
     Keys combine the prepared-matrix uid, the tile coordinates and the raw
     integer stream-level block, so hits are value-exact. ``max_entries``
     bounds memory at roughly ``max_entries * batch * cols`` floats.
+
+    Hit/miss counters are updated under the cache lock, so a single
+    instance may be shared by concurrent shard workers (the thread backend
+    does) without racing the statistics.
     """
 
     def __init__(self, max_entries: int):
@@ -310,17 +416,29 @@ class TileResultCache(LruDict):
         self.misses = 0
 
     def get(self, key):
-        value = super().get(key)
-        if value is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return value
+        with self._lock:
+            value = super().get(key)
+            if value is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return value
 
-    def clear(self) -> None:
-        super().clear()
+    def counters(self) -> tuple:
+        """Consistent ``(hits, misses)`` snapshot."""
+        with self._lock:
+            return self.hits, self.misses
+
+    def __setstate__(self, state):
+        super().__setstate__(state)
         self.hits = 0
         self.misses = 0
+
+    def clear(self) -> None:
+        with self._lock:
+            super().clear()
+            self.hits = 0
+            self.misses = 0
 
 
 class EngineStats:
@@ -334,17 +452,48 @@ class EngineStats:
     ``cache_hits`` counts read-outs served from the tile-result cache
     instead of the tile model (a software-side saving; such read-outs still
     count in ``readouts`` and ``adc_conversions``).
+
+    Counters accumulate shard-locally during execution and are folded in
+    through :meth:`merge`, which is lock-protected — per-worker statistics
+    aggregate into one coherent report instead of racing on increments.
     """
 
+    FIELDS = ("matmuls", "readouts", "skipped_zero_streams",
+              "adc_conversions", "cache_hits")
+
     def __init__(self):
+        self._lock = threading.Lock()
         self.reset()
 
     def reset(self) -> None:
-        self.matmuls = 0
-        self.readouts = 0
-        self.skipped_zero_streams = 0
-        self.adc_conversions = 0
-        self.cache_hits = 0
+        with self._lock:
+            for field in self.FIELDS:
+                setattr(self, field, 0)
+
+    def snapshot(self) -> dict:
+        """Consistent copy of all counters."""
+        with self._lock:
+            return {field: getattr(self, field) for field in self.FIELDS}
+
+    def merge(self, other) -> "EngineStats":
+        """Fold another stats object (or counter mapping) into this one."""
+        counts = other.snapshot() if isinstance(other, EngineStats) \
+            else dict(other)
+        unknown = set(counts) - set(self.FIELDS)
+        if unknown:
+            raise ConfigError(f"unknown stat counters: {sorted(unknown)}")
+        with self._lock:
+            for field, value in counts.items():
+                setattr(self, field, getattr(self, field) + int(value))
+        return self
+
+    def __getstate__(self):
+        return self.snapshot()
+
+    def __setstate__(self, state):
+        self._lock = threading.Lock()
+        for field in self.FIELDS:
+            setattr(self, field, state.get(field, 0))
 
     def __repr__(self):
         return (f"EngineStats(matmuls={self.matmuls}, "
@@ -376,7 +525,7 @@ class IdealMvmEngine:
             raise ShapeError(f"expected (K, M) weights, got {weights.shape}")
         qw = self.sim_config.weight_format.quantize_to_int(weights)
         return PreparedMatrix(weights.shape[0], weights.shape[1], qw, {},
-                              0, 0, (1,))
+                              0, 0, (1,), token=f"ideal|{self.sim_config!r}")
 
     def matmul(self, x: np.ndarray, prepared) -> np.ndarray:
         if not isinstance(prepared, PreparedMatrix):
@@ -388,6 +537,9 @@ class IdealMvmEngine:
                           cfg.weight_format.resolution)
         return cfg.accumulator_format.quantize(value)
 
+    def close(self, wait: bool = True) -> None:
+        """No-op (uniform engine lifecycle API; nothing to release)."""
+
 
 class CrossbarMvmEngine:
     """Bit-sliced, tiled crossbar MVM with a non-ideal tile model.
@@ -396,16 +548,22 @@ class CrossbarMvmEngine:
     read-outs keyed by activation pattern); ``0`` disables it. The cache is
     also disabled when the ADC models noise, because noisy conversions must
     be re-sampled on every read-out.
+
+    ``executor`` (optional, any :class:`repro.funcsim.runtime.ExecutorBase`)
+    shards every ``matmul`` across tile-rows and batch chunks on the given
+    backend; without one the kernel runs inline, reproducing the historical
+    single-core behaviour bit-for-bit.
     """
 
     def __init__(self, xbar_config: CrossbarConfig,
                  sim_config: FuncSimConfig, tile_factory,
-                 tile_cache_size: int = 256):
+                 tile_cache_size: int = 256, executor=None):
         tile_factory.check_crossbar(xbar_config)
         self.xbar_config = xbar_config
         self.sim_config = sim_config
         self.tile_factory = tile_factory
         self.name = tile_factory.name
+        self.executor = executor
         if tile_cache_size > 0 and sim_config.adc_noise_lsb == 0.0:
             self.tile_cache = TileResultCache(tile_cache_size)
         else:
@@ -426,8 +584,9 @@ class CrossbarMvmEngine:
 
     # ------------------------------------------------------------------
     def prepare(self, weights: np.ndarray) -> PreparedMatrix:
-        """Quantise, sign-split, slice and tile a ``(K, M)`` weight matrix,
-        programming one tile model per (sign, slice, tile)."""
+        """Compile a ``(K, M)`` weight matrix: quantise, sign-split, slice
+        and tile it, program one tile model per (sign, slice, tile), and
+        lower the result into an executable layer program."""
         weights = np.asarray(weights, dtype=np.float64)
         if weights.ndim != 2:
             raise ShapeError(f"expected (K, M) weights, got {weights.shape}")
@@ -452,169 +611,67 @@ class CrossbarMvmEngine:
                         g = conductances_from_levels(tiles[tr, tc], n_levels,
                                                      xcfg)
                         models[(sign, k, tr, tc)] = self.tile_factory.build(g)
-        return PreparedMatrix(weights.shape[0], weights.shape[1], qw, models,
-                              t_r, t_c, sign_present)
+        prepared = PreparedMatrix(
+            weights.shape[0], weights.shape[1], qw, models, t_r, t_c,
+            sign_present,
+            token=f"{self.tile_factory.cache_token()}|{xcfg!r}|{cfg!r}")
+        prepared.program = plan_layer(self, prepared)
+        return prepared
 
     # ------------------------------------------------------------------
-    def _measure_tile_row(self, prepared, tr: int, stream_levels: list,
-                          batch: int) -> dict:
-        """One batched analog + ADC pass over every model of a tile-row.
-
-        All ``S`` active stream blocks are stacked into a single
-        ``(S * batch, rows)`` voltage batch; each tile model then runs one
-        batched call (minus any read-outs served by the tile-result cache)
-        and the measured currents come back as per-stream ``(batch, cols)``
-        slices. Returns ``{(sign, slice, tc): [S slices]}``.
-        """
-        cfg = self.sim_config
-        cols = self.xbar_config.cols
-        s_count = len(stream_levels)
-        cache = self.tile_cache
-        # Serialise each stream block once; the key bytes are shared by
-        # every (sign, slice, tile-column) lookup below.
-        level_bytes = [levels.tobytes() for levels in stream_levels] \
-            if cache is not None else None
-        # The stacked voltages and the factory's shared term are only
-        # needed on a cache miss; fully-cached tile-rows skip both.
-        voltages = None
-        shared = None
-
-        measured = {}
-        for sw in prepared.sign_present:
-            for k in range(cfg.n_slices):
-                for tc in range(prepared.t_c):
-                    model = prepared.models[(sw, k, tr, tc)]
-                    self.stats.readouts += s_count
-                    self.stats.adc_conversions += s_count * batch * cols
-                    result = [None] * s_count
-                    keys = [None] * s_count
-                    missing = []
-                    if cache is not None:
-                        for s in range(s_count):
-                            keys[s] = (prepared.uid, sw, k, tr, tc, batch,
-                                       level_bytes[s])
-                            hit = cache.get(keys[s])
-                            if hit is None:
-                                missing.append(s)
-                            else:
-                                result[s] = hit
-                                self.stats.cache_hits += 1
-                    else:
-                        missing = list(range(s_count))
-                    if missing:
-                        if voltages is None:
-                            voltages = np.concatenate(
-                                stream_levels, axis=0) * self._v_lsb
-                            shared = self.tile_factory.prepare_voltages(
-                                voltages)
-                        if len(missing) == s_count:
-                            v_sub, c_sub = voltages, shared
-                        else:
-                            sel = np.concatenate(
-                                [np.arange(s * batch, (s + 1) * batch)
-                                 for s in missing])
-                            v_sub = voltages[sel]
-                            c_sub = shared[sel] \
-                                if isinstance(shared, np.ndarray) else shared
-                        i_meas = self.adc.measure(
-                            model.currents(v_sub, c_sub)
-                        ).reshape(len(missing), batch, cols)
-                        for j, s in enumerate(missing):
-                            result[s] = i_meas[j]
-                            if cache is not None:
-                                # Copy out of the stacked measurement so a
-                                # cache entry never pins the whole block.
-                                cache.put(keys[s], i_meas[j].copy())
-                    measured[(sw, k, tc)] = result
-        return measured
-
     def matmul(self, x: np.ndarray, prepared) -> np.ndarray:
         """Quantised crossbar product of ``x (B, K)`` with prepared weights.
 
-        All non-zero stream blocks of a tile-row are read out through one
-        batched tile-model call each (see the module docstring); the decode
-        applies the same shift-and-add in the same order as a per-stream
-        pipeline, so outputs are identical to sequential execution (up to
-        noise-sample ordering when ADC noise is enabled).
+        With an executor attached the call is sharded across the runtime
+        backend; otherwise the shard kernel runs inline over the full batch
+        (one shard per tile-row, sequential ADC), which is bit-identical to
+        per-stream sequential execution for a noiseless ADC — with ADC
+        noise the seeded samples are drawn in stacked-batch order, so noisy
+        runs are statistically, not bitwise, equivalent to per-stream
+        execution while remaining reproducible run-to-run.
         """
         if not isinstance(prepared, PreparedMatrix):
             prepared = self.prepare(prepared)
-        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
-        if x.shape[1] != prepared.n_in:
-            raise ShapeError(
-                f"input features {x.shape[1]} != weight rows {prepared.n_in}")
-        cfg, xcfg = self.sim_config, self.xbar_config
-        batch = x.shape[0]
-        rows, cols = xcfg.rows, xcfg.cols
-        t_r, t_c = prepared.t_r, prepared.t_c
-
-        qx = cfg.activation_format.quantize_to_int(x)
-        qx = pad_axis(qx, 1, rows)
-        x_parts = sign_split(qx)
-        x_signs = [k for k, part in enumerate(x_parts) if np.any(part)]
-        if not x_signs:
-            x_signs = [0]
-        streams = {
-            sx: split_unsigned(x_parts[sx],
-                               cfg.activation_format.magnitude_bits,
-                               cfg.stream_bits)
-            for sx in x_signs
-        }
-
-        value_lsb = (cfg.activation_format.resolution *
-                     cfg.weight_format.resolution)
-        acc = cfg.accumulator_format
-        bias_factor = xcfg.g_off_s / self._g_lsb
-        decode = 1.0 / (self._v_lsb * self._g_lsb)
-
-        self.stats.matmuls += 1
-        per_stream_models = len(prepared.sign_present) * cfg.n_slices * t_c
-        out_value = np.zeros((batch, t_c * cols))
-        for tr in range(t_r):
-            row_block = slice(tr * rows, (tr + 1) * rows)
-            # Gather the non-zero stream blocks of this tile-row in the
-            # (sign, stream) order the decode below consumes them.
-            stream_levels = []
-            stream_info = []
-            for sx in x_signs:
-                for m in range(cfg.n_streams):
-                    levels = streams[sx][m][:, row_block]
-                    if not levels.any():
-                        # Zero drive => exactly zero currents.
-                        self.stats.skipped_zero_streams += per_stream_models
-                        continue
-                    stream_levels.append(levels)
-                    stream_info.append((sx, m))
-            tr_counts = np.zeros((batch, t_c * cols))
-            if stream_levels:
-                measured = self._measure_tile_row(prepared, tr,
-                                                  stream_levels, batch)
-                for s, (sx, m) in enumerate(stream_info):
-                    sx_factor = 1.0 if sx == 0 else -1.0
-                    stream_sum = stream_levels[s].sum(axis=1)[:, None]
-                    stream_scale = float(2 ** (m * cfg.stream_bits))
-                    for sw in prepared.sign_present:
-                        sw_factor = 1.0 if sw == 0 else -1.0
-                        for k in range(cfg.n_slices):
-                            slice_scale = float(2 ** (k * cfg.slice_bits))
-                            for tc in range(t_c):
-                                i_meas = measured[(sw, k, tc)][s]
-                                counts = i_meas * decode \
-                                    - bias_factor * stream_sum
-                                tr_counts[:, tc * cols:(tc + 1) * cols] += (
-                                    sx_factor * sw_factor * stream_scale
-                                    * slice_scale * counts)
+        program = prepared.program
+        if program is None:
+            raise ConfigError(
+                "prepared matrix has no layer program; it was not prepared "
+                "by a CrossbarMvmEngine")
+        if self.executor is not None:
+            self.executor.add_layer(prepared.uid, program)
+            return self.executor.matmul(prepared.uid, x, stats=self.stats)
+        plan = program.plan
+        qx = quantize_input(plan, x)
+        x_signs = active_signs(qx)
+        counts = new_stat_counts()
+        counts["matmuls"] = 1
+        acc = plan.sim_config.accumulator_format
+        out_value = np.zeros((qx.shape[0], plan.out_width))
+        for tr in range(plan.t_r):
+            tr_counts = execute_tile_row(program, qx, x_signs, tr, self.adc,
+                                         cache=self.tile_cache, stats=counts)
             # Tile-row partial sums accumulate through the fixed-point
             # accumulator register (paper: 32-bit, 24 fractional).
-            out_value = acc.quantize(out_value + tr_counts * value_lsb)
+            out_value = acc.quantize(out_value + tr_counts * plan.value_lsb)
+        self.stats.merge(counts)
         return out_value[:, :prepared.n_out]
+
+    def close(self, wait: bool = True) -> None:
+        """Release the attached executor's workers (if any).
+
+        The executor keeps serving matmuls inline afterwards, so closing
+        a live engine degrades it to single-core rather than breaking it.
+        """
+        if self.executor is not None:
+            self.executor.close(wait=wait)
 
 
 def make_engine(kind: str, xbar_config: CrossbarConfig,
                 sim_config: FuncSimConfig,
                 emulator: GeniexEmulator | None = None,
                 tile_cache_size: int = 256,
-                batch_invariant: bool = False):
+                batch_invariant: bool = False,
+                executor=None, workers: int | None = None):
     """Engine factory: ``ideal | geniex | analytical | decoupled | circuit``.
 
     ``batch_invariant=True`` routes tile matmuls through the einsum kernel
@@ -627,8 +684,16 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
     all-zero stream blocks *per batch*, which only equals per-row
     execution when ``measure(0) == 0``, so converter offset or noise is
     rejected too.
+
+    ``executor`` selects the runtime backend (``"serial"``, ``"threads"``,
+    ``"process"`` or an :class:`repro.funcsim.runtime.ExecutorBase`
+    instance) and ``workers`` its parallelism; ``workers > 1`` alone
+    defaults to the process backend. Without either, the engine runs
+    single-core exactly as before.
     """
     if kind == "ideal":
+        # Digital exact integer math: nothing to shard. executor/workers
+        # are ignored (convert_to_mvm leaves ideal layers detached too).
         return IdealMvmEngine(sim_config)
     if batch_invariant and (sim_config.adc_offset_lsb != 0.0
                             or sim_config.adc_noise_lsb != 0.0):
@@ -658,5 +723,12 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
         raise ConfigError(
             f"unknown engine kind {kind!r}; expected ideal, exact, geniex, "
             f"analytical, decoupled or circuit")
+    # Resolve the executor last: validation errors above must not leave
+    # an orphaned worker pool behind.
+    if executor is None and workers is not None and workers > 1:
+        executor = "process"
+    if executor is not None:
+        executor = make_executor(executor, workers=workers)
     return CrossbarMvmEngine(xbar_config, sim_config, factory,
-                             tile_cache_size=tile_cache_size)
+                             tile_cache_size=tile_cache_size,
+                             executor=executor)

@@ -1,0 +1,51 @@
+"""Sharded execution runtime for the functional simulator.
+
+The planner (:mod:`repro.funcsim.planner`) compiles prepared layers into
+static, picklable tile programs; this package executes them. Work is
+decomposed into (tile-row, batch-chunk) shards evaluated by a shared
+kernel, scheduled by one of three interchangeable backends:
+
+========= ==================================================================
+backend   when to use it
+========= ==================================================================
+serial    single core, zero overhead — the default and the reference
+threads   multi-core hosts; tile math is BLAS-dominated (releases the GIL)
+          and the tile-result cache is shared between workers
+process   multi-core hosts where Python-side decode dominates, or when GIL
+          contention caps thread scaling; programs ship to workers once,
+          activations/outputs travel through shared memory
+========= ==================================================================
+
+Determinism: the shard decomposition depends only on the workload and
+``shard_rows`` — never on the worker count — so in batch-invariant mode
+every backend returns bit-identical outputs, and with ADC noise the
+coordinate-keyed noise streams make results reproducible at any worker
+count (see :mod:`repro.funcsim.runtime.kernel`).
+"""
+
+from repro.funcsim.runtime.base import ExecutorBase, make_executor
+from repro.funcsim.runtime.kernel import (
+    DEFAULT_SHARD_ROWS,
+    chunk_ranges,
+    execute_tile_row,
+    merge_tile_rows,
+    quantize_input,
+    shard_adc,
+)
+from repro.funcsim.runtime.process import ProcessExecutor
+from repro.funcsim.runtime.serial import SerialExecutor
+from repro.funcsim.runtime.threads import ThreadExecutor
+
+__all__ = [
+    "DEFAULT_SHARD_ROWS",
+    "ExecutorBase",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "chunk_ranges",
+    "execute_tile_row",
+    "merge_tile_rows",
+    "quantize_input",
+    "shard_adc",
+]

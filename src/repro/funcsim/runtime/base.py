@@ -1,0 +1,243 @@
+"""Executor interface of the sharded funcsim runtime.
+
+An executor owns a set of compiled :class:`~repro.funcsim.planner.LayerProgram`
+objects (one per converted layer, or one per prepared matrix when driven
+through ``CrossbarMvmEngine``) and executes matmuls against them by
+decomposing each call into (tile-row, batch-chunk) shards:
+
+* :class:`SerialExecutor <repro.funcsim.runtime.serial.SerialExecutor>` —
+  runs shards in order on the calling thread (today's behaviour);
+* :class:`ThreadExecutor <repro.funcsim.runtime.threads.ThreadExecutor>` —
+  fans shards out over a thread pool (the BLAS-heavy tile models release
+  the GIL inside gemm, so threads scale for geniex/analytical tiles);
+* :class:`ProcessExecutor <repro.funcsim.runtime.process.ProcessExecutor>` —
+  worker processes with shared-memory activation/output arrays, for
+  workloads where Python-side decode time dominates.
+
+All backends share the same kernel and the same fixed shard decomposition,
+so in batch-invariant mode every backend produces bit-identical outputs at
+any worker count; see :mod:`repro.funcsim.runtime.kernel` for the
+determinism contract.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.funcsim.planner import LayerProgram, NetworkProgram
+from repro.funcsim.runtime.kernel import (
+    DEFAULT_SHARD_ROWS,
+    active_signs,
+    chunk_ranges,
+    execute_tile_row,
+    merge_tile_rows,
+    new_stat_counts,
+    quantize_input,
+    shard_adc,
+)
+
+#: Work (activation elements x tile-rows) below which the parallel
+#: backends run shards inline on the calling thread: pool dispatch / IPC
+#: would cost more than the compute. Purely a scheduling decision — the
+#: shard set and noise keying are unchanged, so results are identical.
+INLINE_WORK_THRESHOLD = 1 << 15
+
+
+class ExecutorBase:
+    """Common scheduling logic; backends implement ``_run_shards``."""
+
+    name = "base"
+
+    def __init__(self, workers: int = 1,
+                 shard_rows: int = DEFAULT_SHARD_ROWS):
+        from repro.funcsim.engine import EngineStats  # circular at import
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.shard_rows = int(shard_rows)
+        # Per-instance copy so callers (and tests) can tune or disable
+        # the small-work inline fallback.
+        self.inline_work_threshold = INLINE_WORK_THRESHOLD
+        self.stats = EngineStats()
+        self._programs: dict = {}
+        self._seq: dict = {}
+        self._caches: dict = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Program management
+    # ------------------------------------------------------------------
+    def load_program(self, network: NetworkProgram) -> None:
+        """Register every layer of a compiled network at once."""
+        for layer_id, program in network.items():
+            self.add_layer(layer_id, program)
+
+    def add_layer(self, layer_id: str, program: LayerProgram) -> None:
+        """Register (or refresh) one layer program.
+
+        Re-registering an equivalent program (same static plan — uids are
+        content digests, so equal plans mean value-identical programs) is
+        a no-op: callers that re-prepare the same weights per call must
+        not invalidate worker state (the process backend would otherwise
+        respawn its pool on every matmul).
+        """
+        with self._lock:
+            known = self._programs.get(layer_id)
+            if known is program or (known is not None
+                                    and known.plan == program.plan):
+                return
+            self._programs[layer_id] = program
+            self._seq.setdefault(layer_id, 0)
+        self._on_program_change()
+
+    def has_layer(self, layer_id: str) -> bool:
+        with self._lock:
+            return layer_id in self._programs
+
+    def _on_program_change(self) -> None:
+        """Backend hook: invalidate worker state after (re)registration."""
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def matmul(self, layer_id: str, x: np.ndarray, stats=None) -> np.ndarray:
+        """Sharded MVM of ``x (B, n_in)`` through a registered layer.
+
+        Merges the call's event counters into ``self.stats`` and, when
+        given, into ``stats`` (typically the owning engine's counters).
+
+        A closed executor still answers — it degrades to the inline serial
+        schedule (same shards, same noise keying, identical results) so
+        work already holding a reference (e.g. a queued serve microbatch
+        whose engine was evicted) completes instead of failing; only the
+        worker pools are gone.
+        """
+        with self._lock:
+            program = self._programs.get(layer_id)
+            if program is None:
+                raise ConfigError(
+                    f"no layer program registered under {layer_id!r}")
+            seq = self._seq[layer_id]
+            self._seq[layer_id] = seq + 1
+        plan = program.plan
+        qx = quantize_input(plan, x)
+        batch = qx.shape[0]
+        chunks = chunk_ranges(batch, self.shard_rows)
+        # Activation signs are a per-chunk property shared by every
+        # tile-row shard of the chunk; compute them once here.
+        signs = [active_signs(qx[start:stop]) for start, stop in chunks]
+        counts = np.empty((plan.t_r, batch, plan.out_width))
+        call_stats = new_stat_counts()
+        call_stats["matmuls"] = 1
+        if self._closed:
+            self._run_shards_inline(layer_id, program, qx, chunks, signs,
+                                    seq, counts, call_stats)
+        else:
+            self._run_shards(layer_id, program, qx, chunks, signs, seq,
+                             counts, call_stats)
+        out = merge_tile_rows(plan, counts)
+        self.stats.merge(call_stats)
+        if stats is not None and stats is not self.stats:
+            stats.merge(call_stats)
+        return out
+
+    def _run_shards(self, layer_id: str, program: LayerProgram,
+                    qx: np.ndarray, chunks: list, signs: list, seq: int,
+                    counts: np.ndarray, call_stats: dict) -> None:
+        """Fill ``counts[tr, start:stop]`` for every (tile-row, chunk) shard
+        and accumulate event counters into ``call_stats``."""
+        raise NotImplementedError
+
+    def _cache_for(self, layer_id: str, program: LayerProgram):
+        """Calling-process tile-result cache of one layer (or ``None``)."""
+        from repro.funcsim.engine import TileResultCache
+
+        if not program.cacheable:
+            return None
+        with self._lock:
+            cache = self._caches.get(layer_id)
+            if cache is None:
+                cache = self._caches[layer_id] = TileResultCache(
+                    program.tile_cache_size)
+        return cache
+
+    def _run_shards_inline(self, layer_id, program, qx, chunks, signs, seq,
+                           counts, call_stats) -> None:
+        """Serial reference schedule, shared by every backend.
+
+        The parallel backends fall back to it for small matmuls (below
+        :data:`INLINE_WORK_THRESHOLD`) — same shards, same noise keying,
+        so the output is bit-identical to a pooled run.
+        """
+        plan = program.plan
+        cache = self._cache_for(layer_id, program)
+        for chunk_idx, (start, stop) in enumerate(chunks):
+            qx_chunk = qx[start:stop]
+            for tr in range(plan.t_r):
+                adc = shard_adc(plan, seq, tr, chunk_idx)
+                counts[tr, start:stop] = execute_tile_row(
+                    program, qx_chunk, signs[chunk_idx], tr, adc,
+                    cache=cache, stats=call_stats)
+
+    def _is_small_work(self, plan, qx: np.ndarray) -> bool:
+        return qx.size * plan.t_r <= self.inline_work_threshold
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Release worker pools. Idempotent.
+
+        ``wait=False`` returns without joining workers (the serve registry
+        closes evicted engines from the event loop and must not block).
+        After closing, the executor still serves matmuls inline — see
+        :meth:`matmul` — so in-flight references complete correctly.
+        """
+        self._closed = True
+
+    def __enter__(self) -> "ExecutorBase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self):
+        return (f"{type(self).__name__}(workers={self.workers}, "
+                f"layers={len(self._programs)}, "
+                f"shard_rows={self.shard_rows})")
+
+
+def make_executor(backend="serial", workers: int | None = None,
+                  shard_rows: int = DEFAULT_SHARD_ROWS):
+    """Executor factory: ``serial | threads | process`` (or an instance).
+
+    ``workers`` defaults to the host CPU count for the parallel backends.
+    Passing an :class:`ExecutorBase` instance returns it unchanged, so APIs
+    accepting ``executor=...`` take either a spec string or a ready object.
+    """
+    import os
+
+    from repro.funcsim.runtime.process import ProcessExecutor
+    from repro.funcsim.runtime.serial import SerialExecutor
+    from repro.funcsim.runtime.threads import ThreadExecutor
+
+    if isinstance(backend, ExecutorBase):
+        return backend
+    if backend is None:
+        backend = "serial"
+    kind = str(backend).lower()
+    if workers is None:
+        workers = 1 if kind == "serial" else (os.cpu_count() or 1)
+    if kind == "serial":
+        return SerialExecutor(shard_rows=shard_rows)
+    if kind in ("threads", "thread"):
+        return ThreadExecutor(workers=workers, shard_rows=shard_rows)
+    if kind in ("process", "processes"):
+        return ProcessExecutor(workers=workers, shard_rows=shard_rows)
+    raise ConfigError(
+        f"unknown executor backend {backend!r}; "
+        f"expected serial, threads or process")

@@ -1,0 +1,192 @@
+"""Process backend: shards run in worker processes over shared memory.
+
+The network program is pickled into every worker exactly once (at pool
+initialisation), so the per-matmul traffic is only the quantised
+activation array — written into a ``multiprocessing.shared_memory``
+segment the workers map read-only — plus a few shard descriptors. Workers
+write their decoded ``(chunk, t_c * cols)`` slabs straight into a shared
+output segment at disjoint offsets, and return nothing but their event
+counters; the parent then merges tile-rows digitally in fixed order.
+
+Per-worker tile-result caches are process-local (spawned from the program's
+``tile_cache_size``), so cache hits never require cross-process
+coordination; the hit counters are merged with the rest of the statistics.
+
+Re-registering a layer program invalidates the pool: the next matmul
+restarts it with the updated program set. Compile the whole network first
+(``convert_to_mvm(..., executor=...)`` does) to pay initialisation once.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.funcsim.runtime.base import ExecutorBase
+from repro.funcsim.runtime.kernel import (
+    DEFAULT_SHARD_ROWS,
+    execute_tile_row,
+    new_stat_counts,
+    shard_adc,
+)
+
+# ----------------------------------------------------------------------
+# Worker-process state and entry points
+# ----------------------------------------------------------------------
+_WORKER: dict = {}
+
+
+def _worker_init(payload: bytes) -> None:
+    """Pool initialiser: unpickle the program set once per worker."""
+    _WORKER["programs"] = pickle.loads(payload)
+    _WORKER["caches"] = {}
+
+
+def _worker_cache(layer_id):
+    from repro.funcsim.engine import TileResultCache
+
+    program = _WORKER["programs"][layer_id]
+    if not program.cacheable:
+        return None
+    cache = _WORKER["caches"].get(layer_id)
+    if cache is None:
+        cache = _WORKER["caches"][layer_id] = TileResultCache(
+            program.tile_cache_size)
+    return cache
+
+
+def _worker_run(layer_id: str, in_name: str, in_shape: tuple,
+                out_name: str, out_shape: tuple, seq: int,
+                signs: list, tasks: list) -> dict:
+    """Execute a group of (chunk_idx, start, stop, tr) shards.
+
+    Activations are read from — and decoded counts written to — the named
+    shared-memory segments; only the event counters travel back by pickle.
+    """
+    program = _WORKER["programs"][layer_id]
+    cache = _worker_cache(layer_id)
+    plan = program.plan
+    shm_in = shared_memory.SharedMemory(name=in_name)
+    shm_out = shared_memory.SharedMemory(name=out_name)
+    stats = new_stat_counts()
+    try:
+        qx = np.ndarray(in_shape, dtype=np.int64, buffer=shm_in.buf)
+        counts = np.ndarray(out_shape, dtype=np.float64, buffer=shm_out.buf)
+        for chunk_idx, start, stop, tr in tasks:
+            adc = shard_adc(plan, seq, tr, chunk_idx)
+            counts[tr, start:stop] = execute_tile_row(
+                program, qx[start:stop], signs[chunk_idx], tr, adc,
+                cache=cache, stats=stats)
+    finally:
+        shm_in.close()
+        shm_out.close()
+    return stats
+
+
+class ProcessExecutor(ExecutorBase):
+    """Shard execution across a ``ProcessPoolExecutor`` with shared memory."""
+
+    name = "process"
+
+    def __init__(self, workers: int = 2,
+                 shard_rows: int = DEFAULT_SHARD_ROWS):
+        super().__init__(workers=workers, shard_rows=shard_rows)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+        atexit.register(self.close)
+
+    # ------------------------------------------------------------------
+    def _on_program_change(self) -> None:
+        """A new/changed layer invalidates the workers' program copies."""
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        with self._pool_lock:
+            # close() sets _closed before taking this lock, so a matmul
+            # racing a close can never resurrect a pool nothing will join.
+            if self._closed:
+                return None
+            if self._pool is None:
+                with self._lock:
+                    programs = dict(self._programs)
+                try:
+                    payload = pickle.dumps(programs,
+                                           protocol=pickle.HIGHEST_PROTOCOL)
+                except Exception as exc:
+                    raise ConfigError(
+                        f"layer programs are not picklable for the process "
+                        f"backend ({exc}); tile models must not hold "
+                        f"process-local state — use the threads backend "
+                        f"for such factories") from exc
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_worker_init, initargs=(payload,))
+            return self._pool
+
+    # ------------------------------------------------------------------
+    def _run_shards(self, layer_id, program, qx, chunks, signs, seq, counts,
+                    call_stats) -> None:
+        plan = program.plan
+        if self._is_small_work(plan, qx):
+            # Shared-memory setup and submit IPC would dwarf the compute;
+            # same shards, same noise keying, identical results.
+            self._run_shards_inline(layer_id, program, qx, chunks, signs,
+                                    seq, counts, call_stats)
+            return
+        pool = self._ensure_pool()
+        if pool is None:  # closed concurrently: degrade to inline
+            self._run_shards_inline(layer_id, program, qx, chunks, signs,
+                                    seq, counts, call_stats)
+            return
+        tasks = [(chunk_idx, start, stop, tr)
+                 for chunk_idx, (start, stop) in enumerate(chunks)
+                 for tr in range(plan.t_r)]
+        # Group shards to amortise per-future IPC without skewing the
+        # deterministic shard decomposition (grouping only affects *where*
+        # shards run, never what they compute).
+        n_groups = min(len(tasks), self.workers * 4)
+        groups = [tasks[i::n_groups] for i in range(n_groups)]
+
+        qx = np.ascontiguousarray(qx, dtype=np.int64)
+        shm_in = shared_memory.SharedMemory(create=True, size=qx.nbytes)
+        shm_out = shared_memory.SharedMemory(create=True,
+                                             size=max(counts.nbytes, 1))
+        try:
+            np.ndarray(qx.shape, dtype=np.int64,
+                       buffer=shm_in.buf)[...] = qx
+            shared_counts = np.ndarray(counts.shape, dtype=np.float64,
+                                       buffer=shm_out.buf)
+            futures = [pool.submit(_worker_run, layer_id, shm_in.name,
+                                   qx.shape, shm_out.name, counts.shape,
+                                   seq, signs, group)
+                       for group in groups]
+            for future in futures:
+                worker_stats = future.result()
+                for key, value in worker_stats.items():
+                    call_stats[key] += value
+            counts[...] = shared_counts
+        finally:
+            shm_in.close()
+            shm_in.unlink()
+            shm_out.close()
+            shm_out.unlink()
+
+    def close(self, wait: bool = True) -> None:
+        self._closed = True  # before taking the lock; see _ensure_pool
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=wait)
+                self._pool = None
+        # Drop the interpreter-exit safety net so closed executors (and
+        # the programs they hold) become garbage-collectable.
+        atexit.unregister(self.close)
+        super().close(wait=wait)

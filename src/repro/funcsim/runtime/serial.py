@@ -1,0 +1,23 @@
+"""Serial backend: shards run in order on the calling thread.
+
+Functionally today's single-core engine behaviour, expressed through the
+shard kernel so it shares the exact decomposition (and therefore the exact
+results) of the parallel backends. Useful as the baseline of equivalence
+tests and as the zero-overhead default when ``workers == 1``.
+"""
+
+from __future__ import annotations
+
+from repro.funcsim.runtime.base import ExecutorBase
+from repro.funcsim.runtime.kernel import DEFAULT_SHARD_ROWS
+
+
+class SerialExecutor(ExecutorBase):
+    """In-order, in-process shard execution (single core)."""
+
+    name = "serial"
+
+    def __init__(self, shard_rows: int = DEFAULT_SHARD_ROWS):
+        super().__init__(workers=1, shard_rows=shard_rows)
+
+    _run_shards = ExecutorBase._run_shards_inline

@@ -1,0 +1,92 @@
+"""Thread backend: shards fan out over a shared thread pool.
+
+The tile models spend most of their time inside BLAS gemm calls (GENIEx
+hidden-layer matmuls, analytical transfer-matrix products), which release
+the GIL — so threads scale on multi-core hosts without any serialisation
+cost, and the tile-result cache can be *shared* across workers (it is
+lock-protected), letting one thread's read-outs serve another's hits.
+
+Each shard accumulates its event counters into a shard-local dict that is
+merged into the call's counters under a lock, so statistics stay coherent
+at any concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.funcsim.runtime.base import ExecutorBase
+from repro.funcsim.runtime.kernel import (
+    DEFAULT_SHARD_ROWS,
+    execute_tile_row,
+    new_stat_counts,
+    shard_adc,
+)
+
+
+class ThreadExecutor(ExecutorBase):
+    """Shard execution across a ``ThreadPoolExecutor``."""
+
+    name = "threads"
+
+    def __init__(self, workers: int = 2,
+                 shard_rows: int = DEFAULT_SHARD_ROWS):
+        super().__init__(workers=workers, shard_rows=shard_rows)
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor | None:
+        with self._pool_lock:
+            # close() sets _closed before taking this lock, so a matmul
+            # racing a close can never resurrect a pool nothing will join.
+            if self._closed:
+                return None
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="funcsim-shard")
+            return self._pool
+
+    def _run_shards(self, layer_id, program, qx, chunks, signs, seq, counts,
+                    call_stats) -> None:
+        plan = program.plan
+        if self._is_small_work(plan, qx):
+            # Pool dispatch would cost more than the compute; same shards,
+            # same noise keying, identical results.
+            self._run_shards_inline(layer_id, program, qx, chunks, signs,
+                                    seq, counts, call_stats)
+            return
+        cache = self._cache_for(layer_id, program)
+        merge_lock = threading.Lock()
+
+        def run(task) -> None:
+            chunk_idx, start, stop, tr = task
+            local = new_stat_counts()
+            adc = shard_adc(plan, seq, tr, chunk_idx)
+            # Disjoint (tr, chunk) slab: safe to write without a lock.
+            counts[tr, start:stop] = execute_tile_row(
+                program, qx[start:stop], signs[chunk_idx], tr, adc,
+                cache=cache, stats=local)
+            with merge_lock:
+                for key, value in local.items():
+                    call_stats[key] += value
+
+        tasks = [(chunk_idx, start, stop, tr)
+                 for chunk_idx, (start, stop) in enumerate(chunks)
+                 for tr in range(plan.t_r)]
+        pool = self._ensure_pool()
+        if pool is None:  # closed concurrently: degrade to inline
+            self._run_shards_inline(layer_id, program, qx, chunks, signs,
+                                    seq, counts, call_stats)
+            return
+        # list() propagates the first worker exception to the caller.
+        list(pool.map(run, tasks))
+
+    def close(self, wait: bool = True) -> None:
+        self._closed = True  # before taking the lock; see _ensure_pool
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=wait)
+                self._pool = None
+        super().close(wait=wait)

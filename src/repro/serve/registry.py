@@ -50,6 +50,14 @@ class PreparedEngine:
     def matmul(self, x: np.ndarray) -> np.ndarray:
         return self.engine.matmul(x, self.prepared)
 
+    def close(self, wait: bool = True) -> None:
+        """Release the engine's runtime workers (if sharded).
+
+        The engine stays usable (inline, single-core) afterwards, so
+        microbatches queued against an evicted engine still complete.
+        """
+        self.engine.close(wait=wait)
+
 
 class _CacheStats:
     __slots__ = ("hits", "misses")
@@ -64,12 +72,22 @@ class ModelRegistry:
 
     def __init__(self, zoo: GeniexZoo | None = None, *,
                  max_models: int = 8, max_crossbars: int = 128,
-                 max_engines: int = 16, tile_cache_size: int = 256):
+                 max_engines: int = 16, tile_cache_size: int = 256,
+                 engine_workers: int = 1):
         self.zoo = zoo or GeniexZoo()
         self.tile_cache_size = int(tile_cache_size)
+        # > 1 shards every prepared engine's matmuls over the funcsim
+        # thread backend (thread workers compose with the asyncio
+        # executor threads running the batched calls; process pools per
+        # cached engine would be far too heavy for a serving tier).
+        self.engine_workers = max(1, int(engine_workers))
         self._models = LruDict(max_models)      # model key -> emulator
         self._crossbars = LruDict(max_crossbars)
-        self._engines = LruDict(max_engines)
+        # Evicted engines release their sharded-runtime worker pools
+        # without blocking the event loop (wait=False); the closed engine
+        # still answers queued microbatches inline.
+        self._engines = LruDict(
+            max_engines, on_evict=lambda _key, warm: warm.close(wait=False))
         self._stats = {"models": _CacheStats(), "crossbars": _CacheStats(),
                        "engines": _CacheStats()}
         # Per-key locks are only touched from the event loop, so a plain
@@ -211,7 +229,10 @@ class ModelRegistry:
                     engine = make_engine(
                         kind, spec.config, sim_config, emulator=emulator,
                         tile_cache_size=self.tile_cache_size,
-                        batch_invariant=invariant)
+                        batch_invariant=invariant,
+                        executor="threads" if self.engine_workers > 1
+                        else None,
+                        workers=self.engine_workers)
                     prepared = engine.prepare(weights)
                     return PreparedEngine(key=key, kind=kind, engine=engine,
                                           prepared=prepared,

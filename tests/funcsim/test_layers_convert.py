@@ -106,3 +106,119 @@ class TestConvert:
             ref = model(x).data
             out = converted(x).data
         assert not np.allclose(ref, out, atol=1e-3)
+
+
+class TestConvertContainers:
+    """Nested containers, shared engines and deep-copy semantics."""
+
+    def _nested_model(self):
+        inner = nn.Sequential(nn.Linear(6, 5, seed=0), nn.ReLU())
+        outer = nn.Sequential(inner, nn.Sequential(nn.Linear(5, 3, seed=1)))
+        return outer
+
+    def test_nested_containers_replaced(self, exact_engine):
+        converted = convert_to_mvm(self._nested_model(), exact_engine)
+        kinds = [type(m).__name__ for m in converted.modules()]
+        assert kinds.count("LinearMVM") == 2
+        assert "Linear" not in kinds
+
+    def test_nested_predictions_match(self, exact_engine, rng):
+        model = self._nested_model().eval()
+        converted = convert_to_mvm(model, exact_engine)
+        x = Tensor(rng.normal(size=(4, 6)).astype(np.float32) * 0.4)
+        with no_grad():
+            np.testing.assert_allclose(converted(x).data, model(x).data,
+                                       atol=5e-3)
+
+    def test_engine_shared_across_layers(self, exact_engine):
+        """One engine instance backs every converted layer (shared tile
+        cache and statistics), and each layer prepares its own weights."""
+        converted = convert_to_mvm(self._nested_model(), exact_engine)
+        layers = [m for m in converted.modules()
+                  if type(m).__name__ == "LinearMVM"]
+        assert len(layers) == 2
+        assert layers[0].engine is layers[1].engine is exact_engine
+        assert layers[0].prepared is not layers[1].prepared
+        assert layers[0].prepared.uid != layers[1].prepared.uid
+
+    def test_deepcopy_leaves_original_trainable(self, exact_engine):
+        model = self._nested_model()  # training mode by default
+        assert model.training
+        converted = convert_to_mvm(model, exact_engine)
+        assert model.training          # original untouched
+        assert not converted.training  # copy switched to eval
+        assert all(not m.training for m in converted.modules())
+
+    def test_converted_weights_independent(self, exact_engine, rng):
+        """Mutating the original's weights never changes the copy."""
+        model = self._nested_model().eval()
+        converted = convert_to_mvm(model, exact_engine)
+        x = Tensor(rng.normal(size=(2, 6)).astype(np.float32) * 0.4)
+        with no_grad():
+            before = converted(x).data
+        for p in model.parameters():
+            p.data[...] += 1.0
+        with no_grad():
+            after = converted(x).data
+        np.testing.assert_array_equal(before, after)
+
+
+class TestConvertExecutor:
+    """convert_to_mvm(..., executor=...) network-level compilation."""
+
+    def _model(self):
+        return LeNet(in_channels=1, num_classes=4, image_size=8, width=4,
+                     seed=0).eval()
+
+    def _engine(self):
+        return make_engine("exact", XCFG, SCFG, batch_invariant=True)
+
+    @pytest.mark.parametrize("backend,workers", [("serial", None),
+                                                 ("threads", 2),
+                                                 ("process", 2)])
+    def test_executor_matches_inline(self, rng, backend, workers):
+        from repro.funcsim import close_mvm_executor
+
+        x = Tensor(rng.normal(size=(5, 1, 8, 8)).astype(np.float32) * 0.5)
+        with no_grad():
+            ref = convert_to_mvm(self._model(), self._engine())(x).data
+            converted = convert_to_mvm(self._model(), self._engine(),
+                                       executor=backend, workers=workers)
+            out = converted(x).data
+        close_mvm_executor(converted)
+        np.testing.assert_array_equal(out, ref)
+
+    def test_executor_attached_to_every_layer(self):
+        converted = convert_to_mvm(self._model(), self._engine(),
+                                   executor="serial")
+        layers = [m for m in converted.modules()
+                  if type(m).__name__ in ("LinearMVM", "Conv2dMVM")]
+        assert layers and all(l.executor is converted.mvm_executor
+                              for l in layers)
+        assert all(converted.mvm_executor.has_layer(l.layer_id)
+                   for l in layers)
+
+    def test_workers_alone_selects_process(self):
+        from repro.funcsim import ProcessExecutor, close_mvm_executor
+
+        converted = convert_to_mvm(self._model(), self._engine(), workers=2)
+        assert isinstance(converted.mvm_executor, ProcessExecutor)
+        close_mvm_executor(converted)
+
+    def test_ideal_engine_ignores_executor(self):
+        from repro.funcsim import IdealMvmEngine
+
+        converted = convert_to_mvm(self._model(),
+                                   IdealMvmEngine(SCFG), executor="serial")
+        layers = [m for m in converted.modules()
+                  if type(m).__name__ in ("LinearMVM", "Conv2dMVM")]
+        # Digital engines have no tile program; layers stay detached.
+        assert all(l.executor is None for l in layers)
+
+    def test_compile_network_collects_programs(self):
+        from repro.funcsim import compile_network
+
+        converted = convert_to_mvm(self._model(), self._engine())
+        network = compile_network(converted)
+        assert len(network) >= 2
+        assert network.total_cost().readouts > 0

@@ -1,0 +1,378 @@
+"""Plan/execute split and sharded runtime backends.
+
+Covers the determinism contract of :mod:`repro.funcsim.runtime`: serial,
+threads and process backends must produce bit-identical outputs in
+batch-invariant mode at any worker count; with ADC noise the coordinate-
+keyed noise streams must make results worker-count independent and
+statistically equivalent to inline noisy execution. Also covers the
+content-digest prepared-matrix uids, mergeable engine statistics and the
+picklability of compiled layer programs.
+"""
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import SamplingSpec
+from repro.core.trainer import TrainSpec
+from repro.core.zoo import GeniexZoo
+from repro.errors import ConfigError
+from repro.funcsim import (
+    EngineStats,
+    FuncSimConfig,
+    TileResultCache,
+    make_engine,
+    make_executor,
+)
+from repro.funcsim.planner import plan_layer
+from repro.funcsim.runtime import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    chunk_ranges,
+)
+from repro.xbar.config import CrossbarConfig
+
+XCFG = CrossbarConfig(rows=8, cols=8)
+SCFG = FuncSimConfig()
+
+
+@pytest.fixture
+def operands(rng):
+    x = rng.normal(size=(23, 20)) * 0.4
+    w = rng.normal(size=(20, 13)) * 0.3
+    return x, w
+
+
+@pytest.fixture(scope="module")
+def tiny_emulator(tmp_path_factory):
+    zoo = GeniexZoo(cache_dir=str(tmp_path_factory.mktemp("zoo")))
+    return zoo.get_or_train(
+        XCFG, SamplingSpec(n_g_matrices=3, n_v_per_g=4, seed=0),
+        TrainSpec(hidden=8, epochs=2, batch_size=8, seed=0))
+
+
+def _engine(kind, emulator=None, **kwargs):
+    return make_engine(kind, XCFG, SCFG, emulator=emulator,
+                       batch_invariant=True, **kwargs)
+
+
+class TestBackendEquivalence:
+    """serial == threads == process, bit for bit, in invariant mode."""
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", None), ("threads", 2), ("threads", 3), ("process", 2),
+    ])
+    def test_exact_bit_identical(self, operands, backend, workers):
+        x, w = operands
+        ref_engine = _engine("exact")
+        ref = ref_engine.matmul(x, ref_engine.prepare(w))
+        engine = _engine("exact", executor=backend, workers=workers)
+        # Small shards force multi-chunk execution even at this batch size.
+        engine.executor.shard_rows = 5
+        engine.executor.inline_work_threshold = 0
+        out = engine.matmul(x, engine.prepare(w))
+        np.testing.assert_array_equal(out, ref)
+        engine.close()
+
+    @pytest.mark.parametrize("backend", ["threads", "process"])
+    def test_geniex_bit_identical(self, operands, tiny_emulator, backend):
+        x, w = operands
+        ref_engine = _engine("geniex", tiny_emulator)
+        ref = ref_engine.matmul(x, ref_engine.prepare(w))
+        engine = _engine("geniex", tiny_emulator, executor=backend,
+                         workers=2)
+        engine.executor.shard_rows = 7
+        engine.executor.inline_work_threshold = 0
+        out = engine.matmul(x, engine.prepare(w))
+        np.testing.assert_array_equal(out, ref)
+        engine.close()
+
+    def test_shard_size_invariant(self, operands):
+        """Batch-invariant results do not depend on the chunk decomposition."""
+        x, w = operands
+        outputs = []
+        for shard_rows in (3, 8, 64):
+            engine = _engine("exact", executor="serial")
+            engine.executor.shard_rows = shard_rows
+            outputs.append(engine.matmul(x, engine.prepare(w)))
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+        np.testing.assert_array_equal(outputs[0], outputs[2])
+
+    def test_stats_identical_across_backends(self, operands):
+        x, w = operands
+        snapshots = []
+        for backend, workers in (("serial", None), ("threads", 2)):
+            engine = _engine("exact", executor=backend, workers=workers)
+            engine.executor.shard_rows = 6
+            engine.executor.inline_work_threshold = 0
+            engine.matmul(x, engine.prepare(w))
+            snapshots.append(engine.stats.snapshot())
+            engine.close()
+        assert snapshots[0] == snapshots[1]
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("kind", ["exact", "analytical", "decoupled"])
+    def test_all_kinds_process_matches_serial(self, operands, kind):
+        """Heavier sweep: every picklable tile kind, process vs serial."""
+        x, w = operands
+        outs = {}
+        for backend, workers in (("serial", None), ("process", 2)):
+            engine = make_engine(kind, XCFG, SCFG, executor=backend,
+                                 workers=workers)
+            engine.executor.shard_rows = 6
+            engine.executor.inline_work_threshold = 0
+            outs[backend] = engine.matmul(x, engine.prepare(w))
+            engine.close()
+        np.testing.assert_array_equal(outs["serial"], outs["process"])
+
+
+class TestNoiseDeterminism:
+    """Keyed ADC noise streams: reproducible at any worker count."""
+
+    NOISY = FuncSimConfig(adc_noise_lsb=0.5, adc_seed=7)
+
+    def _noisy_engine(self, **kwargs):
+        return make_engine("exact", XCFG, self.NOISY, **kwargs)
+
+    def test_worker_count_invariant(self, operands):
+        x, w = operands
+        outputs = []
+        for backend, workers in (("serial", None), ("threads", 2),
+                                 ("process", 3)):
+            engine = self._noisy_engine(executor=backend, workers=workers)
+            outputs.append(engine.matmul(x, engine.prepare(w)))
+            engine.close()
+        np.testing.assert_array_equal(outputs[0], outputs[1])
+        np.testing.assert_array_equal(outputs[0], outputs[2])
+
+    def test_statistically_equivalent_to_inline(self, operands):
+        """Sharded noisy outputs track the noiseless reference as closely
+        as the inline noisy engine does (same noise distribution)."""
+        x, w = operands
+        clean_engine = make_engine("exact", XCFG, SCFG)
+        clean = clean_engine.matmul(x, clean_engine.prepare(w))
+        inline = self._noisy_engine()
+        sharded = self._noisy_engine(executor="threads", workers=2)
+        err_inline = np.abs(
+            inline.matmul(x, inline.prepare(w)) - clean).mean()
+        err_sharded = np.abs(
+            sharded.matmul(x, sharded.prepare(w)) - clean).mean()
+        sharded.close()
+        assert err_inline > 0 and err_sharded > 0
+        assert 0.3 < err_sharded / err_inline < 3.0
+
+    def test_sequence_number_varies_noise(self, operands):
+        """Two successive noisy matmuls must not reuse noise samples."""
+        x, w = operands
+        engine = self._noisy_engine(executor="serial")
+        prepared = engine.prepare(w)
+        a = engine.matmul(x, prepared)
+        b = engine.matmul(x, prepared)
+        assert not np.array_equal(a, b)
+
+
+class TestPreparedUid:
+    def test_content_digest_is_stable(self, operands):
+        _, w = operands
+        engine = _engine("exact")
+        assert engine.prepare(w).uid == engine.prepare(w).uid
+
+    def test_distinct_weights_distinct_uids(self, operands):
+        _, w = operands
+        engine = _engine("exact")
+        assert engine.prepare(w).uid != engine.prepare(w + 0.01).uid
+
+    def test_engine_config_in_uid(self, operands):
+        _, w = operands
+        a = _engine("exact").prepare(w)
+        b = make_engine("exact", XCFG, SCFG.with_precision(8),
+                        batch_invariant=True).prepare(w)
+        assert a.uid != b.uid
+
+    def test_uid_stable_across_processes(self, operands):
+        """The fork-safety property: a child process derives the same uid."""
+        import multiprocessing
+
+        _, w = operands
+
+        def child(queue, w):
+            from repro.funcsim import make_engine as mk
+            eng = mk("exact", XCFG, SCFG, batch_invariant=True)
+            queue.put(eng.prepare(w).uid)
+
+        ctx = multiprocessing.get_context("fork")
+        queue = ctx.Queue()
+        proc = ctx.Process(target=child, args=(queue, w))
+        proc.start()
+        child_uid = queue.get(timeout=60)
+        proc.join()
+        assert child_uid == _engine("exact").prepare(w).uid
+
+
+class TestEngineStats:
+    def test_merge_accumulates(self):
+        a, b = EngineStats(), EngineStats()
+        a.merge({"readouts": 3, "cache_hits": 1})
+        b.merge({"readouts": 4, "matmuls": 2})
+        a.merge(b)
+        assert a.readouts == 7 and a.matmuls == 2 and a.cache_hits == 1
+
+    def test_merge_rejects_unknown_counter(self):
+        with pytest.raises(ConfigError):
+            EngineStats().merge({"bogus": 1})
+
+    def test_concurrent_merge_is_coherent(self):
+        stats = EngineStats()
+        threads = [threading.Thread(
+            target=lambda: [stats.merge({"readouts": 1})
+                            for _ in range(500)]) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert stats.readouts == 2000
+
+    def test_pickle_roundtrip(self):
+        stats = EngineStats()
+        stats.merge({"readouts": 5})
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.readouts == 5
+        clone.merge({"readouts": 1})  # lock restored and functional
+        assert clone.readouts == 6
+
+    def test_cache_counters_thread_safe(self):
+        cache = TileResultCache(64)
+        value = np.zeros(1)
+
+        def worker():
+            for k in range(200):
+                if cache.get(("k", k % 8)) is None:
+                    cache.put(("k", k % 8), value)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        hits, misses = cache.counters()
+        assert hits + misses == 4 * 200
+
+
+class TestPrograms:
+    def test_program_attached_at_prepare(self, operands):
+        _, w = operands
+        engine = _engine("exact")
+        prepared = engine.prepare(w)
+        assert prepared.program is not None
+        plan = prepared.program.plan
+        assert (plan.n_in, plan.n_out) == (20, 13)
+        assert plan.cost.readouts > 0
+
+    def test_program_pickles(self, operands, tiny_emulator):
+        _, w = operands
+        engine = _engine("geniex", tiny_emulator)
+        program = engine.prepare(w).program
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.plan == program.plan
+        assert set(clone.models) == set(program.models)
+
+    def test_plan_layer_matches_engine_constants(self, operands):
+        _, w = operands
+        engine = _engine("exact")
+        prepared = engine.prepare(w)
+        plan = plan_layer(engine, prepared).plan
+        assert plan.v_lsb == engine._v_lsb
+        assert plan.adc_lsb_a == engine.adc.lsb_a
+
+
+class TestExecutorApi:
+    def test_make_executor_specs(self):
+        assert isinstance(make_executor("serial"), SerialExecutor)
+        assert isinstance(make_executor("threads", workers=2),
+                          ThreadExecutor)
+        assert isinstance(make_executor("process", workers=2),
+                          ProcessExecutor)
+        serial = make_executor("serial")
+        assert make_executor(serial) is serial
+        with pytest.raises(ConfigError):
+            make_executor("gpu")
+
+    def test_unknown_layer_rejected(self):
+        with pytest.raises(ConfigError):
+            make_executor("serial").matmul("nope", np.zeros((1, 4)))
+
+    def test_closed_executor_degrades_to_inline(self, operands):
+        """Closing releases pools but keeps matmuls working (identical
+        results): queued serve batches on evicted engines must complete."""
+        x, w = operands
+        engine = _engine("exact", executor="process", workers=2)
+        prepared = engine.prepare(w)
+        before = engine.matmul(x, prepared)
+        engine.close()
+        after = engine.matmul(x, prepared)
+        np.testing.assert_array_equal(before, after)
+        assert engine.executor._pool is None  # and no pool resurrected
+
+    def test_chunk_ranges(self):
+        assert chunk_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert chunk_ranges(3, 64) == [(0, 3)]
+
+    def test_workers_alone_selects_process(self):
+        engine = make_engine("exact", XCFG, SCFG, workers=2)
+        assert isinstance(engine.executor, ProcessExecutor)
+        engine.close()
+
+    def test_ideal_ignores_workers(self):
+        from repro.funcsim import IdealMvmEngine
+
+        engine = make_engine("ideal", XCFG, SCFG, workers=4)
+        assert isinstance(engine, IdealMvmEngine)
+
+    def test_invalid_kind_does_not_leak_executor(self, monkeypatch):
+        import repro.funcsim.engine as engine_mod
+
+        calls = []
+        monkeypatch.setattr(
+            engine_mod, "make_executor",
+            lambda *a, **k: calls.append(a))
+        with pytest.raises(ConfigError):
+            make_engine("hspice", XCFG, SCFG, workers=4)
+        assert not calls
+
+    def test_reprepared_layer_keeps_worker_pool(self, rng):
+        """matmul(x, raw_weights) re-prepares per call; equivalent plans
+        must not invalidate the process pool (respawn per matmul)."""
+        # Big enough batch to clear the small-work inline fallback.
+        x = rng.normal(size=(2000, 20)) * 0.4
+        w = rng.normal(size=(20, 13)) * 0.3
+        engine = _engine("exact", executor="process", workers=2)
+        ref = engine.matmul(x, w)  # raw weights: prepare() inside
+        pool = engine.executor._pool
+        assert pool is not None
+        out = engine.matmul(x, w)  # re-prepared, same content
+        assert engine.executor._pool is pool
+        np.testing.assert_array_equal(out, ref)
+        engine.close()
+
+
+class TestFactoryTokens:
+    def test_emulator_identity_in_uid(self, operands, tiny_emulator,
+                                      tmp_path):
+        """Differently trained emulators must never share prepared uids."""
+        _, w = operands
+        zoo = GeniexZoo(cache_dir=str(tmp_path / "zoo2"))
+        other = zoo.get_or_train(
+            XCFG, SamplingSpec(n_g_matrices=3, n_v_per_g=4, seed=1),
+            TrainSpec(hidden=8, epochs=2, batch_size=8, seed=1))
+        uid_a = _engine("geniex", tiny_emulator).prepare(w).uid
+        uid_b = _engine("geniex", other).prepare(w).uid
+        assert uid_a != uid_b
+
+    def test_batch_invariance_in_uid(self, operands):
+        _, w = operands
+        invariant = make_engine("exact", XCFG, SCFG, batch_invariant=True)
+        plain = make_engine("exact", XCFG, SCFG)
+        assert invariant.prepare(w).uid != plain.prepare(w).uid
