@@ -1,23 +1,26 @@
 """Evaluate a trained CNN on non-ideal crossbar hardware.
 
-The paper's end-to-end use case: train a ResNet-style CNN (here on the
-procedural `shapes` dataset), then push inference through the functional
-simulator — iterative MVM + tiling + bit-slicing — with different analog
-fidelity models, and compare top-1 accuracy:
+The paper's end-to-end use case, expressed through the public API: train
+a ResNet-style CNN (here on the procedural `shapes` dataset), then push
+inference through the functional simulator — iterative MVM + tiling +
+bit-slicing — under different analog fidelity models and compare top-1
+accuracy:
 
 * float        — the plain software model;
 * ideal FxP    — 16-bit fixed-point, perfect crossbars;
 * GENIEx       — non-idealities predicted by the trained emulator;
 * analytical   — non-idealities from the linear parasitic model only.
 
+Each evaluation is one ``Profile.to_spec(engine)`` +
+``open_session(spec)`` + ``session.compile(model)`` — the same three
+calls work for any spec, preset or JSON file.
+
 Run:  python examples/dnn_on_crossbar.py          (about 5-10 minutes cold,
       seconds for the model-zoo pieces on a warm cache)
 """
 
-from repro.experiments.accuracy import (
-    evaluate_mode,
-    train_reference_network,
-)
+from repro.api import resolve_emulator
+from repro.experiments.accuracy import evaluate_spec, train_reference_network
 from repro.experiments.common import format_table, get_profile, shared_zoo
 
 
@@ -30,26 +33,27 @@ def main():
         "shapes", profile, verbose=True)
     print(f"float top-1 accuracy: {float_acc:.4f}")
 
-    config = profile.dnn_crossbar()
-    sim = profile.funcsim()
-    print(f"crossbar: {config.rows}x{config.cols}, R_on "
+    spec = profile.to_spec("geniex")
+    config, sim = spec.xbar.to_config(), spec.sim
+    print(f"spec {spec.key()}: {config.rows}x{config.cols} crossbar, R_on "
           f"{config.r_on_ohm / 1e3:g}k, ON/OFF {config.onoff_ratio:g}, "
-          f"Vsupply {config.v_supply_v:g} V")
-    print(f"precision: {sim.weight_bits}-bit FxP, {sim.stream_bits}-bit "
-          f"streams, {sim.slice_bits}-bit slices, {sim.adc_bits}-bit ADC")
+          f"Vsupply {config.v_supply_v:g} V; {sim.weight_bits}-bit FxP, "
+          f"{sim.stream_bits}-bit streams, {sim.slice_bits}-bit slices, "
+          f"{sim.adc_bits}-bit ADC")
 
-    print("training / loading the GENIEx emulator for this crossbar...")
-    emulator = shared_zoo().get_or_train(config, profile.sampling_spec(0),
-                                         profile.dnn_train_spec(0),
-                                         progress=True)
-
+    # Resolve the emulator once up front (trains or loads through the
+    # zoo); every engine kind then evaluates the same spec.
+    zoo = shared_zoo()
+    emulator = resolve_emulator(spec, zoo=zoo, progress=True)
     rows = [["float (software)", float_acc]]
-    for mode in ("ideal", "geniex", "analytical"):
-        acc = evaluate_mode(model, x_test, y_test, mode, config, sim,
-                            profile.eval_batch,
-                            emulator=emulator if mode == "geniex" else None)
-        rows.append([mode, acc])
-        print(f"  {mode}: {acc:.4f}")
+    for kind in ("ideal", "geniex", "analytical"):
+        acc = evaluate_spec(model, x_test, y_test,
+                            spec.evolve(engine=kind),
+                            batch=profile.eval_batch, zoo=zoo,
+                            emulator=emulator if kind == "geniex"
+                            else None)
+        rows.append([kind, acc])
+        print(f"  {kind}: {acc:.4f}")
 
     print("\n" + format_table("CNN accuracy on crossbar hardware",
                               ["evaluation", "top-1 accuracy"], rows))

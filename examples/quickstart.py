@@ -1,87 +1,91 @@
-"""Quickstart: simulate a non-ideal crossbar and train GENIEx on it.
+"""Quickstart: declare an emulation setup once, run it everywhere.
 
-Walks the full pipeline on a small (16x16) crossbar in about a minute:
+The public API in four steps, on a small (16x16) crossbar in about a
+minute:
 
-1. configure a crossbar with the paper's non-ideality parameters;
-2. solve one MVM operating point in ideal / linear / full-circuit modes;
-3. generate a (V, G) -> fR dataset from the circuit simulator;
-4. train a GENIEx model and compare its fidelity against the analytical
-   (linear-only) baseline on held-out operating points.
+1. describe the setup as a declarative, JSON-serializable
+   ``EmulationSpec`` (here: the ``"quick"`` preset, refined with
+   ``evolve``);
+2. open a ``Session`` — the GENIEx emulator is trained (or loaded from
+   the on-disk zoo) and the bit-sliced MVM engine is built for you;
+3. run crossbar matmuls and compare the non-ideal result against
+   sibling sessions (``exact`` tiles and the linear ``analytical``
+   model) derived from the *same* spec;
+4. check the emulator against the circuit-level ground truth the
+   session exposes, and round-trip the spec through JSON — the file
+   form drives the CLI (``repro fig fig5 --spec``) and the HTTP
+   service unchanged.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import AnalyticalLinearModel, CrossbarCircuitSimulator, \
-    CrossbarConfig
-from repro.core import (
-    GeniexEmulator,
-    SamplingSpec,
-    TrainSpec,
-    build_geniex_dataset,
-    nonideality_factor,
-    rmse_of_nf,
-    train_geniex,
-)
-from repro.xbar.ideal import ideal_mvm
+from repro import EmulationSpec, open_session
+from repro.core.metrics import nonideality_factor
+
+# 1. One declarative description of the whole setup. evolve() overrides
+#    win over the preset, which wins over the dataclass defaults.
+spec = EmulationSpec.preset("quick").evolve(**{"runtime.tile_cache_size": 64})
 
 
 def main():
     rng = np.random.default_rng(0)
+    config = spec.xbar.to_config()
+    print(f"spec {spec.key()}: {spec.engine} engine on a "
+          f"{config.rows}x{config.cols} crossbar "
+          f"(R_on {config.r_on_ohm / 1e3:g}k, ON/OFF "
+          f"{config.onoff_ratio:g}, Vdd {config.v_supply_v:g} V)")
 
-    # 1. A 16x16 crossbar with the paper's nominal non-idealities.
-    config = CrossbarConfig(rows=16, cols=16, r_on_ohm=100e3,
-                            onoff_ratio=6.0, v_supply_v=0.25)
-    simulator = CrossbarCircuitSimulator(config)
+    # 2. Resolve it. Training runs once; re-running this script hits the
+    #    zoo cache and opens in milliseconds.
+    print("opening session (training / loading the GENIEx emulator)...")
+    weights = rng.standard_normal((config.rows, config.cols)) * 0.4
+    x = rng.standard_normal((8, config.rows)) * 0.5
 
-    # 2. One operating point, three fidelity levels.
-    conductances = rng.uniform(config.g_off_s, config.g_on_s,
-                               size=config.shape)
-    voltages = rng.uniform(0.0, config.v_supply_v, size=config.rows)
+    with open_session(spec, progress=True) as session:
+        y_geniex = session.matmul(x, weights)
 
-    i_ideal = ideal_mvm(voltages, conductances)
-    i_linear = simulator.solve(voltages, conductances, mode="linear")
-    i_full = simulator.solve(voltages, conductances, mode="full")
-    print("mean NF (linear-only non-idealities):",
-          f"{nonideality_factor(i_ideal, i_linear.currents_a).mean():.4f}")
-    print("mean NF (incl. device non-linearity):",
-          f"{nonideality_factor(i_ideal, i_full.currents_a).mean():.4f}")
+        # 3. Sibling setups are one evolve() away and bit-comparable.
+        with open_session(spec.evolve(engine="exact")) as oracle, \
+                open_session(spec.evolve(engine="analytical")) as linear:
+            y_exact = oracle.matmul(x, weights)
+            y_analytical = linear.matmul(x, weights)
+        print(f"mean matmul deviation from ideal tiles: "
+              f"GENIEx {np.abs(y_geniex - y_exact).mean():.5f}   "
+              f"analytical {np.abs(y_analytical - y_exact).mean():.5f}")
 
-    # 3. Characterise the crossbar: stratified (V, G) sweep -> fR labels.
-    print("\nbuilding GENIEx dataset (circuit sweeps)...")
-    dataset = build_geniex_dataset(
-        config, SamplingSpec(n_g_matrices=30, n_v_per_g=15, seed=1))
+        # 4a. Circuit-level ground truth from the same session: the
+        #     trained emulator tracks the full non-linear solve much
+        #     more closely than the linear parasitic model (the paper's
+        #     headline claim).
+        from repro import AnalyticalLinearModel
+        conductances = rng.uniform(config.g_off_s, config.g_on_s,
+                                   size=config.shape)
+        voltages = rng.uniform(0.0, config.v_supply_v,
+                               size=(16, config.rows))
+        i_circuit = session.solve_batch(voltages, conductances, mode="full")
+        i_ideal = voltages @ conductances
+        nf_circuit = nonideality_factor(i_ideal, i_circuit)
+        nf_geniex = nonideality_factor(
+            i_ideal, session.emulator.for_matrix(
+                conductances).predict_currents(voltages))
+        nf_analytical = nonideality_factor(
+            i_ideal, AnalyticalLinearModel(config).predict_currents(
+                voltages, conductances))
+        err_g = np.abs(nf_geniex - nf_circuit).mean()
+        err_a = np.abs(nf_analytical - nf_circuit).mean()
+        print(f"mean NF error vs circuit on fresh operating points: "
+              f"GENIEx {err_g:.4f}   analytical {err_a:.4f}   "
+              f"({err_a / max(err_g, 1e-9):.1f}x better)")
+        print("session stats:", session.stats())
 
-    # 4. Fit GENIEx and compare with the analytical model.
-    print("training GENIEx...")
-    model, history = train_geniex(
-        dataset, TrainSpec(hidden=128, hidden_layers=2, epochs=120,
-                           batch_size=128, lr=2e-3, patience=40, seed=0))
-    print(f"  best validation RMSE (normalised fR): "
-          f"{history.best_val_rmse:.4f}")
-
-    emulator = GeniexEmulator(model)
-    analytical = AnalyticalLinearModel(config)
-    test = build_geniex_dataset(
-        config, SamplingSpec(n_g_matrices=5, n_v_per_g=10, seed=99))
-
-    i_geniex = np.empty_like(test.i_nonideal_a)
-    i_analytical = np.empty_like(test.i_nonideal_a)
-    for group in range(5):
-        rows = np.nonzero(test.group_index == group)[0]
-        g = test.conductances_s[group]
-        i_geniex[rows] = emulator.for_matrix(g).predict_currents(
-            test.voltages_v[rows])
-        i_analytical[rows] = analytical.predict_currents(
-            test.voltages_v[rows], g)
-
-    rmse_geniex = rmse_of_nf(test.i_ideal_a, test.i_nonideal_a, i_geniex)
-    rmse_analytical = rmse_of_nf(test.i_ideal_a, test.i_nonideal_a,
-                                 i_analytical)
-    print(f"\nRMSE of NF vs circuit:  GENIEx {rmse_geniex:.4f}   "
-          f"analytical {rmse_analytical:.4f}   "
-          f"({rmse_analytical / rmse_geniex:.1f}x better)")
+    # 4b. The spec serialises losslessly; the JSON file drives the CLI
+    #     (`repro fig fig5 --spec file.json`) and the HTTP service.
+    restored = EmulationSpec.from_json(spec.to_json())
+    assert restored == spec and restored.key() == spec.key()
+    print(f"spec JSON round-trip OK ({len(spec.to_json())} bytes, "
+          f"key {restored.key()})")
 
 
 if __name__ == "__main__":

@@ -9,12 +9,16 @@ the system inventory.
 from repro.xbar.config import CrossbarConfig
 from repro.circuit.simulator import CrossbarCircuitSimulator
 from repro.analytical.linear_model import AnalyticalLinearModel
+from repro.api import EmulationSpec, Session, open_session
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CrossbarConfig",
     "CrossbarCircuitSimulator",
     "AnalyticalLinearModel",
+    "EmulationSpec",
+    "Session",
+    "open_session",
     "__version__",
 ]

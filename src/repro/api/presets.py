@@ -1,0 +1,70 @@
+"""Named :class:`~repro.api.spec.EmulationSpec` presets.
+
+Presets are complete, validated specs — starting points that
+``spec.evolve(**overrides)`` refines. The precedence contract is
+outermost-wins: evolve overrides beat preset values beat dataclass
+defaults (tested in ``tests/api/test_spec.py``).
+
+=================  =====================================================
+``paper-64x64``    The paper's nominal setup (Section 6): 64x64 crossbar,
+                   R_on 100k, ON/OFF 6, 0.25 V supply, GENIEx with 500
+                   hidden units over a 150x30 characterisation sweep.
+``paper-32x32``    Same recipe at 32x32 — the quick profile's headline
+                   fit, minutes instead of hours to characterise.
+``quick``          16x16 GENIEx small enough for CI and notebooks: a
+                   12x10 sweep and a 64-unit MLP train in about a minute.
+``quick-exact``    The ``quick`` crossbar with ideality-oracle tiles —
+                   no training at all; isolates digital quantisation.
+``quick-analytical``  The ``quick`` crossbar under the linear parasitic
+                   model — no training; the paper's baseline.
+=================  =====================================================
+"""
+
+from __future__ import annotations
+
+from repro.api.spec import EmulationSpec, EmulatorSpec, XbarSpec
+from repro.core.sampling import SamplingSpec
+from repro.core.trainer import TrainSpec
+from repro.errors import ConfigError
+
+_QUICK = EmulationSpec(
+    engine="geniex",
+    xbar=XbarSpec(rows=16, cols=16),
+    emulator=EmulatorSpec(
+        sampling=SamplingSpec(n_g_matrices=12, n_v_per_g=10, seed=0),
+        training=TrainSpec(hidden=64, hidden_layers=2, epochs=60,
+                           batch_size=128, lr=2e-3, patience=20, seed=0)))
+
+_PAPER = EmulationSpec(
+    engine="geniex",
+    xbar=XbarSpec(rows=64, cols=64),
+    emulator=EmulatorSpec(
+        sampling=SamplingSpec(n_g_matrices=150, n_v_per_g=30, seed=0),
+        training=TrainSpec(hidden=500, hidden_layers=2, epochs=300,
+                           batch_size=128, lr=2e-3, patience=60, seed=0)))
+
+PRESETS = {
+    "paper-64x64": _PAPER,
+    "paper-32x32": _PAPER.evolve(
+        xbar={"rows": 32, "cols": 32},
+        emulator={"sampling": {"n_g_matrices": 60, "n_v_per_g": 20},
+                  "training": {"hidden": 256, "epochs": 180,
+                               "patience": 50}}),
+    "quick": _QUICK,
+    "quick-exact": _QUICK.evolve(engine="exact"),
+    "quick-analytical": _QUICK.evolve(engine="analytical"),
+}
+
+
+def preset_names() -> list:
+    """Sorted preset names (the CLI's ``spec --list``)."""
+    return sorted(PRESETS)
+
+
+def get_preset(name: str) -> EmulationSpec:
+    """Resolve a preset by name; unknown names list the alternatives."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown preset {name!r}; choose from {preset_names()}")

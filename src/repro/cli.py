@@ -4,40 +4,151 @@ Commands:
 
 * ``characterize`` — NF statistics of a crossbar configuration;
 * ``train-geniex`` — characterise + fit a GENIEx model (cached in the zoo);
+* ``spec`` — print, validate or derive a declarative emulation spec;
 * ``fig`` — regenerate one of the paper's figures/tables from the terminal;
 * ``serve`` — run the async emulation service with dynamic microbatching.
 
-Every option maps 1:1 onto :class:`repro.xbar.config.CrossbarConfig` and the
-experiment profiles, so the CLI is a thin, scriptable veneer over the same
-API the benches use.
+The canonical description of an emulation setup is
+:class:`repro.api.spec.EmulationSpec`; ``characterize``, ``train-geniex``
+and ``fig`` accept ``--spec file.json`` / ``--preset NAME`` plus
+``--set path=value`` overrides, and the classic loose flags (``--rows``,
+``--r-on``, ...) are lowered into spec overrides — so the CLI, the HTTP
+service and the in-process API resolve identical setups identically.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 
+class _TrackedAction(argparse.Action):
+    """Store the value and remember that the flag was given explicitly.
+
+    With ``--spec``/``--preset`` the spec provides the baseline and only
+    explicitly-typed flags override it; without one, argparse defaults
+    reproduce the historical behaviour exactly.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        setattr(namespace, self.dest, values)
+        vars(namespace).setdefault("_explicit", set()).add(self.dest)
+
+
+def _explicit(args) -> set:
+    return getattr(args, "_explicit", set())
+
+
 def _add_crossbar_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--rows", type=int, default=32)
+    parser.add_argument("--rows", type=int, default=32,
+                        action=_TrackedAction)
     parser.add_argument("--cols", type=int, default=None,
-                        help="defaults to --rows")
+                        action=_TrackedAction, help="defaults to --rows")
     parser.add_argument("--r-on", type=float, default=100e3,
-                        help="ON resistance in Ohm")
+                        action=_TrackedAction, help="ON resistance in Ohm")
     parser.add_argument("--onoff", type=float, default=6.0,
+                        action=_TrackedAction,
                         help="conductance ON/OFF ratio")
     parser.add_argument("--vdd", type=float, default=0.25,
-                        help="supply voltage in V")
+                        action=_TrackedAction, help="supply voltage in V")
 
 
-def _crossbar_from_args(args):
-    from repro.xbar.config import CrossbarConfig
-    return CrossbarConfig(rows=args.rows,
-                          cols=args.cols if args.cols else args.rows,
-                          r_on_ohm=args.r_on, onoff_ratio=args.onoff,
-                          v_supply_v=args.vdd)
+def _add_spec_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--spec", default=None, metavar="FILE",
+                        help="EmulationSpec JSON file (see `repro spec`)")
+    parser.add_argument("--preset", default=None, metavar="NAME",
+                        help="named spec preset (see `repro spec --list`)")
+    parser.add_argument("--set", dest="spec_set", action="append",
+                        default=[], metavar="PATH=VALUE",
+                        help="spec override, e.g. xbar.rows=32 "
+                             "(repeatable; values parse as JSON)")
+
+
+def _load_spec(args, default=None):
+    """Resolve ``--spec`` / ``--preset`` / ``--set`` into a spec.
+
+    Returns ``None`` when neither a file, a preset nor a ``default`` was
+    given — callers then take their historical loose-flag path.
+    """
+    from repro.api import EmulationSpec, get_preset
+    from repro.errors import ConfigError
+
+    if args.spec and args.preset:
+        raise ConfigError("pass either --spec or --preset, not both")
+    if args.spec:
+        with open(args.spec) as handle:
+            spec = EmulationSpec.from_json(handle.read())
+    elif args.preset:
+        spec = get_preset(args.preset)
+    elif default is not None:
+        spec = default
+    else:
+        if args.spec_set:
+            raise ConfigError("--set requires --spec or --preset")
+        return None
+    overrides = {}
+    for item in args.spec_set:
+        path, sep, raw = item.partition("=")
+        if not sep or not path.strip():
+            raise ConfigError(f"--set expects PATH=VALUE, got {item!r}")
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw  # bare strings stay strings
+        overrides[path.strip()] = value
+    return spec.evolve(**overrides) if overrides else spec
+
+
+def _crossbar_spec_overrides(args, explicit_only: bool) -> dict:
+    """Lower the loose crossbar flags into ``xbar.*`` spec overrides.
+
+    On the loose-flag path (no spec; ``explicit_only=False``) ``--cols``
+    defaults to ``--rows``, reproducing the historical behaviour. With a
+    spec as the baseline only explicitly-typed flags override it — an
+    explicit ``--rows`` changes rows alone and leaves the spec's cols.
+    """
+    explicit = _explicit(args)
+    keep = (lambda name: name in explicit) if explicit_only \
+        else (lambda name: True)
+    overrides = {}
+    if keep("rows"):
+        overrides["xbar.rows"] = args.rows
+    if args.cols is not None and keep("cols"):
+        overrides["xbar.cols"] = args.cols
+    elif not explicit_only:
+        overrides["xbar.cols"] = args.rows
+    if keep("r_on"):
+        overrides["xbar.r_on_ohm"] = args.r_on
+    if keep("onoff"):
+        overrides["xbar.onoff_ratio"] = args.onoff
+    if keep("vdd"):
+        overrides["xbar.v_supply_v"] = args.vdd
+    return overrides
+
+
+_UNRESOLVED = object()
+
+
+def _crossbar_from_args(args, spec=_UNRESOLVED):
+    """Crossbar config from spec/preset (if given) + loose-flag overrides.
+
+    Callers that already resolved the spec pass it in so ``--spec`` files
+    are read (and ``--set`` overrides applied) exactly once.
+    """
+    if spec is _UNRESOLVED:
+        spec = _load_spec(args)
+    if spec is None:
+        from repro.api import EmulationSpec
+        return EmulationSpec().evolve(
+            **_crossbar_spec_overrides(args, explicit_only=False)) \
+            .xbar.to_config()
+    overrides = _crossbar_spec_overrides(args, explicit_only=True)
+    if overrides:
+        spec = spec.evolve(**overrides)
+    return spec.xbar.to_config()
 
 
 def _cmd_characterize(args) -> int:
@@ -71,19 +182,42 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_train_geniex(args) -> int:
+    from dataclasses import replace
+
     from repro.core.sampling import SamplingSpec
     from repro.core.trainer import TrainSpec
     from repro.core.zoo import GeniexZoo
 
-    config = _crossbar_from_args(args)
-    sampling = SamplingSpec(n_g_matrices=args.samples, n_v_per_g=20,
-                            seed=args.seed)
-    training = TrainSpec(hidden=args.hidden, hidden_layers=args.layers,
-                         epochs=args.epochs, batch_size=128, lr=2e-3,
-                         patience=max(10, args.epochs // 4), seed=args.seed)
+    spec = _load_spec(args)
+    config = _crossbar_from_args(args, spec=spec)
+    explicit = _explicit(args)
+    if spec is None:
+        sampling = SamplingSpec(n_g_matrices=args.samples, n_v_per_g=20,
+                                seed=args.seed)
+        training = TrainSpec(hidden=args.hidden, hidden_layers=args.layers,
+                             epochs=args.epochs, batch_size=128, lr=2e-3,
+                             patience=max(10, args.epochs // 4),
+                             seed=args.seed)
+        mode = "full"
+    else:
+        # The spec is the baseline; explicitly-typed flags override it.
+        sampling, training = spec.emulator.sampling, spec.emulator.training
+        mode = spec.emulator.mode
+        if "samples" in explicit:
+            sampling = replace(sampling, n_g_matrices=args.samples)
+        if "seed" in explicit:
+            sampling = replace(sampling, seed=args.seed)
+            training = replace(training, seed=args.seed)
+        if "hidden" in explicit:
+            training = replace(training, hidden=args.hidden)
+        if "layers" in explicit:
+            training = replace(training, hidden_layers=args.layers)
+        if "epochs" in explicit:
+            training = replace(training, epochs=args.epochs)
     zoo = GeniexZoo(verbose=True)
-    emulator = zoo.get_or_train(config, sampling, training, progress=True)
-    key = zoo.artifact_key(config, sampling, training, "full")
+    emulator = zoo.get_or_train(config, sampling, training, mode=mode,
+                                progress=True)
+    key = zoo.artifact_key(config, sampling, training, mode)
     print(f"emulator ready: {emulator.rows}x{emulator.cols} "
           f"hidden={emulator.model.hidden}x{emulator.model.hidden_layers} "
           f"(cache key {key}, dir {zoo.cache_dir})")
@@ -104,16 +238,57 @@ _FIG_RUNNERS = {
 
 def _cmd_fig(args) -> int:
     import importlib
+    import inspect
     import os
+
+    from repro.errors import ConfigError
 
     if args.workers is not None:
         # The experiment drivers read the worker count through
         # repro.experiments.common.default_workers().
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    spec = _load_spec(args)
     module_name, func_name = _FIG_RUNNERS[args.name].split(":")
     runner = getattr(importlib.import_module(module_name), func_name)
-    result = runner()
+    if spec is not None:
+        if "spec" not in inspect.signature(runner).parameters:
+            supported = sorted(
+                name for name, target in _FIG_RUNNERS.items()
+                if "spec" in inspect.signature(getattr(
+                    importlib.import_module(target.split(":")[0]),
+                    target.split(":")[1])).parameters)
+            raise ConfigError(
+                f"fig {args.name!r} does not take --spec/--preset; "
+                f"supported: {supported}")
+        result = runner(spec=spec)
+    else:
+        result = runner()
     print(result.format())
+    return 0
+
+
+def _cmd_spec(args) -> int:
+    from repro.api import PRESETS, EmulationSpec, preset_names
+
+    if args.list:
+        for name in preset_names():
+            preset = PRESETS[name]
+            print(f"{name:18s} engine={preset.engine:11s} "
+                  f"xbar={preset.xbar.rows}x{preset.xbar.cols}  "
+                  f"key={preset.key()}")
+        return 0
+    spec = _load_spec(args, default=EmulationSpec())
+    if args.keys:
+        text = json.dumps({"key": spec.key(),
+                           "model_key": spec.model_key()}, indent=2)
+    else:
+        text = spec.to_json()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
     return 0
 
 
@@ -165,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_char = sub.add_parser("characterize",
                             help="NF statistics of a crossbar design")
     _add_crossbar_args(p_char)
+    _add_spec_args(p_char)
     p_char.add_argument("--samples", type=int, default=4,
                         help="conductance matrices to simulate")
     p_char.add_argument("--seed", type=int, default=0)
@@ -173,16 +349,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_train = sub.add_parser("train-geniex",
                              help="fit (or load) a GENIEx emulator")
     _add_crossbar_args(p_train)
+    _add_spec_args(p_train)
     p_train.add_argument("--samples", type=int, default=60,
+                         action=_TrackedAction,
                          help="conductance matrices in the training sweep")
-    p_train.add_argument("--hidden", type=int, default=256)
-    p_train.add_argument("--layers", type=int, default=2)
-    p_train.add_argument("--epochs", type=int, default=180)
-    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--hidden", type=int, default=256,
+                         action=_TrackedAction)
+    p_train.add_argument("--layers", type=int, default=2,
+                         action=_TrackedAction)
+    p_train.add_argument("--epochs", type=int, default=180,
+                         action=_TrackedAction)
+    p_train.add_argument("--seed", type=int, default=0,
+                         action=_TrackedAction)
     p_train.set_defaults(func=_cmd_train_geniex)
+
+    p_spec = sub.add_parser(
+        "spec", help="print / validate a declarative emulation spec")
+    _add_spec_args(p_spec)
+    p_spec.add_argument("--list", action="store_true",
+                        help="list preset names and exit")
+    p_spec.add_argument("--keys", action="store_true",
+                        help="print the spec's content digests")
+    p_spec.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="write the spec JSON to a file")
+    p_spec.set_defaults(func=_cmd_spec)
 
     p_fig = sub.add_parser("fig", help="regenerate a paper figure/table")
     p_fig.add_argument("name", choices=sorted(_FIG_RUNNERS))
+    _add_spec_args(p_fig)
     p_fig.add_argument("--workers", type=int, default=None,
                        help="funcsim runtime workers for DNN accuracy "
                             "experiments (default: $REPRO_WORKERS or 1; "

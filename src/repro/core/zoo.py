@@ -10,7 +10,6 @@ self-contained.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
@@ -66,13 +65,25 @@ class GeniexZoo:
     @staticmethod
     def artifact_key(config: CrossbarConfig, sampling: SamplingSpec,
                      training: TrainSpec, mode: str) -> str:
-        payload = json.dumps({
-            "config": config.cache_key(),
-            "sampling": repr(sampling),
-            "training": repr(training),
-            "mode": mode,
-        }, sort_keys=True)
-        return hashlib.sha256(payload.encode()).hexdigest()[:20]
+        """Content key of one trained artifact.
+
+        Delegates to :meth:`repro.api.spec.EmulationSpec.model_key` so
+        the zoo, the serving registry and session-resolved specs all
+        agree on what "the same trained model" means — one digest
+        scheme, stable across processes and spawn/fork boundaries.
+
+        Note: this digest scheme replaced the pre-1.1 repr-based one, so
+        artifacts trained by older versions key differently and are
+        retrained on first use (the old ``.npz`` files are simply left
+        unused on disk).
+        """
+        # Imported lazily: repro.api resolves sessions *through* the zoo.
+        from repro.api.spec import EmulationSpec, EmulatorSpec, XbarSpec
+        spec = EmulationSpec(
+            xbar=XbarSpec.from_config(config),
+            emulator=EmulatorSpec(sampling=sampling, training=training,
+                                  mode=mode))
+        return spec.model_key()
 
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"geniex-{key}.npz")

@@ -13,6 +13,8 @@ import os
 
 import numpy as np
 
+from repro.api.session import open_session
+from repro.api.spec import EmulationSpec, RuntimeSpec, SimSpec, XbarSpec
 from repro.core.emulator import GeniexEmulator
 from repro.datasets import make_shapes_split, make_textures_split
 from repro.errors import ConfigError
@@ -93,10 +95,9 @@ def train_reference_network(name: str, profile: Profile,
     return model, x_test, y_test, float_acc
 
 
-def evaluate_float(model, x: np.ndarray, y: np.ndarray,
-                   batch: int = 64) -> float:
-    """Top-1 accuracy of the plain float model."""
-    model.eval()
+def _top1_accuracy(model, x: np.ndarray, y: np.ndarray,
+                   batch: int) -> float:
+    """Batched top-1 accuracy of any callable model (no grad)."""
     hits = 0
     with no_grad():
         for start in range(0, len(x), batch):
@@ -104,6 +105,13 @@ def evaluate_float(model, x: np.ndarray, y: np.ndarray,
             hits += int((logits.data.argmax(axis=1)
                          == y[start:start + batch]).sum())
     return hits / len(x)
+
+
+def evaluate_float(model, x: np.ndarray, y: np.ndarray,
+                   batch: int = 64) -> float:
+    """Top-1 accuracy of the plain float model."""
+    model.eval()
+    return _top1_accuracy(model, x, y, batch)
 
 
 def evaluate_engine(model, x: np.ndarray, y: np.ndarray, engine,
@@ -125,27 +133,49 @@ def evaluate_engine(model, x: np.ndarray, y: np.ndarray, engine,
     else:
         converted = convert_to_mvm(model, engine, executor=executor,
                                    workers=workers)
-    hits = 0
     try:
-        with no_grad():
-            for start in range(0, len(x), batch):
-                logits = converted(Tensor(x[start:start + batch]))
-                hits += int((logits.data.argmax(axis=1)
-                             == y[start:start + batch]).sum())
+        return _top1_accuracy(converted, x, y, batch)
     finally:
         if owns_executor:
             close_mvm_executor(converted)
-    return hits / len(x)
+
+
+def evaluate_spec(model, x: np.ndarray, y: np.ndarray,
+                  spec: EmulationSpec, batch: int = 64, zoo=None,
+                  emulator: GeniexEmulator | None = None) -> float:
+    """Top-1 accuracy of ``model`` evaluated through a declarative spec.
+
+    The canonical evaluation path: the spec resolves through
+    :func:`repro.api.open_session` (zoo get-or-train, engine factory,
+    runtime workers per ``spec.runtime``) and the model is compiled with
+    :meth:`Session.compile`. ``emulator`` short-circuits zoo resolution
+    with a ready-trained instance, which the sweep drivers use to train
+    their emulators once up front.
+    """
+    with open_session(spec, zoo=zoo, emulator=emulator) as session:
+        return _top1_accuracy(session.compile(model), x, y, batch)
 
 
 def evaluate_mode(model, x, y, mode: str, xbar: CrossbarConfig,
                   sim: FuncSimConfig, batch: int = 64,
                   emulator: GeniexEmulator | None = None,
                   workers: int | None = None) -> float:
-    """Accuracy under a named engine mode (``ideal``/``geniex``/...)."""
-    engine = make_engine(mode, xbar, sim, emulator=emulator)
-    return evaluate_engine(model, x, y, engine, batch=batch,
-                           workers=workers)
+    """Accuracy under a named engine mode (``ideal``/``geniex``/...).
+
+    Thin adapter lowering loose (mode, xbar, sim, workers) arguments
+    into an :class:`EmulationSpec` and delegating to
+    :func:`evaluate_spec` — bit-identical to the historical hand-wired
+    ``make_engine`` + ``convert_to_mvm`` assembly (tested).
+    """
+    if mode == "geniex" and emulator is None:
+        raise ConfigError("geniex evaluation requires a trained emulator")
+    spec = EmulationSpec(
+        engine=mode,
+        xbar=XbarSpec.from_config(xbar),
+        sim=SimSpec.from_config(sim),
+        runtime=RuntimeSpec(workers=default_workers()
+                            if workers is None else max(1, int(workers))))
+    return evaluate_spec(model, x, y, spec, batch=batch, emulator=emulator)
 
 
 __all__ = [
@@ -154,6 +184,7 @@ __all__ = [
     "train_reference_network",
     "evaluate_float",
     "evaluate_engine",
+    "evaluate_spec",
     "evaluate_mode",
     "accuracy",
 ]

@@ -122,6 +122,32 @@ class Profile:
     def funcsim(self, **overrides) -> FuncSimConfig:
         return FuncSimConfig(**overrides)
 
+    def to_spec(self, engine: str = "geniex", *, seed: int = 0,
+                workers: int | None = None, **xbar_overrides):
+        """The profile's DNN-accuracy setup as one declarative spec.
+
+        Returns the :class:`repro.api.spec.EmulationSpec` equivalent of
+        the hand-wired ``dnn_crossbar()`` + ``funcsim()`` +
+        ``dnn_train_spec()`` + ``make_engine`` assembly the figure
+        drivers historically performed — resolved through
+        :func:`repro.api.open_session`, it produces bit-identical
+        results (tested). ``xbar_overrides`` feed
+        :meth:`dnn_crossbar` (e.g. ``rows=16`` for the size sweeps);
+        ``workers`` defaults to :func:`default_workers` (the
+        ``REPRO_WORKERS`` env contract the loose path honoured).
+        """
+        if workers is None:
+            workers = default_workers()
+        from repro.api.spec import (EmulationSpec, EmulatorSpec,
+                                    RuntimeSpec, SimSpec, XbarSpec)
+        return EmulationSpec(
+            engine=engine,
+            xbar=XbarSpec.from_config(self.dnn_crossbar(**xbar_overrides)),
+            sim=SimSpec.from_config(self.funcsim()),
+            emulator=EmulatorSpec(sampling=self.sampling_spec(seed),
+                                  training=self.dnn_train_spec(seed)),
+            runtime=RuntimeSpec(workers=max(1, int(workers))))
+
 
 QUICK = Profile(
     name="quick",

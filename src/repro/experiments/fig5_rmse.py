@@ -52,12 +52,19 @@ class Fig5Result:
 
 
 def evaluate_voltage(config: CrossbarConfig, profile: Profile,
-                     progress: bool = False) -> Fig5Row:
-    """Train (or load) GENIEx for ``config`` and score both models."""
+                     progress: bool = False, sampling=None,
+                     training=None, mode: str = "full") -> Fig5Row:
+    """Train (or load) GENIEx for ``config`` and score both models.
+
+    ``mode`` selects the emulator's characterisation labels (a spec's
+    ``emulator.mode``); the held-out test set is always labelled by the
+    full circuit simulation — that is the figure's ground truth.
+    """
     zoo = shared_zoo()
-    emulator = zoo.get_or_train(config, profile.sampling_spec(seed=0),
-                                profile.train_spec(seed=0),
-                                progress=progress)
+    emulator = zoo.get_or_train(config,
+                                sampling or profile.sampling_spec(seed=0),
+                                training or profile.train_spec(seed=0),
+                                mode=mode, progress=progress)
     test_spec = SamplingSpec(n_g_matrices=profile.fig5_test_n_g,
                              n_v_per_g=profile.fig5_test_n_v, seed=1234)
     test = build_geniex_dataset(config, test_spec, mode="full")
@@ -79,14 +86,29 @@ def evaluate_voltage(config: CrossbarConfig, profile: Profile,
 
 
 def run_fig5(profile: Profile | None = None,
-             progress: bool = False) -> Fig5Result:
+             progress: bool = False, spec=None) -> Fig5Result:
+    """Reproduce the Fig. 5 RMSE table.
+
+    With a declarative ``spec`` (:class:`repro.api.spec.EmulationSpec`,
+    e.g. from ``python -m repro fig fig5 --spec file.json``) the crossbar
+    design and the GENIEx sampling/training hyper-parameters come from
+    the spec instead of the profile; the supply-voltage sweep and the
+    held-out test-set sizes stay the figure's own.
+    """
     profile = profile or get_profile()
     result = Fig5Result()
     for v_supply in SUPPLY_VOLTAGES:
-        config = profile.crossbar(rows=profile.fig5_size,
-                                  v_supply_v=v_supply)
-        result.rows.append(evaluate_voltage(config, profile,
-                                            progress=progress))
+        if spec is not None:
+            config = spec.xbar.to_config().replace(v_supply_v=v_supply)
+            row = evaluate_voltage(config, profile, progress=progress,
+                                   sampling=spec.emulator.sampling,
+                                   training=spec.emulator.training,
+                                   mode=spec.emulator.mode)
+        else:
+            config = profile.crossbar(rows=profile.fig5_size,
+                                      v_supply_v=v_supply)
+            row = evaluate_voltage(config, profile, progress=progress)
+        result.rows.append(row)
     return result
 
 

@@ -85,10 +85,24 @@ from repro.funcsim.runtime.kernel import (
 from repro.funcsim.slicing import sign_split, split_unsigned
 from repro.funcsim.tiles import n_tiles, tile_matrix
 from repro.utils.cache import LruDict
+from repro.utils.digest import content_key
 from repro.utils.numerics import batch_invariant_matmul
 from repro.xbar.config import CrossbarConfig
 from repro.xbar.ideal import ideal_mvm
 from repro.xbar.mapping import conductances_from_levels
+
+#: Every engine kind :func:`make_engine` accepts, in documentation order.
+#: The factory's docstring, its error message and the serving protocol all
+#: derive from this single tuple (tested against the docstring).
+ENGINE_KINDS = ("ideal", "exact", "geniex", "analytical", "decoupled",
+                "circuit")
+
+#: Kinds whose tile models support the batch-invariant einsum kernel
+#: (closed-form tile math; the iterative ``decoupled``/``circuit`` models
+#: cannot, and ``ideal`` is inherently invariant without the flag). The
+#: single source of truth: :func:`make_engine` enforces it here and
+#: :func:`repro.api.spec.supports_batch_invariance` builds on it.
+INVARIANT_KINDS = ("geniex", "exact", "analytical")
 
 
 # ----------------------------------------------------------------------
@@ -363,13 +377,12 @@ def _content_uid(token: str, qw: np.ndarray, t_r: int, t_c: int,
     engine-configuration token), so uids are stable across processes —
     fork-safe, unlike a per-process counter — and equal exactly when the
     programmed tiles are value-identical, which makes any tile-result
-    cache sharing value-exact by construction.
+    cache sharing value-exact by construction. Built on the shared
+    :mod:`repro.utils.digest` primitives, like every other content key
+    in the repository.
     """
-    digest = hashlib.sha256()
-    digest.update(token.encode())
-    digest.update(repr((qw.shape, t_r, t_c, tuple(sign_present))).encode())
-    digest.update(np.ascontiguousarray(qw).tobytes())
-    return digest.hexdigest()[:16]
+    return content_key("", token, [t_r, t_c, list(sign_present)],
+                       np.ascontiguousarray(qw), length=16)
 
 
 class PreparedMatrix:
@@ -672,7 +685,12 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
                 tile_cache_size: int = 256,
                 batch_invariant: bool = False,
                 executor=None, workers: int | None = None):
-    """Engine factory: ``ideal | geniex | analytical | decoupled | circuit``.
+    """Engine factory: ``ideal | exact | geniex | analytical | decoupled |
+    circuit`` (the :data:`ENGINE_KINDS` tuple).
+
+    ``ideal`` bypasses the analog pipeline (exact fixed-point product);
+    ``exact`` runs the full bit-sliced pipeline with ideality-oracle tiles,
+    isolating the digital error sources from crossbar non-idealities.
 
     ``batch_invariant=True`` routes tile matmuls through the einsum kernel
     so each output row is bitwise independent of the batch it shares (the
@@ -713,6 +731,9 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
         factory = AnalyticalTileFactory(xbar_config,
                                         batch_invariant=batch_invariant)
     elif kind in ("decoupled", "circuit"):
+        # The only kinds that *reject* the flag: they are not in
+        # INVARIANT_KINDS and, unlike "ideal" (exact integer math,
+        # invariant with or without the flag), cannot honour it.
         if batch_invariant:
             raise ConfigError(
                 f"batch-invariant execution is not supported for the "
@@ -721,8 +742,8 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
             else CircuitTileFactory(xbar_config)
     else:
         raise ConfigError(
-            f"unknown engine kind {kind!r}; expected ideal, exact, geniex, "
-            f"analytical, decoupled or circuit")
+            f"unknown engine kind {kind!r}; expected one of "
+            f"{', '.join(ENGINE_KINDS)}")
     # Resolve the executor last: validation errors above must not leave
     # an orphaned worker pool behind.
     if executor is None and workers is not None and workers > 1:

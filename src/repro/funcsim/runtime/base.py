@@ -98,6 +98,24 @@ class ExecutorBase:
         with self._lock:
             return layer_id in self._programs
 
+    def remove_layer(self, layer_id: str) -> None:
+        """Forget one layer program (and its shard caches).
+
+        Owners with bounded prepared-matrix caches (e.g.
+        :class:`repro.api.session.Session`) evict executor-side state in
+        step with their own LRU through this, keeping executor memory
+        bounded too. Removing an unknown id is a no-op; a later matmul
+        for the id raises until the layer is re-registered (engines
+        re-add automatically on their next call).
+        """
+        with self._lock:
+            if layer_id not in self._programs:
+                return
+            del self._programs[layer_id]
+            self._seq.pop(layer_id, None)
+            self._caches.pop(layer_id, None)
+        self._on_program_change()
+
     def _on_program_change(self) -> None:
         """Backend hook: invalidate worker state after (re)registration."""
 

@@ -29,6 +29,40 @@ class ServerBusyError(ServerError):
     """HTTP 429 — the microbatching queue is full; retry later."""
 
 
+def _identity_payload(payload: dict, model: dict | None, spec, *,
+                      engine: str | None = None, sim: dict | None = None,
+                      default_engine: str | None = None) -> dict:
+    """Attach the model identity: flat ``model`` object or full ``spec``.
+
+    ``spec`` may be a ``repro.api`` :class:`EmulationSpec` (anything with
+    ``to_dict()``) or an already-encoded dict; the client stays decoupled
+    from the spec classes themselves. Passing both is rejected — the spec
+    is self-contained, and silently preferring one over the other would
+    hide a mismatch from a half-migrated caller. Endpoints that take
+    ``engine``/``sim`` pass them through here (with ``default_engine``
+    naming the flat-path fallback); combining them with a spec is
+    rejected for the same reason.
+    """
+    if spec is not None and model is not None:
+        raise ValueError("pass either model=... or spec=..., not both "
+                         "(a spec already carries the model identity)")
+    if spec is not None:
+        if engine is not None or sim is not None:
+            raise ValueError("engine=/sim= are part of the spec; "
+                             "don't pass them alongside spec=")
+        payload["spec"] = spec.to_dict() if hasattr(spec, "to_dict") \
+            else dict(spec)
+    elif model is not None:
+        payload["model"] = model
+        if default_engine is not None:
+            payload["engine"] = engine or default_engine
+        if sim is not None:
+            payload["sim"] = sim
+    else:
+        raise ValueError("pass either a model object or a spec")
+    return payload
+
+
 class ServeClient:
     """Blocking JSON client for one ``repro serve`` endpoint."""
 
@@ -114,29 +148,45 @@ class ServeClient:
     def models(self) -> list:
         return self._request("GET", "/v1/models")["models"]
 
-    def load_model(self, model: dict) -> dict:
-        """Train (or load) a model spec into the server's warm registry."""
-        return self._request("POST", "/v1/models", {"model": model})
+    def load_model(self, model: dict | None = None, *,
+                   spec=None) -> dict:
+        """Train (or load) a model spec into the server's warm registry.
 
-    def register_crossbar(self, model: dict, conductances) -> str:
+        Takes the flat ``model`` wire object or a declarative ``spec``
+        (an :class:`repro.api.spec.EmulationSpec` or its ``to_dict()``
+        shape).
+        """
+        return self._request("POST", "/v1/models",
+                             _identity_payload({}, model, spec))
+
+    def register_crossbar(self, model: dict | None = None,
+                          conductances=None, *, spec=None) -> str:
         """Program a conductance matrix; returns its ``crossbar_key``."""
-        payload = {"model": model,
-                   "conductances": np.asarray(conductances).tolist()}
+        if conductances is None:
+            raise ValueError("conductances are required")
+        payload = _identity_payload(
+            {"conductances": np.asarray(conductances).tolist()},
+            model, spec)
         return self._request("POST", "/v1/crossbars",
                              payload)["crossbar_key"]
 
     def _predict(self, path: str, field: str, voltages, *,
                  model: dict | None = None, conductances=None,
-                 crossbar_key: str | None = None) -> np.ndarray:
+                 crossbar_key: str | None = None, spec=None) -> np.ndarray:
         voltages = np.asarray(voltages)
         payload: dict = {"voltages": voltages.tolist()}
         if crossbar_key is not None:
+            if model is not None or spec is not None \
+                    or conductances is not None:
+                raise ValueError(
+                    "crossbar_key= already names the warm crossbar; "
+                    "don't pass model=/spec=/conductances= alongside it")
             payload["crossbar_key"] = crossbar_key
         else:
-            if model is None or conductances is None:
+            if (model is None and spec is None) or conductances is None:
                 raise ValueError(
-                    "pass either crossbar_key or model + conductances")
-            payload["model"] = model
+                    "pass either crossbar_key or model/spec + conductances")
+            payload = _identity_payload(payload, model, spec)
             payload["conductances"] = np.asarray(conductances).tolist()
         return np.asarray(self._request("POST", path, payload)[field])
 
@@ -151,32 +201,52 @@ class ServeClient:
         return self._predict("/v1/predict_currents", "currents", voltages,
                              **kwargs)
 
-    def register_weights(self, model: dict, weights, *,
-                         engine: str = "geniex",
-                         sim: dict | None = None) -> str:
-        """Prepare an MVM engine for a weight matrix; returns its key."""
-        payload = {"model": model, "engine": engine,
-                   "weights": np.asarray(weights).tolist()}
-        if sim is not None:
-            payload["sim"] = sim
+    def register_weights(self, model: dict | None = None, weights=None, *,
+                         engine: str | None = None,
+                         sim: dict | None = None, spec=None) -> str:
+        """Prepare an MVM engine for a weight matrix; returns its key.
+
+        A declarative ``spec`` replaces the ``model``/``engine``/``sim``
+        trio (passing both is an error — the spec already carries them).
+        Either way the server keys the warm engine by
+        ``registry.serving_spec(spec).weights_key(weights)`` — the spec
+        digest after the server normalises the runtime node to its own
+        policy, *not* ``spec.weights_key`` verbatim. On the flat path
+        ``engine`` defaults to ``geniex``.
+        """
+        if weights is None:
+            raise ValueError("weights are required")
+        payload = _identity_payload(
+            {"weights": np.asarray(weights).tolist()}, model, spec,
+            engine=engine, sim=sim, default_engine="geniex")
         return self._request("POST", "/v1/weights", payload)["weights_key"]
 
     def matmul(self, x, *, weights_key: str | None = None,
                model: dict | None = None, weights=None,
-               engine: str = "geniex",
-               sim: dict | None = None) -> np.ndarray:
-        """Bit-sliced crossbar product for ``x`` (``(K,)`` or ``(B, K)``)."""
+               engine: str | None = None,
+               sim: dict | None = None, spec=None) -> np.ndarray:
+        """Bit-sliced crossbar product for ``x`` (``(K,)`` or ``(B, K)``).
+
+        Address the engine by ``weights_key=`` (from
+        :meth:`register_weights`), by ``spec= + weights=``, or by the
+        flat ``model= + weights=`` wire format (where ``engine``
+        defaults to ``geniex``).
+        """
         x = np.asarray(x)
         payload: dict = {"x": x.tolist()}
         if weights_key is not None:
+            if model is not None or spec is not None or weights is not None \
+                    or engine is not None or sim is not None:
+                raise ValueError(
+                    "weights_key= already names the warm engine; don't "
+                    "pass model=/spec=/weights=/engine=/sim= alongside it")
             payload["weights_key"] = weights_key
         else:
-            if model is None or weights is None:
+            if (model is None and spec is None) or weights is None:
                 raise ValueError(
-                    "pass either weights_key or model + weights")
-            payload["model"] = model
-            payload["engine"] = engine
+                    "pass either weights_key or model/spec + weights")
             payload["weights"] = np.asarray(weights).tolist()
-            if sim is not None:
-                payload["sim"] = sim
+            payload = _identity_payload(payload, model, spec,
+                                        engine=engine, sim=sim,
+                                        default_engine="geniex")
         return np.asarray(self._request("POST", "/v1/matmul", payload)["y"])

@@ -17,15 +17,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.spec import EmulationSpec, EmulatorSpec, SimSpec, XbarSpec
 from repro.core.sampling import SamplingSpec
 from repro.core.trainer import TrainSpec
 from repro.devices.rram import RramParameters
 from repro.errors import ConfigError, ReproError
 from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.engine import ENGINE_KINDS
 from repro.xbar.config import CrossbarConfig
 
-ENGINE_KINDS = ("geniex", "exact", "analytical", "decoupled", "circuit",
-                "ideal")
 MODES = ("full", "linear")
 
 
@@ -65,12 +65,39 @@ def _build_dataclass(cls, payload, what: str):
 
 @dataclass(frozen=True)
 class ModelSpec:
-    """One GENIEx model identity: crossbar + sampling + training + mode."""
+    """One GENIEx model identity: crossbar + sampling + training + mode.
+
+    A thin wire-format adapter over :class:`repro.api.spec.EmulationSpec`
+    — the flat JSON shape predates the spec tree and is kept for client
+    compatibility; :meth:`to_spec` / :meth:`from_spec` convert, and both
+    key caches through the same spec digests.
+    """
 
     config: CrossbarConfig
     sampling: SamplingSpec
     training: TrainSpec
     mode: str = "full"
+
+    def to_spec(self, engine: str = "geniex",
+                sim: FuncSimConfig | None = None,
+                runtime=None) -> EmulationSpec:
+        """The equivalent :class:`EmulationSpec` (canonical identity)."""
+        kwargs = {} if runtime is None else {"runtime": runtime}
+        return EmulationSpec(
+            engine=engine,
+            xbar=XbarSpec.from_config(self.config),
+            sim=SimSpec.from_config(sim or FuncSimConfig()),
+            emulator=EmulatorSpec(sampling=self.sampling,
+                                  training=self.training, mode=self.mode),
+            **kwargs)
+
+    @classmethod
+    def from_spec(cls, spec: EmulationSpec) -> "ModelSpec":
+        """The model identity of a full emulation spec."""
+        return cls(config=spec.xbar.to_config(),
+                   sampling=spec.emulator.sampling,
+                   training=spec.emulator.training,
+                   mode=spec.emulator.mode)
 
     @classmethod
     def from_payload(cls, payload) -> "ModelSpec":
@@ -92,10 +119,76 @@ class ModelSpec:
                    mode=mode)
 
 
+def reject_mixed_identity(body: dict, key_field: str | None = None) -> None:
+    """Refuse bodies mixing identity descriptions.
+
+    A spec is self-contained; silently preferring it over an
+    accompanying ``model``/``engine``/``sim`` would hide a mismatch from
+    a half-migrated caller (the Python client raises the same way —
+    this enforces the contract for raw HTTP callers too). Likewise a
+    warm-object key (``key_field``, e.g. ``weights_key``) already names
+    a fully-built engine; a spec or model riding along would be silently
+    ignored, so it is rejected instead.
+    """
+    if key_field is not None and key_field in body:
+        # Payload fields (weights/conductances) count as identity here
+        # too: the key already fixed them, and a different array riding
+        # along would be silently discarded otherwise.
+        mixed = [key for key in ("spec", "model", "engine", "sim",
+                                 "weights", "conductances")
+                 if key in body]
+        if mixed:
+            raise ProtocolError(
+                f"request carries both {key_field!r} and {mixed}; the key "
+                f"already names the warm object — drop the other "
+                f"identity fields")
+    if "spec" in body:
+        mixed = [key for key in ("model", "engine", "sim") if key in body]
+        if mixed:
+            raise ProtocolError(
+                f"request carries both \"spec\" and {mixed}; a spec is "
+                f"self-contained — drop the flat fields")
+
+
 def parse_model_spec(body: dict) -> ModelSpec:
+    """Model identity from a ``"model"`` object or a full ``"spec"``.
+
+    Used by the *emulator-tier* endpoints (``/v1/models``,
+    ``/v1/crossbars``, ``/v1/predict_*``), which always serve the
+    trained GENIEx model — so a spec naming a different engine kind is
+    rejected here rather than silently training GENIEx anyway (the
+    engine-tier endpoints honour ``spec.engine`` and never reach this).
+    """
+    if "spec" in body:
+        reject_mixed_identity(body)
+        spec = parse_emulation_spec(body)
+        if spec.engine != "geniex":
+            raise ProtocolError(
+                f"this endpoint serves the trained GENIEx emulator; the "
+                f"submitted spec names engine {spec.engine!r} — use "
+                f"/v1/weights + /v1/matmul for non-geniex engines, or "
+                f"set spec.engine to \"geniex\"")
+        return ModelSpec.from_spec(spec)
     if "model" not in body:
-        raise ProtocolError("request requires a \"model\" object")
+        raise ProtocolError(
+            "request requires a \"model\" or \"spec\" object")
     return ModelSpec.from_payload(body["model"])
+
+
+def parse_emulation_spec(body: dict) -> EmulationSpec:
+    """A full declarative :class:`EmulationSpec` from the ``spec`` object.
+
+    The wire shape is exactly ``EmulationSpec.to_dict()`` — what
+    ``python -m repro spec`` prints — so a spec file drives the HTTP
+    service unchanged. Strict: unknown fields are rejected with the
+    offending dotted path in the message.
+    """
+    if "spec" not in body:
+        raise ProtocolError("request requires a \"spec\" object")
+    try:
+        return EmulationSpec.from_dict(body["spec"])
+    except ConfigError as exc:
+        raise ProtocolError(str(exc)) from exc
 
 
 def parse_sim_config(body: dict) -> FuncSimConfig:

@@ -14,26 +14,36 @@ requests — from any client, in any order — land on the same warm object
   ``batch_invariant=True`` so coalesced predictions are byte-identical to
   direct per-request calls.
 * **engines** — prepared :class:`CrossbarMvmEngine` pipelines (engine +
-  :class:`PreparedMatrix`), keyed by (model, engine kind, sim config,
-  weights digest). Preparing programs every (sign, slice, tile) model, so
-  it also runs on the executor under a per-key lock.
+  :class:`PreparedMatrix`), keyed by ``spec.weights_key(weights)`` — the
+  :class:`~repro.api.spec.EmulationSpec` digest scheme every other
+  surface uses. Preparing programs every (sign, slice, tile) model, so
+  it also runs on the executor under a per-key lock. Engines are built
+  through :func:`repro.api.session.build_engine` from the spec, under a
+  server-owned runtime policy (batch-invariant whenever possible,
+  thread sharding, bounded tile cache).
 """
 
 from __future__ import annotations
 
 import asyncio
-import hashlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.api.session import build_engine
+from repro.api.spec import (
+    EmulationSpec,
+    engine_identity,
+    supports_batch_invariance,
+    weights_identity,
+)
 from repro.core.emulator import GeniexEmulator, MatrixEmulator
 from repro.core.zoo import GeniexZoo
 from repro.errors import ShapeError
 from repro.funcsim.config import FuncSimConfig
-from repro.funcsim.engine import make_engine
 from repro.serve.protocol import ModelSpec
 from repro.utils.cache import LruDict
+from repro.utils.digest import content_key
 
 
 @dataclass
@@ -95,31 +105,33 @@ class ModelRegistry:
         self._locks: dict = {}
 
     # ------------------------------------------------------------------
-    # Keys
+    # Keys — all delegate to the spec digest scheme (repro.api.spec),
+    # so an in-process Session, a CLI run and an HTTP request that
+    # describe the same setup agree on every cache key.
     # ------------------------------------------------------------------
     @staticmethod
     def model_key(spec: ModelSpec) -> str:
-        return GeniexZoo.artifact_key(spec.config, spec.sampling,
-                                      spec.training, spec.mode)
+        return spec.to_spec().model_key()
 
     @staticmethod
     def crossbar_key(model_key: str, conductance_s: np.ndarray) -> str:
-        digest = hashlib.sha256()
-        digest.update(model_key.encode())
-        digest.update(repr(conductance_s.shape).encode())
-        digest.update(np.ascontiguousarray(conductance_s,
-                                           dtype=np.float64).tobytes())
-        return "xb-" + digest.hexdigest()[:20]
+        return content_key(
+            "xb", model_key,
+            np.ascontiguousarray(conductance_s, dtype=np.float64))
 
     @staticmethod
     def engine_key(model_key: str, kind: str, sim_config: FuncSimConfig,
                    weights: np.ndarray) -> str:
-        digest = hashlib.sha256()
-        digest.update(f"{model_key}|{kind}|{sim_config!r}".encode())
-        digest.update(repr(weights.shape).encode())
-        digest.update(np.ascontiguousarray(weights,
-                                           dtype=np.float64).tobytes())
-        return "eng-" + digest.hexdigest()[:20]
+        """Deprecated shim: prefer ``EmulationSpec.weights_key``.
+
+        Composes the same spec digests the registry uses internally, so
+        a key computed here matches the one a full spec produces for the
+        same setup: ``model_key`` (crossbar design + emulator node)
+        always participates, exactly as it did in the legacy scheme.
+        """
+        invariant = supports_batch_invariance(kind, sim_config)
+        engine_id = engine_identity(model_key, kind, sim_config, invariant)
+        return weights_identity(engine_id, weights)
 
     def _lock_for(self, key: str) -> asyncio.Lock:
         lock = self._locks.get(key)
@@ -200,9 +212,51 @@ class ModelRegistry:
     async def engine(self, spec: ModelSpec, kind: str,
                      sim_config: FuncSimConfig,
                      weights: np.ndarray) -> PreparedEngine:
-        """Warm a prepared MVM engine for (spec, kind, sim, weights)."""
-        model_key = self.model_key(spec)
-        key = self.engine_key(model_key, kind, sim_config, weights)
+        """Warm a prepared MVM engine for (spec, kind, sim, weights).
+
+        Thin adapter over :meth:`engine_from_spec` for the flat wire
+        format; both paths share one key scheme and one build path.
+        """
+        return await self.engine_from_spec(
+            spec.to_spec(engine=kind, sim=sim_config), weights)
+
+    def serving_spec(self, spec: EmulationSpec) -> EmulationSpec:
+        """Normalise a client spec to this registry's execution policy.
+
+        Public: ``registry.serving_spec(spec).weights_key(w)`` is the
+        wire-visible warm-engine key, so clients that want to predict
+        server cache keys call this (see the README's Public API notes).
+
+        The runtime node is server-owned: warm engines run
+        batch-invariantly whenever the kind/ADC combination allows it —
+        so coalesced microbatch responses are byte-identical to direct
+        per-request calls — with the registry's tile-cache size and
+        thread sharding. (Thread workers compose with the asyncio
+        executor threads running the batched calls; per-engine process
+        pools would be far too heavy for a serving tier.) Clients cannot
+        steer the server onto a process pool or an unbounded cache by
+        submitting a creative runtime node.
+        """
+        invariant = supports_batch_invariance(spec.engine,
+                                              spec.sim.to_config())
+        return spec.evolve(runtime={
+            "batch_invariant": invariant,
+            "tile_cache_size": self.tile_cache_size,
+            "executor": "threads" if self.engine_workers > 1 else None,
+            "workers": self.engine_workers,
+        })
+
+    async def engine_from_spec(self, spec: EmulationSpec,
+                               weights: np.ndarray) -> PreparedEngine:
+        """Warm a prepared MVM engine for a declarative spec + weights.
+
+        The cache key is ``spec.weights_key(weights)`` under the
+        server-side runtime policy, so identical setups submitted as
+        flat wire payloads, spec JSON or in-process specs all land on
+        the same warm engine (and the same microbatching queue).
+        """
+        spec = self.serving_spec(spec)
+        key = spec.weights_key(weights)
         warm = self._lookup("engines", key)
         if warm is not None:
             return warm
@@ -212,30 +266,16 @@ class ModelRegistry:
                 if warm is not None:
                     return warm
                 emulator = None
-                if kind == "geniex":
-                    _, emulator = await self.emulator(spec)
+                if spec.engine == "geniex":
+                    _, emulator = await self.emulator(
+                        ModelSpec.from_spec(spec))
                 loop = asyncio.get_running_loop()
-                # geniex/exact/analytical run batch-invariantly so coalesced
-                # matmul responses are byte-identical to direct calls. The
-                # iterative decoupled/circuit models cannot, and neither can
-                # any engine whose ADC models offset or noise (zero-drive
-                # stream skipping is a per-batch decision); those are served
-                # with plain BLAS math, exact at flush granularity only.
-                invariant = (kind in ("geniex", "exact", "analytical")
-                             and sim_config.adc_offset_lsb == 0.0
-                             and sim_config.adc_noise_lsb == 0.0)
 
                 def build() -> PreparedEngine:
-                    engine = make_engine(
-                        kind, spec.config, sim_config, emulator=emulator,
-                        tile_cache_size=self.tile_cache_size,
-                        batch_invariant=invariant,
-                        executor="threads" if self.engine_workers > 1
-                        else None,
-                        workers=self.engine_workers)
+                    engine = build_engine(spec, emulator=emulator)
                     prepared = engine.prepare(weights)
-                    return PreparedEngine(key=key, kind=kind, engine=engine,
-                                          prepared=prepared,
+                    return PreparedEngine(key=key, kind=spec.engine,
+                                          engine=engine, prepared=prepared,
                                           n_in=prepared.n_in,
                                           n_out=prepared.n_out)
 

@@ -22,6 +22,12 @@ Endpoints
 ``POST /v1/matmul``          full bit-sliced crossbar matmul
 ===========================  ========================================
 
+Every ``POST /v1/*`` body that names a model may either carry the flat
+``"model"``/``"engine"``/``"sim"`` wire objects or a single ``"spec"``
+object — a full declarative :class:`repro.api.spec.EmulationSpec` in its
+``to_dict()`` shape (what ``python -m repro spec`` prints). Both paths
+resolve and cache through the same spec digests.
+
 Prediction and matmul requests are coalesced per warm object by the
 :class:`MicrobatchScheduler`; a full queue surfaces as HTTP 429 with a
 ``Retry-After`` hint. Error mapping: protocol/shape/config problems are
@@ -39,8 +45,9 @@ import numpy as np
 from repro.errors import ConfigError, ReproError, ShapeError
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (ProtocolError, decode_array, encode_array,
-                                  parse_engine_kind, parse_model_spec,
-                                  parse_sim_config)
+                                  parse_emulation_spec, parse_engine_kind,
+                                  parse_model_spec, parse_sim_config,
+                                  reject_mixed_identity)
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import MicrobatchScheduler, QueueFullError
 
@@ -276,6 +283,7 @@ class EmulationServer:
     async def _resolve_crossbar(self, body: dict):
         """A warm crossbar from ``crossbar_key`` or (model, conductances)."""
         if "crossbar_key" in body:
+            reject_mixed_identity(body, key_field="crossbar_key")
             key = str(body["crossbar_key"])
             warm = self.registry.crossbar(key)
             if warm is None:
@@ -316,16 +324,26 @@ class EmulationServer:
 
     async def _resolve_engine(self, body: dict):
         if "weights_key" in body:
+            reject_mixed_identity(body, key_field="weights_key")
             key = str(body["weights_key"])
             warm = self.registry.prepared_engine(key)
             if warm is None:
                 raise _NotFound(f"unknown weights_key {key!r}; register "
                                 f"it via POST /v1/weights")
             return warm
+        weights = decode_array(body, "weights", ndim=(2,))
+        if "spec" in body:
+            # Declarative path: one EmulationSpec object carries engine
+            # kind, crossbar, sim and emulator — exactly the to_dict()
+            # shape `python -m repro spec` emits — and keys the warm
+            # tier by spec.weights_key(weights). Mixing it with the
+            # flat identity fields is rejected, not silently resolved.
+            reject_mixed_identity(body)
+            return await self.registry.engine_from_spec(
+                parse_emulation_spec(body), weights)
         spec = parse_model_spec(body)
         kind = parse_engine_kind(body)
         sim_config = parse_sim_config(body)
-        weights = decode_array(body, "weights", ndim=(2,))
         return await self.registry.engine(spec, kind, sim_config, weights)
 
     async def _post_matmul(self, body: dict) -> dict:

@@ -160,3 +160,76 @@ class TestNonIdealEngines:
         factory = AnalyticalTileFactory(CrossbarConfig(rows=4, cols=4))
         with pytest.raises(ConfigError):
             CrossbarMvmEngine(XCFG, SCFG, factory)
+
+
+class TestEngineKindsDocumented:
+    """`make_engine`'s docstring, error message and ENGINE_KINDS agree,
+    and every documented kind actually constructs."""
+
+    def _tiny_emulator(self):
+        from repro.core.emulator import GeniexEmulator
+        from repro.core.model import GeniexNet, Normalizer
+        normalizer = Normalizer.from_config(XCFG, fr_min=0.9, fr_max=1.2)
+        return GeniexEmulator(GeniexNet(XCFG.rows, XCFG.cols, hidden=4,
+                                        normalizer=normalizer))
+
+    def test_docstring_lists_exactly_engine_kinds(self):
+        import re
+
+        from repro.funcsim.engine import ENGINE_KINDS
+        first_line = make_engine.__doc__.strip().splitlines()
+        header = " ".join(line.strip() for line in first_line[:2])
+        documented = re.findall(r"``([^`]+)``", header)[0]
+        kinds = tuple(k.strip() for k in documented.split("|"))
+        assert kinds == ENGINE_KINDS
+
+    def test_every_documented_kind_constructs(self):
+        from repro.funcsim.engine import ENGINE_KINDS
+        for kind in ENGINE_KINDS:
+            emulator = self._tiny_emulator() if kind == "geniex" else None
+            engine = make_engine(kind, XCFG, SCFG, emulator=emulator)
+            assert hasattr(engine, "matmul") and hasattr(engine, "prepare")
+            engine.close()
+
+    def test_undocumented_kind_raises_config_error(self):
+        from repro.funcsim.engine import ENGINE_KINDS
+        for bogus in ("spice", "", "GENIEX", "exact "):
+            assert bogus not in ENGINE_KINDS
+            with pytest.raises(ConfigError, match="unknown engine kind"):
+                make_engine(bogus, XCFG, SCFG)
+
+
+class TestInvariantKindsSingleSource:
+    """make_engine's batch-invariance acceptance matches INVARIANT_KINDS
+    exactly, so the serving policy helper can never drift from the
+    factory's enforcement."""
+
+    def test_factory_accepts_flag_exactly_for_invariant_kinds(self):
+        from repro.core.emulator import GeniexEmulator
+        from repro.core.model import GeniexNet, Normalizer
+        from repro.funcsim.engine import ENGINE_KINDS, INVARIANT_KINDS
+
+        normalizer = Normalizer.from_config(XCFG, fr_min=0.9, fr_max=1.2)
+        emulator = GeniexEmulator(GeniexNet(XCFG.rows, XCFG.cols, hidden=4,
+                                            normalizer=normalizer))
+        for kind in ENGINE_KINDS:
+            if kind == "ideal":
+                continue  # inherently invariant; flag is a no-op
+            build = lambda: make_engine(
+                kind, XCFG, SCFG, batch_invariant=True,
+                emulator=emulator if kind == "geniex" else None)
+            if kind in INVARIANT_KINDS:
+                engine = build()
+                assert engine.tile_factory.batch_invariant
+                engine.close()
+            else:
+                with pytest.raises(ConfigError,
+                                   match="batch-invariant"):
+                    build()
+
+    def test_spec_helper_builds_on_the_same_tuple(self):
+        from repro.api.spec import supports_batch_invariance
+        from repro.funcsim.engine import INVARIANT_KINDS
+
+        for kind in INVARIANT_KINDS:
+            assert supports_batch_invariance(kind, SCFG)

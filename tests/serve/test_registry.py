@@ -191,3 +191,37 @@ class TestEngineTier:
         for entry in stats.values():
             assert set(entry) == {"size", "capacity", "hits", "misses",
                                   "hit_rate"}
+
+
+class TestSpecKeyedEngines:
+    def test_engine_and_engine_from_spec_share_warm_object(self, registry):
+        weights = np.random.default_rng(3).standard_normal((4, 4)) * 0.4
+
+        async def scenario():
+            flat = await registry.engine(SPEC, "exact", SIM, weights)
+            declarative = await registry.engine_from_spec(
+                SPEC.to_spec(engine="exact", sim=SIM), weights)
+            return flat, declarative
+
+        flat, declarative = run(scenario())
+        assert flat is declarative
+        assert flat.key == registry.serving_spec(
+            SPEC.to_spec(engine="exact", sim=SIM)).weights_key(weights)
+
+    def test_client_runtime_node_cannot_steer_server_policy(self, registry):
+        """A creative runtime node in a submitted spec is server-
+        normalised: same key, same warm engine, no process pools."""
+        from repro.api.spec import RuntimeSpec
+        weights = np.eye(4) * 0.3
+        base = SPEC.to_spec(engine="exact", sim=SIM)
+        pushy = base.evolve(runtime=RuntimeSpec(
+            executor="process", workers=8, tile_cache_size=10_000))
+
+        async def scenario():
+            a = await registry.engine_from_spec(base, weights)
+            b = await registry.engine_from_spec(pushy, weights)
+            return a, b
+
+        a, b = run(scenario())
+        assert a is b
+        assert a.engine.executor is None  # engine_workers=1 -> inline

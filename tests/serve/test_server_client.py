@@ -410,3 +410,140 @@ class TestMetricsEndpoint:
         assert registry["crossbars"]["hits"] > 0
         assert 0.0 <= registry["crossbars"]["hit_rate"] <= 1.0
         assert snapshot["queue"]["rows_peak"] >= 1
+
+
+class TestDeclarativeSpec:
+    """A client-submitted EmulationSpec JSON round-trips through the
+    registry with cache hits keyed by the spec digest scheme."""
+
+    def _spec(self, engine="exact"):
+        return SPEC.to_spec(engine=engine, sim=FuncSimConfig(**SIM))
+
+    def _weights(self, seed=0):
+        return np.random.default_rng(seed).standard_normal((4, 4)) * 0.4
+
+    def test_register_weights_round_trip_hits_warm_engine(self, client):
+        espec, w = self._spec(), self._weights()
+        key_first = client.register_weights(spec=espec, weights=w)
+        before = client.metrics()["registry"]["engines"]["hits"]
+        key_second = client.register_weights(spec=espec, weights=w)
+        after = client.metrics()["registry"]["engines"]["hits"]
+        assert key_first == key_second
+        assert after >= before + 1
+
+    def test_warm_key_is_spec_weights_key(self, client):
+        """The wire key equals spec.weights_key under the server-side
+        runtime policy — computable client-side without the server."""
+        espec, w = self._spec(), self._weights(1)
+        expected = ModelRegistry(GeniexZoo()).serving_spec(
+            espec).weights_key(w)
+        assert client.register_weights(spec=espec, weights=w) == expected
+
+    def test_spec_and_flat_wire_format_share_the_engine(self, client):
+        espec, w = self._spec(), self._weights(2)
+        key_spec = client.register_weights(spec=espec, weights=w)
+        key_flat = client.register_weights(MODEL, w, engine="exact",
+                                           sim=SIM)
+        assert key_spec == key_flat
+
+    def test_matmul_via_spec_byte_identical_to_flat(self, client):
+        espec, w = self._spec(), self._weights(3)
+        x = np.random.default_rng(4).standard_normal((5, 4)) * 0.5
+        y_spec = client.matmul(x, spec=espec, weights=w)
+        y_flat = client.matmul(x, model=MODEL, weights=w, engine="exact",
+                               sim=SIM)
+        np.testing.assert_array_equal(y_spec, y_flat)
+
+    def test_predict_currents_via_spec_byte_identical(self, client,
+                                                      served):
+        _, zoo = served
+        g, v = random_g(21), random_v(22, (3, 4))
+        out = client.predict_currents(v, spec=self._spec("geniex"),
+                                      conductances=g)
+        direct = direct_matrix_emulator(zoo, g).predict_currents(v)
+        np.testing.assert_array_equal(out, direct)
+
+    def test_unknown_spec_field_is_http_400_with_path(self, client):
+        with pytest.raises(ServerError) as err:
+            client.matmul(np.zeros((1, 4)),
+                          spec={"xbar": {"rowz": 4}},
+                          weights=np.eye(4))
+        assert err.value.status == 400
+        assert "rowz" in err.value.message
+
+    def test_conflicting_identity_arguments_rejected(self, client):
+        espec, w = self._spec(), self._weights()
+        with pytest.raises(ValueError, match="not both"):
+            client.register_weights(MODEL, w, spec=espec)
+        with pytest.raises(ValueError, match="part of the spec"):
+            client.register_weights(spec=espec, weights=w,
+                                    engine="analytical")
+        with pytest.raises(ValueError, match="part of the spec"):
+            client.matmul(np.zeros((1, 4)), spec=espec, weights=w,
+                          sim=SIM)
+
+    def test_server_rejects_mixed_identity_fields(self, client):
+        """Raw HTTP bodies mixing "spec" with flat identity fields are
+        HTTP 400, mirroring the client-side ValueError."""
+        espec = self._spec()
+        body = {"spec": espec.to_dict(), "engine": "analytical",
+                "weights": np.eye(4).tolist(), "x": [[0.1] * 4]}
+        with pytest.raises(ServerError) as err:
+            client._request("POST", "/v1/matmul", body)
+        assert err.value.status == 400
+        assert "self-contained" in err.value.message
+
+    def test_key_addressing_rejects_extra_identity(self, client):
+        espec, w = self._spec(), self._weights()
+        key = client.register_weights(spec=espec, weights=w)
+        with pytest.raises(ValueError, match="weights_key= already"):
+            client.matmul(np.zeros((1, 4)), weights_key=key, spec=espec)
+        with pytest.raises(ValueError, match="crossbar_key= already"):
+            client.predict_currents(np.zeros(4), crossbar_key="xb-x",
+                                    model=MODEL)
+
+    def test_server_rejects_key_plus_identity_bodies(self, client):
+        """Raw HTTP bodies combining a warm-object key with spec/model
+        identity fields are 400, not silently resolved by the key."""
+        espec, w = self._spec(), self._weights()
+        key = client.register_weights(spec=espec, weights=w)
+        body = {"weights_key": key, "spec": espec.to_dict(),
+                "x": [[0.1] * 4]}
+        with pytest.raises(ServerError) as err:
+            client._request("POST", "/v1/matmul", body)
+        assert err.value.status == 400
+        assert "already names the warm object" in err.value.message
+
+    def test_server_rejects_payload_alongside_key(self, client):
+        """A weights array riding along weights_key would be silently
+        discarded; the server refuses instead."""
+        espec, w = self._spec(), self._weights()
+        key = client.register_weights(spec=espec, weights=w)
+        body = {"weights_key": key, "weights": (w * 2).tolist(),
+                "x": [[0.1] * 4]}
+        with pytest.raises(ServerError) as err:
+            client._request("POST", "/v1/matmul", body)
+        assert err.value.status == 400
+        assert "weights" in err.value.message
+
+    def test_client_rejects_payload_kwargs_alongside_keys(self, client):
+        espec, w = self._spec(), self._weights()
+        key = client.register_weights(spec=espec, weights=w)
+        with pytest.raises(ValueError, match="weights_key= already"):
+            client.matmul(np.zeros((1, 4)), weights_key=key,
+                          engine="analytical")
+        with pytest.raises(ValueError, match="weights_key= already"):
+            client.matmul(np.zeros((1, 4)), weights_key=key, weights=w)
+        with pytest.raises(ValueError, match="crossbar_key= already"):
+            client.predict_currents(np.zeros(4), crossbar_key="xb-x",
+                                    conductances=np.eye(4))
+
+    def test_emulator_tier_rejects_non_geniex_specs(self, client):
+        """/v1/predict_* serve the trained GENIEx model; a spec naming
+        another engine is 400, not silently trained as geniex."""
+        with pytest.raises(ServerError) as err:
+            client.predict_currents(np.zeros(4),
+                                    spec=self._spec("analytical"),
+                                    conductances=random_g(5))
+        assert err.value.status == 400
+        assert "analytical" in err.value.message

@@ -79,3 +79,105 @@ class TestWorkersFlags:
     def test_serve_engine_workers_parsed(self):
         args = build_parser().parse_args(["serve", "--engine-workers", "3"])
         assert args.engine_workers == 3
+
+
+class TestSpecCommand:
+    def test_spec_list(self, capsys):
+        assert main(["spec", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "quick" in out and "paper-64x64" in out
+
+    def test_spec_preset_prints_json(self, capsys):
+        import json
+
+        assert main(["spec", "--preset", "quick"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "geniex"
+        assert payload["xbar"]["rows"] == 16
+
+    def test_spec_set_overrides_and_output_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "spec.json"
+        assert main(["spec", "--preset", "quick", "--set", "xbar.rows=8",
+                     "--set", "engine=exact", "-o", str(out)]) == 0
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["xbar"]["rows"] == 8 and payload["engine"] == "exact"
+        # the written file round-trips through --spec
+        assert main(["spec", "--spec", str(out), "--keys"]) == 0
+        keys = json.loads(capsys.readouterr().out)
+        from repro.api import EmulationSpec
+
+        assert keys["key"] == EmulationSpec.from_json(
+            out.read_text()).key()
+
+    def test_spec_and_preset_are_exclusive(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="not both"):
+            main(["spec", "--preset", "quick", "--spec", "x.json"])
+
+    def test_set_requires_a_base_spec(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="--set requires"):
+            main(["characterize", "--set", "xbar.rows=4"])
+
+    def test_malformed_set_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="PATH=VALUE"):
+            main(["spec", "--preset", "quick", "--set", "xbar.rows"])
+
+
+class TestSpecDrivenCommands:
+    def test_characterize_with_preset_and_flag_override(self, capsys):
+        # With a spec baseline, --rows overrides rows only: the preset's
+        # cols (16) survives unless --cols is typed too.
+        code = main(["characterize", "--preset", "quick-exact",
+                     "--rows", "5", "--samples", "2"])
+        assert code == 0
+        assert "5x16" in capsys.readouterr().out
+
+    def test_characterize_preset_rows_and_cols_override(self, capsys):
+        code = main(["characterize", "--preset", "quick-exact",
+                     "--rows", "5", "--cols", "5", "--samples", "2"])
+        assert code == 0
+        assert "5x5" in capsys.readouterr().out
+
+    def test_characterize_flags_unchanged_without_spec(self, capsys):
+        # Historical behaviour: loose flags alone still work.
+        assert main(["characterize", "--rows", "6", "--samples", "2"]) == 0
+        assert "6x6" in capsys.readouterr().out
+
+    def test_fig_rejects_spec_for_unsupported_figure(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="does not take"):
+            main(["fig", "table1", "--preset", "quick"])
+
+    def test_train_geniex_with_preset_overrides(self, capsys):
+        code = main(["train-geniex", "--preset", "quick",
+                     "--set", "xbar.rows=4", "--set", "xbar.cols=4",
+                     "--samples", "3", "--hidden", "8", "--epochs", "2"])
+        assert code == 0
+        assert "emulator ready: 4x4" in capsys.readouterr().out
+
+
+class TestReviewRegressions:
+    def test_evolve_rejects_plain_value_for_spec_node(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="nested spec node"):
+            main(["spec", "--preset", "quick", "--set", "xbar=5"])
+
+    def test_spec_keys_honours_output_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "keys.json"
+        assert main(["spec", "--preset", "quick", "--keys",
+                     "-o", str(out)]) == 0
+        capsys.readouterr()
+        keys = json.loads(out.read_text())
+        assert set(keys) == {"key", "model_key"}

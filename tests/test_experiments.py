@@ -86,3 +86,44 @@ class TestDriversMicro:
         # Variation must widen the NF spread.
         assert result.by_sigma[1][2] > result.by_sigma[0][2]
         assert "stuck-at-fault" in result.format()
+
+
+class TestSpecDrivenFig5:
+    def test_spec_emulator_mode_is_honoured(self, tmp_path, monkeypatch):
+        """Regression: a spec with emulator.mode='linear' must train a
+        linear-mode emulator (keyed as such in the zoo), not silently
+        fall back to full-mode characterisation."""
+        import dataclasses
+        import os
+
+        from repro.api import get_preset
+        from repro.core.zoo import GeniexZoo
+        from repro.experiments.common import QUICK
+        from repro.experiments.fig5_rmse import run_fig5
+
+        tiny_profile = dataclasses.replace(QUICK, fig5_test_n_g=2,
+                                           fig5_test_n_v=3)
+        tiny_spec = get_preset("quick").evolve(
+            xbar={"rows": 4, "cols": 4},
+            emulator={"mode": "linear",
+                      "sampling": {"n_g_matrices": 3, "n_v_per_g": 4},
+                      "training": {"hidden": 8, "epochs": 2,
+                                   "batch_size": 8, "patience": 1}})
+        result = run_fig5(profile=tiny_profile, spec=tiny_spec)
+        assert len(result.rows) == 2
+        zoo = GeniexZoo()
+        config = tiny_spec.xbar.to_config().replace(v_supply_v=0.25)
+        linear_key = zoo.artifact_key(config, tiny_spec.emulator.sampling,
+                                      tiny_spec.emulator.training, "linear")
+        full_key = zoo.artifact_key(config, tiny_spec.emulator.sampling,
+                                    tiny_spec.emulator.training, "full")
+        cached = os.listdir(zoo.cache_dir)
+        assert f"geniex-{linear_key}.npz" in cached
+        assert f"geniex-{full_key}.npz" not in cached
+
+    def test_profile_to_spec_honours_repro_workers_env(self, monkeypatch):
+        from repro.experiments.common import QUICK
+
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert QUICK.to_spec("exact").runtime.workers == 3
+        assert QUICK.to_spec("exact", workers=1).runtime.workers == 1
