@@ -1,10 +1,34 @@
-"""Extension bench: device variation widens the non-ideality distribution.
+"""Extension bench: device faults widen errors at circuit and MVM level.
 
 Not a numbered paper figure — the paper flags device variation as an
-aggravating factor (Section 1); this bench quantifies it on our substrate.
+aggravating factor (Section 1). Two sweeps quantify it on our substrate:
+
+* the circuit-level NF study (``run_variations``, unchanged table), now a
+  thin wrapper over the composable non-ideality pipeline;
+* the MVM-level robustness grid (``run_robustness``): sigma x fault-rate
+  x drift through the full bit-sliced funcsim engines.
+
+Run with ``pytest benchmarks/bench_variations.py -s`` or directly with
+``PYTHONPATH=src python benchmarks/bench_variations.py``, which
+additionally writes ``BENCH_nonideal.json`` at the repo root.
 """
 
+import json
+import os
+import time
+
+from repro.experiments.robustness import run_robustness
 from repro.experiments.variations import run_variations
+
+
+def _robustness_spec():
+    """Grid-sized setup: big enough to tile, small enough to sweep."""
+    from repro.api import get_preset
+    return get_preset("quick").evolve(
+        xbar={"rows": 16, "cols": 16},
+        emulator={"sampling": {"n_g_matrices": 8, "n_v_per_g": 8},
+                  "training": {"hidden": 32, "epochs": 30,
+                               "batch_size": 64}})
 
 
 def test_variation_widens_nf(run_once):
@@ -18,3 +42,54 @@ def test_variation_widens_nf(run_once):
     p95 = [row[3] for row in result.by_fault_rate]
     assert p95[0] <= p95[-1], \
         "stuck-at faults should increase worst-case error"
+
+
+def test_robustness_grid_orders_engines(run_once):
+    result = run_once(run_robustness, spec=_robustness_spec(),
+                      sigmas=(0.0, 0.1), fault_rates=(0.0, 0.02),
+                      drift_times=(0.0, 1e3))
+    print("\n" + result.format())
+    by_engine = {}
+    for engine, sigma, rate, drift, rmse, _, reused in result.grid:
+        by_engine.setdefault(engine, {})[(sigma, rate, drift)] = (rmse,
+                                                                  reused)
+    for engine, cells in by_engine.items():
+        clean_rmse, reused = cells[("0", "0", "0")]
+        assert reused == "yes", "clean baseline must reuse the clean solve"
+        worst = max(rmse for rmse, _ in cells.values())
+        assert worst > clean_rmse, \
+            f"{engine}: faults should increase MVM error"
+
+
+def main() -> None:
+    started = time.time()
+    variations = run_variations()
+    robustness = run_robustness(
+        spec=_robustness_spec(), sigmas=(0.0, 0.05, 0.1, 0.2),
+        fault_rates=(0.0, 0.01, 0.05), drift_times=(0.0, 1e3))
+    print(variations.format())
+    print()
+    print(robustness.format())
+    payload = {
+        "workload": "NF sweep (quick profile crossbar) + MVM robustness "
+                    "grid (16x16 quick-geniex spec, sigma x fault x "
+                    "drift, engines geniex/exact/analytical)",
+        "elapsed_s": round(time.time() - started, 3),
+        "nf_by_sigma": variations.by_sigma,
+        "nf_by_fault_rate": variations.by_fault_rate,
+        "robustness_grid": {
+            "columns": ["engine", "sigma", "fault_rate", "drift_s",
+                        "rmse", "err_p95", "reused_clean"],
+            "rows": robustness.grid,
+        },
+    }
+    out = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "BENCH_nonideal.json")
+    with open(out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

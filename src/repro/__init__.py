@@ -10,14 +10,16 @@ from repro.xbar.config import CrossbarConfig
 from repro.circuit.simulator import CrossbarCircuitSimulator
 from repro.analytical.linear_model import AnalyticalLinearModel
 from repro.api import EmulationSpec, Session, open_session
+from repro.nonideal import NonidealitySpec
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CrossbarConfig",
     "CrossbarCircuitSimulator",
     "AnalyticalLinearModel",
     "EmulationSpec",
+    "NonidealitySpec",
     "Session",
     "open_session",
     "__version__",

@@ -12,7 +12,8 @@ Three ideas:
 
 * **Spec** — :class:`EmulationSpec` and its nested nodes
   (:class:`DeviceSpec`, :class:`XbarSpec`, :class:`SimSpec`,
-  :class:`EmulatorSpec`, :class:`RuntimeSpec`) form a validated tree
+  :class:`EmulatorSpec`, :class:`NonidealitySpec`,
+  :class:`RuntimeSpec`) form a validated tree
   with a strict ``to_dict``/``from_dict`` JSON round-trip, named presets
   (:func:`get_preset`, e.g. ``"paper-64x64"``, ``"quick"``) and an
   :meth:`~EmulationSpec.evolve` builder for overrides.
@@ -41,9 +42,11 @@ from repro.api.spec import (
     SimSpec,
     XbarSpec,
     engine_identity,
+    nonideality_from_dict,
     supports_batch_invariance,
     weights_identity,
 )
+from repro.nonideal import NonidealitySpec
 
 __all__ = [
     "EmulationSpec",
@@ -51,6 +54,7 @@ __all__ = [
     "XbarSpec",
     "SimSpec",
     "EmulatorSpec",
+    "NonidealitySpec",
     "RuntimeSpec",
     "Session",
     "open_session",
@@ -61,5 +65,6 @@ __all__ = [
     "preset_names",
     "engine_identity",
     "weights_identity",
+    "nonideality_from_dict",
     "supports_batch_invariance",
 ]

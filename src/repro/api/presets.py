@@ -17,10 +17,17 @@ defaults (tested in ``tests/api/test_spec.py``).
                    no training at all; isolates digital quantisation.
 ``quick-analytical``  The ``quick`` crossbar under the linear parasitic
                    model — no training; the paper's baseline.
+``paper-64x64-variation``  The paper setup on a *faulty* crossbar: 10%
+                   lognormal programming variation plus 1%/1% stuck-at
+                   faults (seeded), exercising the ``nonideality`` spec
+                   node — keyed apart from ``paper-64x64`` at every
+                   cache tier.
 =================  =====================================================
 """
 
 from __future__ import annotations
+
+import difflib
 
 from repro.api.spec import EmulationSpec, EmulatorSpec, XbarSpec
 from repro.core.sampling import SamplingSpec
@@ -50,6 +57,10 @@ PRESETS = {
         emulator={"sampling": {"n_g_matrices": 60, "n_v_per_g": 20},
                   "training": {"hidden": 256, "epochs": 180,
                                "patience": 50}}),
+    "paper-64x64-variation": _PAPER.evolve(
+        nonideality={"seed": 0,
+                     "variation": {"sigma": 0.1},
+                     "stuck": {"p_on": 0.01, "p_off": 0.01}}),
     "quick": _QUICK,
     "quick-exact": _QUICK.evolve(engine="exact"),
     "quick-analytical": _QUICK.evolve(engine="analytical"),
@@ -62,9 +73,17 @@ def preset_names() -> list:
 
 
 def get_preset(name: str) -> EmulationSpec:
-    """Resolve a preset by name; unknown names list the alternatives."""
+    """Resolve a preset by name.
+
+    Unknown names list every available preset and, when the name is a
+    near-miss (``"papr-64x64"``), single out the closest match — the
+    error is the documentation at the moment a typo happens.
+    """
     try:
         return PRESETS[name]
     except KeyError:
+        close = difflib.get_close_matches(name, PRESETS, n=1)
+        hint = f" (did you mean {close[0]!r}?)" if close else ""
         raise ConfigError(
-            f"unknown preset {name!r}; choose from {preset_names()}")
+            f"unknown preset {name!r}{hint}; available presets: "
+            f"{preset_names()}")

@@ -53,7 +53,7 @@ def resolve_emulator(spec: EmulationSpec, zoo: GeniexZoo | None = None,
     zoo = zoo or GeniexZoo()
     return zoo.get_or_train(spec.xbar.to_config(), spec.emulator.sampling,
                             spec.emulator.training, mode=spec.emulator.mode,
-                            progress=progress)
+                            nonideality=spec.nonideality, progress=progress)
 
 
 def build_engine(spec: EmulationSpec, emulator=None):
@@ -72,7 +72,8 @@ def build_engine(spec: EmulationSpec, emulator=None):
                        spec.sim.to_config(), emulator=emulator,
                        tile_cache_size=runtime.tile_cache_size,
                        batch_invariant=runtime.batch_invariant,
-                       executor=runtime.executor, workers=runtime.workers)
+                       executor=runtime.executor, workers=runtime.workers,
+                       nonideality=spec.nonideality)
 
 
 class Session:

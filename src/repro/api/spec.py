@@ -19,6 +19,9 @@ The spec tree::
     ├── emulator: EmulatorSpec       # GENIEx characterisation + fit
     │   ├── sampling: SamplingSpec
     │   └── training: TrainSpec
+    ├── nonideality: NonidealitySpec # device-fault composition
+    │   ├── variation / drift / read_noise / temperature / stuck
+    │   └── seed
     └── runtime: RuntimeSpec         # executor / workers / caches
 
 The design-parameter nodes subclass the validated config dataclasses they
@@ -58,6 +61,15 @@ from repro.devices.rram import RramParameters
 from repro.errors import ConfigError
 from repro.funcsim.config import FuncSimConfig
 from repro.funcsim.engine import ENGINE_KINDS, INVARIANT_KINDS
+from repro.nonideal.pipeline import NonidealitySpec
+from repro.nonideal.transforms import (
+    TRANSFORM_KINDS,
+    DriftSpec,
+    ReadNoiseSpec,
+    StuckSpec,
+    TemperatureSpec,
+    VariationSpec,
+)
 from repro.utils.digest import content_key
 from repro.xbar.config import CrossbarConfig
 
@@ -208,6 +220,7 @@ class EmulationSpec:
     xbar: XbarSpec = XbarSpec()
     sim: SimSpec = SimSpec()
     emulator: EmulatorSpec = EmulatorSpec()
+    nonideality: NonidealitySpec = NonidealitySpec()
     runtime: RuntimeSpec = RuntimeSpec()
 
     def __post_init__(self):
@@ -215,6 +228,16 @@ class EmulationSpec:
             raise ConfigError(
                 f"unknown engine kind {self.engine!r}; expected one of "
                 f"{ENGINE_KINDS}")
+        if self.engine == "ideal" and not self.nonideality.is_identity:
+            # Fail at spec validation, not at engine build: the ideal
+            # engine is the digital reference and has no programmed
+            # conductances to perturb — a faulty "ideal" spec is a
+            # contradiction, not a setup that silently runs clean.
+            raise ConfigError(
+                "spec.nonideality is active but spec.engine is 'ideal' "
+                "(the digital fixed-point reference has no analog state "
+                "to perturb); pick an analog engine kind or drop the "
+                "nonideality node")
 
     # ------------------------------------------------------------------
     # Serialisation
@@ -282,12 +305,28 @@ class EmulationSpec:
     def model_key(self) -> str:
         """Identity of the trained GENIEx artifact this spec resolves to.
 
-        Depends only on the crossbar design and the emulator node —
-        exactly what :meth:`repro.core.zoo.GeniexZoo.get_or_train`
-        consumes; the zoo's ``artifact_key`` delegates here.
+        Depends on the crossbar design, the emulator node and — when one
+        is active — the non-ideality composition; exactly what
+        :meth:`repro.core.zoo.GeniexZoo.get_or_train` consumes; the
+        zoo's ``artifact_key`` delegates here.
+
+        The ``nonideality`` digest is folded in *only when the node is
+        non-identity*: clean specs keep the exact pre-node byte digest
+        (no spurious zoo/registry re-keying — regression-tested), while
+        a faulty crossbar can never alias a clean one in the zoo, the
+        serving registry or (via :meth:`key`/:meth:`weights_key`, which
+        build on this digest) any warm-engine tier. The characterisation
+        sweep itself is nonideality-independent, so the separation is a
+        deliberately conservative no-aliasing guarantee, not a claim
+        that the trained weights differ; drivers that sweep many fault
+        points over one design pass the resolved emulator explicitly
+        (``Session(..., emulator=...)``) to pay training once.
         """
-        return content_key("", {"xbar": _node_to_dict(self.xbar),
-                                "emulator": _node_to_dict(self.emulator)})
+        payload = {"xbar": _node_to_dict(self.xbar),
+                   "emulator": _node_to_dict(self.emulator)}
+        if not self.nonideality.is_identity:
+            payload["nonideality"] = self.nonideality.digest()
+        return content_key("", payload)
 
     def key(self) -> str:
         """Identity of the engine *behaviour* this spec resolves to.
@@ -428,7 +467,23 @@ def _evolve_node(node, tree: dict, path: str):
 #: Nested spec-node types per parent class, used by the strict decoder.
 _SPEC_CHILDREN = {
     EmulationSpec: {"xbar": XbarSpec, "sim": SimSpec,
-                    "emulator": EmulatorSpec, "runtime": RuntimeSpec},
+                    "emulator": EmulatorSpec, "runtime": RuntimeSpec,
+                    "nonideality": NonidealitySpec},
     XbarSpec: {"rram": DeviceSpec},
     EmulatorSpec: {"sampling": SamplingSpec, "training": TrainSpec},
+    NonidealitySpec: {"variation": VariationSpec, "drift": DriftSpec,
+                      "read_noise": ReadNoiseSpec,
+                      "temperature": TemperatureSpec, "stuck": StuckSpec},
 }
+assert set(_SPEC_CHILDREN[NonidealitySpec]) == set(TRANSFORM_KINDS)
+
+
+def nonideality_from_dict(payload, path: str = "nonideality") \
+        -> NonidealitySpec:
+    """Strict decode of a bare non-ideality node (wire-format adapters).
+
+    Same codec as :meth:`EmulationSpec.from_dict` restricted to the
+    ``nonideality`` subtree — the serve protocol's flat ``model`` object
+    uses this to accept a fault composition alongside the legacy fields.
+    """
+    return _node_from_dict(NonidealitySpec, payload, path)

@@ -214,10 +214,15 @@ def _cmd_train_geniex(args) -> int:
             training = replace(training, hidden_layers=args.layers)
         if "epochs" in explicit:
             training = replace(training, epochs=args.epochs)
+    # The spec's fault composition participates in the artifact key, so
+    # pre-training a faulty preset warms exactly the key the spec later
+    # resolves to (clean on the loose-flag path, as always).
+    nonideality = None if spec is None else spec.nonideality
     zoo = GeniexZoo(verbose=True)
     emulator = zoo.get_or_train(config, sampling, training, mode=mode,
-                                progress=True)
-    key = zoo.artifact_key(config, sampling, training, mode)
+                                nonideality=nonideality, progress=True)
+    key = zoo.artifact_key(config, sampling, training, mode,
+                           nonideality=nonideality)
     print(f"emulator ready: {emulator.rows}x{emulator.cols} "
           f"hidden={emulator.model.hidden}x{emulator.model.hidden_layers} "
           f"(cache key {key}, dir {zoo.cache_dir})")
@@ -233,6 +238,7 @@ _FIG_RUNNERS = {
     "fig8": "repro.experiments.fig8_quantization:run_fig8",
     "fig9": "repro.experiments.fig9_bitslicing:run_fig9",
     "variations": "repro.experiments.variations:run_variations",
+    "robustness": "repro.experiments.robustness:run_robustness",
 }
 
 

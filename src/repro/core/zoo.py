@@ -64,13 +64,23 @@ class GeniexZoo:
     # ------------------------------------------------------------------
     @staticmethod
     def artifact_key(config: CrossbarConfig, sampling: SamplingSpec,
-                     training: TrainSpec, mode: str) -> str:
+                     training: TrainSpec, mode: str,
+                     nonideality=None) -> str:
         """Content key of one trained artifact.
 
         Delegates to :meth:`repro.api.spec.EmulationSpec.model_key` so
         the zoo, the serving registry and session-resolved specs all
         agree on what "the same trained model" means — one digest
         scheme, stable across processes and spawn/fork boundaries.
+
+        ``nonideality`` (a :class:`repro.nonideal.NonidealitySpec`, or
+        ``None`` / identity for the historical clean key) participates
+        whenever it is non-identity: a faulty crossbar's artifact is
+        keyed apart from the clean design's, so the two can never alias
+        in any cache built on this key. The characterisation sweep does
+        not depend on the fault composition, so separated keys may hold
+        identical weights — the cost of one redundant training run buys
+        an unconditional no-aliasing guarantee.
 
         Note: this digest scheme replaced the pre-1.1 repr-based one, so
         artifacts trained by older versions key differently and are
@@ -79,10 +89,12 @@ class GeniexZoo:
         """
         # Imported lazily: repro.api resolves sessions *through* the zoo.
         from repro.api.spec import EmulationSpec, EmulatorSpec, XbarSpec
+        kwargs = {} if nonideality is None else {"nonideality": nonideality}
         spec = EmulationSpec(
             xbar=XbarSpec.from_config(config),
             emulator=EmulatorSpec(sampling=sampling, training=training,
-                                  mode=mode))
+                                  mode=mode),
+            **kwargs)
         return spec.model_key()
 
     def _path(self, key: str) -> str:
@@ -165,11 +177,21 @@ class GeniexZoo:
                      sampling: SamplingSpec | None = None,
                      training: TrainSpec | None = None,
                      mode: str = "full",
+                     nonideality=None,
                      progress: bool = False) -> GeniexEmulator:
-        """Return a (possibly cached) emulator for a crossbar configuration."""
+        """Return a (possibly cached) emulator for a crossbar configuration.
+
+        ``nonideality`` only *keys* the artifact (see
+        :meth:`artifact_key`); the characterisation sweep and training
+        are fault-independent, so callers sweeping many fault points
+        over one design should resolve the clean emulator once and hand
+        it to sessions directly rather than paying one training run per
+        grid point.
+        """
         sampling = sampling or SamplingSpec()
         training = training or TrainSpec()
-        key = self.artifact_key(config, sampling, training, mode)
+        key = self.artifact_key(config, sampling, training, mode,
+                                nonideality=nonideality)
         cached = self._memory.get(key)
         if cached is not None:
             return cached

@@ -1,20 +1,23 @@
-"""Device-to-device variation and defect models.
+"""Device-to-device variation and defect helpers (legacy functional API).
 
-The paper notes that non-ideality effects "get exacerbated further due to the
-device variations". These helpers perturb a programmed conductance matrix the
-way fabrication variation and hard faults would, and are used by the
-variation-robustness tests and the ablation benches.
+The variation models migrated to :mod:`repro.nonideal`, where they are
+composable, seeded spec nodes wired through the whole stack (spec →
+programming → runtime → serve). These free functions remain as the thin
+ad-hoc API for perturbing a conductance matrix directly with an explicit
+RNG — they delegate to the same transform implementations, so a given
+``(values, rng state)`` pair produces identical results on either path.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ConfigError
-from repro.utils.rng import rng_from_seed
+from repro.nonideal.transforms import StuckSpec, VariationSpec
+from repro.utils.rng import SeedLike, rng_from_seed
 
 
-def apply_lognormal_variation(conductance_s, sigma: float, rng=None,
+def apply_lognormal_variation(conductance_s, sigma: float,
+                              rng: SeedLike = None,
                               g_min_s: float | None = None,
                               g_max_s: float | None = None) -> np.ndarray:
     """Multiply conductances by lognormal noise with log-std ``sigma``.
@@ -23,36 +26,26 @@ def apply_lognormal_variation(conductance_s, sigma: float, rng=None,
     bounds are given, mirroring program-and-verify write loops that cannot
     exceed the device's physical conductance range.
     """
-    if sigma < 0:
-        raise ConfigError(f"sigma must be >= 0, got {sigma}")
+    transform = VariationSpec(sigma=sigma)
     conductance_s = np.asarray(conductance_s, dtype=float)
-    if sigma == 0:
+    if transform.is_identity:
         return conductance_s.copy()
-    rng = rng_from_seed(rng)
-    noisy = conductance_s * rng.lognormal(mean=0.0, sigma=sigma,
-                                          size=conductance_s.shape)
-    lo = g_min_s if g_min_s is not None else -np.inf
-    hi = g_max_s if g_max_s is not None else np.inf
-    return np.clip(noisy, lo, hi)
+    return transform.apply(
+        conductance_s, rng_from_seed(rng),
+        g_min_s if g_min_s is not None else -np.inf,
+        g_max_s if g_max_s is not None else np.inf)
 
 
 def apply_stuck_faults(conductance_s, p_stuck_on: float, p_stuck_off: float,
-                       g_on_s: float, g_off_s: float, rng=None) -> np.ndarray:
+                       g_on_s: float, g_off_s: float,
+                       rng: SeedLike = None) -> np.ndarray:
     """Force a random subset of cells to the ON or OFF conductance.
 
     Stuck-at faults are drawn independently per cell; a cell can be selected
     by at most one fault type (ON takes precedence, matching the convention
     that a shorted filament dominates).
     """
-    for name, p in (("p_stuck_on", p_stuck_on), ("p_stuck_off", p_stuck_off)):
-        if not 0.0 <= p <= 1.0:
-            raise ConfigError(f"{name} must lie in [0, 1], got {p}")
-    if p_stuck_on + p_stuck_off > 1.0:
-        raise ConfigError("p_stuck_on + p_stuck_off must not exceed 1")
+    transform = StuckSpec(p_on=p_stuck_on, p_off=p_stuck_off)
     conductance_s = np.asarray(conductance_s, dtype=float)
-    rng = rng_from_seed(rng)
-    u = rng.random(conductance_s.shape)
-    out = conductance_s.copy()
-    out[u < p_stuck_on] = g_on_s
-    out[(u >= p_stuck_on) & (u < p_stuck_on + p_stuck_off)] = g_off_s
-    return out
+    return transform.apply(conductance_s, rng_from_seed(rng),
+                           g_min_s=g_off_s, g_max_s=g_on_s)

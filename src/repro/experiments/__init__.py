@@ -18,6 +18,8 @@ from repro.experiments.fig5_rmse import run_fig5
 from repro.experiments.fig7_design_params import run_fig7
 from repro.experiments.fig8_quantization import run_fig8
 from repro.experiments.fig9_bitslicing import run_fig9
+from repro.experiments.robustness import run_robustness
+from repro.experiments.variations import run_variations
 
 __all__ = [
     "Profile",
@@ -30,4 +32,6 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_robustness",
+    "run_variations",
 ]

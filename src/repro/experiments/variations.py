@@ -1,29 +1,34 @@
 """Device-variation study (the paper's "exacerbated further" remark).
 
 Section 1 of the paper notes that non-ideality effects "get exacerbated
-further due to the device variations". This driver quantifies that: sweep
-the lognormal programming-variation sigma and the stuck-at-fault rate,
-simulate the full non-ideal crossbar with perturbed conductances, and
-report how the NF distribution widens — plus the MVM-level error through
-the functional simulator's exact-analog engine with perturbed tiles.
+further due to the device variations". This driver quantifies that at the
+circuit level: sweep the lognormal programming-variation sigma and the
+stuck-at-fault rate, simulate the full non-ideal crossbar with perturbed
+conductances, and report how the NF distribution widens.
+
+Since the non-ideality refactor this is a thin wrapper over the
+robustness driver (:mod:`repro.experiments.robustness`): each sweep point
+is a declarative :class:`~repro.nonideal.NonidealitySpec` fed to
+:func:`~repro.experiments.robustness.nf_stats`, so the exact same fault
+compositions can be replayed through the full funcsim engines, the
+serving stack, or any spec-driven surface. The table shape (titles,
+columns, row structure) is unchanged; individual values differ from
+pre-refactor runs because the draws now come from the pipeline's
+coordinate-keyed RNG streams instead of the old ad-hoc spawned
+generators — the qualitative trends (spread widening with sigma and
+fault rate) are what the tests assert.
+For MVM-level error through the complete bit-sliced pipeline (not just
+the exact-analog circuit path this study hardwires), run
+:func:`~repro.experiments.robustness.run_robustness` (CLI:
+``python -m repro fig robustness``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.circuit.simulator import CrossbarCircuitSimulator
-from repro.core.metrics import nonideality_factor, valid_mask
-from repro.core.sampling import SamplingSpec, VgSampler
-from repro.devices.variations import (
-    apply_lognormal_variation,
-    apply_stuck_faults,
-)
 from repro.experiments.common import Profile, format_table, get_profile
-from repro.utils.rng import spawn_rngs
-from repro.xbar.ideal import ideal_mvm
+from repro.experiments.robustness import nf_stats, nonideality_for
 
 DEFAULT_SIGMAS = (0.0, 0.05, 0.1, 0.2)
 DEFAULT_FAULT_RATES = (0.0, 0.01, 0.05)
@@ -47,57 +52,24 @@ class VariationResult:
         ])
 
 
-def _nf_stats(config, conductance_perturber, n_g: int, n_v: int,
-              seed: int = 13) -> list:
-    """Simulate with per-group perturbed conductances; return NF stats."""
-    spec = SamplingSpec(n_g_matrices=n_g, n_v_per_g=n_v, seed=seed)
-    voltages, conductances, groups = VgSampler(config, spec).sample()
-    simulator = CrossbarCircuitSimulator(config)
-    rngs = spawn_rngs(seed + 1, n_g)
-    nf_all, err_all = [], []
-    for g in range(n_g):
-        target = conductances[g]
-        actual = conductance_perturber(target, rngs[g])
-        rows = np.nonzero(groups == g)[0]
-        # The *intended* computation uses the target conductances; the
-        # hardware executes the perturbed ones.
-        i_ideal = ideal_mvm(voltages[rows], target)
-        i_real = simulator.solve_batch(voltages[rows], actual, mode="full")
-        mask = valid_mask(i_ideal)
-        nf = nonideality_factor(i_ideal, i_real)[mask]
-        nf_all.append(nf)
-        err_all.append(np.abs(i_ideal - i_real)[mask]
-                       / np.abs(i_ideal)[mask])
-    nf = np.concatenate(nf_all)
-    err = np.concatenate(err_all)
-    return [float(nf.mean()), float(nf.std()),
-            float(np.percentile(err, 95))]
-
-
 def run_variations(profile: Profile | None = None,
                    sigmas=DEFAULT_SIGMAS,
-                   fault_rates=DEFAULT_FAULT_RATES) -> VariationResult:
+                   fault_rates=DEFAULT_FAULT_RATES,
+                   seed: int = 13) -> VariationResult:
     profile = profile or get_profile()
     config = profile.crossbar()
     n_g, n_v = profile.nf_n_g, profile.nf_n_v
     result = VariationResult()
-
     for sigma in sigmas:
-        def perturb(g, rng, sigma=sigma):
-            return apply_lognormal_variation(
-                g, sigma, rng, g_min_s=config.g_off_s,
-                g_max_s=config.g_on_s)
-
+        nonideality = nonideality_for(sigma=sigma, seed=seed)
         result.by_sigma.append(
-            [f"{sigma:g}", *_nf_stats(config, perturb, n_g, n_v)])
-
+            [f"{sigma:g}", *nf_stats(config, nonideality, n_g, n_v,
+                                     seed=seed)])
     for rate in fault_rates:
-        def perturb(g, rng, rate=rate):
-            return apply_stuck_faults(g, rate / 2, rate / 2,
-                                      config.g_on_s, config.g_off_s, rng)
-
+        nonideality = nonideality_for(fault_rate=rate, seed=seed)
         result.by_fault_rate.append(
-            [f"{rate:g}", *_nf_stats(config, perturb, n_g, n_v)])
+            [f"{rate:g}", *nf_stats(config, nonideality, n_g, n_v,
+                                    seed=seed)])
     return result
 
 

@@ -16,6 +16,12 @@ in a single call (one process-pool initialisation for the whole network)
 and every MVM layer dispatches through the sharded backend. The executor
 is exposed as ``converted.mvm_executor``; call ``close()`` on it (or on
 the model via :func:`close_mvm_executor`) to release worker pools.
+
+Fault injection composes transparently: an engine built with a
+``nonideality`` spec (see :mod:`repro.nonideal`) perturbs every layer's
+tiles during this compile step, so the resulting network programs carry
+the faulty crossbar state to every backend — whole-DNN inference under
+device faults is just ``convert_to_mvm(model, faulty_engine)``.
 """
 
 from __future__ import annotations

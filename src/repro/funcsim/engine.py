@@ -84,6 +84,7 @@ from repro.funcsim.runtime.kernel import (
 )
 from repro.funcsim.slicing import sign_split, split_unsigned
 from repro.funcsim.tiles import n_tiles, tile_matrix
+from repro.nonideal.pipeline import as_pipeline
 from repro.utils.cache import LruDict
 from repro.utils.digest import content_key
 from repro.utils.numerics import batch_invariant_matmul
@@ -566,17 +567,28 @@ class CrossbarMvmEngine:
     shards every ``matmul`` across tile-rows and batch chunks on the given
     backend; without one the kernel runs inline, reproducing the historical
     single-core behaviour bit-for-bit.
+
+    ``nonideality`` (optional :class:`repro.nonideal.NonidealitySpec` or
+    pipeline) injects device faults at *programming* time: every tile's
+    mapped conductances are perturbed by the coordinate-keyed pipeline in
+    :meth:`prepare`, before the layer program is built — so the perturbed
+    tiles travel inside the program across thread and process boundaries
+    and every executor backend computes on bit-identical hardware state.
     """
 
     def __init__(self, xbar_config: CrossbarConfig,
                  sim_config: FuncSimConfig, tile_factory,
-                 tile_cache_size: int = 256, executor=None):
+                 tile_cache_size: int = 256, executor=None,
+                 nonideality=None):
         tile_factory.check_crossbar(xbar_config)
         self.xbar_config = xbar_config
         self.sim_config = sim_config
         self.tile_factory = tile_factory
         self.name = tile_factory.name
         self.executor = executor
+        # None for clean engines (identity pipelines normalise to None,
+        # keeping the clean path's prepared-matrix tokens byte-identical).
+        self.nonideality = as_pipeline(nonideality)
         if tile_cache_size > 0 and sim_config.adc_noise_lsb == 0.0:
             self.tile_cache = TileResultCache(tile_cache_size)
         else:
@@ -612,6 +624,17 @@ class CrossbarMvmEngine:
         t_c = n_tiles(weights.shape[1], xcfg.cols)
         n_levels = 2 ** cfg.slice_bits
 
+        # Distinct prepared matrices map onto physically distinct crossbar
+        # arrays, so their fault draws must be independent: the stream key
+        # leads with a content digest of the quantised weights (stable
+        # across processes, like the prepared-matrix uid) — two layers of
+        # a converted DNN never share a stuck-cell mask just because they
+        # share tile coordinates, while re-preparing the same weights
+        # anywhere reproduces the same faults bit-for-bit.
+        weights_stream_key = None
+        if self.nonideality is not None:
+            weights_stream_key = int(
+                content_key("", np.ascontiguousarray(qw), length=15), 16)
         models = {}
         for sign in sign_present:
             slices = split_unsigned(parts[sign],
@@ -623,11 +646,26 @@ class CrossbarMvmEngine:
                     for tc in range(t_c):
                         g = conductances_from_levels(tiles[tr, tc], n_levels,
                                                      xcfg)
+                        if self.nonideality is not None:
+                            # Device faults strike the *programmed* matrix;
+                            # the coordinate key makes the draw a property
+                            # of the (layer, tile), not of programming
+                            # order or schedule.
+                            g = self.nonideality.perturb(
+                                g, (weights_stream_key, sign, k, tr, tc),
+                                xcfg.g_off_s, xcfg.g_on_s)
                         models[(sign, k, tr, tc)] = self.tile_factory.build(g)
+        token = f"{self.tile_factory.cache_token()}|{xcfg!r}|{cfg!r}"
+        if self.nonideality is not None:
+            # Fold the fault composition into the prepared-matrix uid so a
+            # perturbed layer can never share tile-result cache entries or
+            # runtime layer programs with a clean (or differently-faulty)
+            # preparation of the same weights. Clean engines keep the
+            # historical token byte-for-byte.
+            token = f"{token}|{self.nonideality.digest()}"
         prepared = PreparedMatrix(
             weights.shape[0], weights.shape[1], qw, models, t_r, t_c,
-            sign_present,
-            token=f"{self.tile_factory.cache_token()}|{xcfg!r}|{cfg!r}")
+            sign_present, token=token)
         prepared.program = plan_layer(self, prepared)
         return prepared
 
@@ -684,7 +722,8 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
                 emulator: GeniexEmulator | None = None,
                 tile_cache_size: int = 256,
                 batch_invariant: bool = False,
-                executor=None, workers: int | None = None):
+                executor=None, workers: int | None = None,
+                nonideality=None):
     """Engine factory: ``ideal | exact | geniex | analytical | decoupled |
     circuit`` (the :data:`ENGINE_KINDS` tuple).
 
@@ -708,8 +747,22 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
     instance) and ``workers`` its parallelism; ``workers > 1`` alone
     defaults to the process backend. Without either, the engine runs
     single-core exactly as before.
+
+    ``nonideality`` (a :class:`repro.nonideal.NonidealitySpec` or
+    pipeline; identity normalises to "none") injects device faults into
+    every tile at programming time — see :mod:`repro.nonideal`. Rejected
+    for ``ideal``: that engine is the *digital* fixed-point reference
+    with no analog crossbar state to perturb, and silently returning
+    clean results for a faulty spec would misreport every robustness
+    sweep built on it.
     """
+    nonideality = as_pipeline(nonideality)
     if kind == "ideal":
+        if nonideality is not None:
+            raise ConfigError(
+                "the ideal engine is the digital fixed-point reference "
+                "and has no programmed conductances to perturb; drop the "
+                "nonideality node or pick an analog engine kind")
         # Digital exact integer math: nothing to shard. executor/workers
         # are ignored (convert_to_mvm leaves ideal layers detached too).
         return IdealMvmEngine(sim_config)
@@ -752,4 +805,4 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
         executor = make_executor(executor, workers=workers)
     return CrossbarMvmEngine(xbar_config, sim_config, factory,
                              tile_cache_size=tile_cache_size,
-                             executor=executor)
+                             executor=executor, nonideality=nonideality)

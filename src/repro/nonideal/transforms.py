@@ -1,0 +1,237 @@
+"""Composable device-fault transforms over programmed conductance tiles.
+
+Each transform is a small frozen dataclass describing one physical
+non-ideality source of a memristive crossbar. A transform is *declarative*
+— validation happens at construction, identity is decidable without
+sampling (:attr:`is_identity`), and the perturbation itself is a pure
+function of ``(conductances, rng, window)`` — so transforms can live
+inside the spec tree, participate in content digests, and be applied
+deterministically at tile-programming time.
+
+The registry :data:`TRANSFORM_KINDS` fixes both the canonical application
+order and the RNG stream index of every transform:
+
+=============  =========================================================
+``variation``  Lognormal programming (device-to-device) variation — the
+               program-and-verify write lands on ``G * exp(N(0, sigma))``
+               (paper Section 1: errors "get exacerbated further due to
+               the device variations").
+``drift``      Time-parameterized conductance drift: the classic
+               power-law decay ``G(t) = G0 * ((t0 + t) / t0)^-nu``,
+               deterministic (every cell relaxes the same way).
+``read_noise`` Cycle-to-cycle read noise: multiplicative Gaussian
+               ``G * (1 + N(0, sigma))``. Applied at programming time the
+               draw is a frozen snapshot of *one* read cycle — re-seeding
+               the spec re-samples the cycle.
+``temperature``  Per-tile line-resistance / temperature scaling: the
+               whole tile's conductances scale by ``1 / (1 + tcr * dT)``
+               (metallic TCR raises wire and device resistance with
+               temperature), with an optional lognormal per-*tile* spread
+               modelling on-die thermal gradients — one draw per tile,
+               not per cell.
+``stuck``      Stuck-at faults: cells forced to ``g_on`` (stuck-ON wins,
+               a shorted filament dominates) or ``g_off``.
+=============  =========================================================
+
+Perturbed values are clipped back into the programmable window
+``[g_min_s, g_max_s]``: program-and-verify loops cannot exceed the
+physical conductance range, and every tile model downstream (GENIEx
+normaliser, linear parasitic solver, Newton bring-up) is parameterised
+over that window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def _check_fraction(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must lie in [0, 1], got {value}")
+
+
+def _check_nonneg(name: str, value: float) -> None:
+    if value < 0:
+        raise ConfigError(f"{name} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class VariationSpec:
+    """Lognormal programming variation with log-std ``sigma``."""
+
+    sigma: float = 0.0
+
+    def __post_init__(self):
+        _check_nonneg("variation.sigma", self.sigma)
+
+    @property
+    def is_identity(self) -> bool:
+        return self.sigma == 0.0
+
+    @property
+    def is_stochastic(self) -> bool:
+        return True
+
+    def apply(self, conductance_s: np.ndarray, rng: np.random.Generator,
+              g_min_s: float, g_max_s: float) -> np.ndarray:
+        noisy = conductance_s * rng.lognormal(
+            mean=0.0, sigma=self.sigma, size=conductance_s.shape)
+        return np.clip(noisy, g_min_s, g_max_s)
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Power-law conductance drift after ``time_s`` seconds of retention.
+
+    ``G(t) = G0 * ((t0 + t) / t0) ** -nu`` — the standard retention model
+    (Joksas et al. use the same form); continuous in ``t`` with
+    ``G(0) = G0``, monotonically decaying, never amplifying.
+    """
+
+    time_s: float = 0.0
+    nu: float = 0.05
+    t0_s: float = 1.0
+
+    def __post_init__(self):
+        _check_nonneg("drift.time_s", self.time_s)
+        _check_nonneg("drift.nu", self.nu)
+        if self.t0_s <= 0:
+            raise ConfigError(f"drift.t0_s must be > 0, got {self.t0_s}")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.time_s == 0.0 or self.nu == 0.0
+
+    @property
+    def is_stochastic(self) -> bool:
+        return False  # every cell relaxes deterministically
+
+    @property
+    def factor(self) -> float:
+        """Deterministic decay factor in ``(0, 1]``."""
+        return float(((self.t0_s + self.time_s) / self.t0_s) ** -self.nu)
+
+    def apply(self, conductance_s: np.ndarray, rng: np.random.Generator,
+              g_min_s: float, g_max_s: float) -> np.ndarray:
+        return np.clip(conductance_s * self.factor, g_min_s, g_max_s)
+
+
+@dataclass(frozen=True)
+class ReadNoiseSpec:
+    """Cycle-to-cycle read noise: multiplicative Gaussian of std ``sigma``.
+
+    Sampled once at programming time — a frozen snapshot of one read
+    cycle; a different spec seed re-samples the cycle.
+    """
+
+    sigma: float = 0.0
+
+    def __post_init__(self):
+        _check_nonneg("read_noise.sigma", self.sigma)
+
+    @property
+    def is_identity(self) -> bool:
+        return self.sigma == 0.0
+
+    @property
+    def is_stochastic(self) -> bool:
+        return True
+
+    def apply(self, conductance_s: np.ndarray, rng: np.random.Generator,
+              g_min_s: float, g_max_s: float) -> np.ndarray:
+        noisy = conductance_s * (
+            1.0 + rng.normal(0.0, self.sigma, size=conductance_s.shape))
+        return np.clip(noisy, g_min_s, g_max_s)
+
+
+@dataclass(frozen=True)
+class TemperatureSpec:
+    """Per-tile line-resistance / temperature scaling.
+
+    A temperature rise of ``delta_t_k`` kelvin scales every conductance of
+    a tile by ``1 / (1 + tcr_per_k * delta_t_k)`` (resistances grow with
+    the metallic TCR). ``tile_sigma > 0`` additionally draws one lognormal
+    factor per *tile* — an on-die thermal-gradient model where whole
+    crossbars run hotter or colder than the die average.
+    """
+
+    delta_t_k: float = 0.0
+    tcr_per_k: float = 0.002
+    tile_sigma: float = 0.0
+
+    def __post_init__(self):
+        _check_nonneg("temperature.delta_t_k", self.delta_t_k)
+        _check_nonneg("temperature.tcr_per_k", self.tcr_per_k)
+        _check_nonneg("temperature.tile_sigma", self.tile_sigma)
+
+    @property
+    def is_identity(self) -> bool:
+        return (self.delta_t_k == 0.0 or self.tcr_per_k == 0.0) \
+            and self.tile_sigma == 0.0
+
+    @property
+    def is_stochastic(self) -> bool:
+        return self.tile_sigma > 0.0  # uniform derating draws nothing
+
+    def apply(self, conductance_s: np.ndarray, rng: np.random.Generator,
+              g_min_s: float, g_max_s: float) -> np.ndarray:
+        scale = 1.0 / (1.0 + self.tcr_per_k * self.delta_t_k)
+        if self.tile_sigma > 0.0:
+            scale = scale * rng.lognormal(mean=0.0, sigma=self.tile_sigma)
+        return np.clip(conductance_s * scale, g_min_s, g_max_s)
+
+
+@dataclass(frozen=True)
+class StuckSpec:
+    """Stuck-at faults: ``p_on`` stuck-ON and ``p_off`` stuck-OFF rates.
+
+    Faults are drawn independently per cell; a cell is selected by at most
+    one fault type, with ON taking precedence (a shorted filament
+    dominates).
+    """
+
+    p_on: float = 0.0
+    p_off: float = 0.0
+
+    def __post_init__(self):
+        _check_fraction("stuck.p_on", self.p_on)
+        _check_fraction("stuck.p_off", self.p_off)
+        if self.p_on + self.p_off > 1.0:
+            raise ConfigError(
+                f"stuck.p_on + stuck.p_off must not exceed 1, got "
+                f"{self.p_on} + {self.p_off}")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.p_on == 0.0 and self.p_off == 0.0
+
+    @property
+    def is_stochastic(self) -> bool:
+        return True
+
+    def apply(self, conductance_s: np.ndarray, rng: np.random.Generator,
+              g_min_s: float, g_max_s: float) -> np.ndarray:
+        u = rng.random(conductance_s.shape)
+        out = conductance_s.copy()
+        out[u < self.p_on] = g_max_s
+        out[(u >= self.p_on) & (u < self.p_on + self.p_off)] = g_min_s
+        return out
+
+
+#: Registry: transform kind -> spec class, in canonical application order.
+#: The order is part of the model (programming variation happens at write
+#: time, drift and read noise during retention/read-out, temperature
+#: scales the operating point, and stuck faults dominate everything), and
+#: the position of each kind keys its RNG stream, so reordering would
+#: change results — it is deliberately not configurable.
+TRANSFORM_KINDS = {
+    "variation": VariationSpec,
+    "drift": DriftSpec,
+    "read_noise": ReadNoiseSpec,
+    "temperature": TemperatureSpec,
+    "stuck": StuckSpec,
+}

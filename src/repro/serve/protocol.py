@@ -13,17 +13,24 @@ to HTTP 400 with the message in the body.
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.api.spec import EmulationSpec, EmulatorSpec, SimSpec, XbarSpec
+from repro.api.spec import (
+    EmulationSpec,
+    EmulatorSpec,
+    SimSpec,
+    XbarSpec,
+    nonideality_from_dict,
+)
 from repro.core.sampling import SamplingSpec
 from repro.core.trainer import TrainSpec
 from repro.devices.rram import RramParameters
 from repro.errors import ConfigError, ReproError
 from repro.funcsim.config import FuncSimConfig
 from repro.funcsim.engine import ENGINE_KINDS
+from repro.nonideal import NonidealitySpec
 from repro.xbar.config import CrossbarConfig
 
 MODES = ("full", "linear")
@@ -77,6 +84,10 @@ class ModelSpec:
     sampling: SamplingSpec
     training: TrainSpec
     mode: str = "full"
+    #: Device-fault composition (identity = the historical clean model).
+    #: Carried so the registry's model tier keys faulty crossbars apart
+    #: from clean ones — the no-aliasing guarantee holds over the wire.
+    nonideality: NonidealitySpec = field(default_factory=NonidealitySpec)
 
     def to_spec(self, engine: str = "geniex",
                 sim: FuncSimConfig | None = None,
@@ -89,6 +100,7 @@ class ModelSpec:
             sim=SimSpec.from_config(sim or FuncSimConfig()),
             emulator=EmulatorSpec(sampling=self.sampling,
                                   training=self.training, mode=self.mode),
+            nonideality=self.nonideality,
             **kwargs)
 
     @classmethod
@@ -97,7 +109,8 @@ class ModelSpec:
         return cls(config=spec.xbar.to_config(),
                    sampling=spec.emulator.sampling,
                    training=spec.emulator.training,
-                   mode=spec.emulator.mode)
+                   mode=spec.emulator.mode,
+                   nonideality=spec.nonideality)
 
     @classmethod
     def from_payload(cls, payload) -> "ModelSpec":
@@ -107,16 +120,22 @@ class ModelSpec:
         sampling = payload.pop("sampling", None)
         training = payload.pop("training", None)
         mode = payload.pop("mode", "full")
+        nonideality = payload.pop("nonideality", None)
         if mode not in MODES:
             raise ProtocolError(
                 f"unknown mode {mode!r}; expected one of {MODES}")
+        try:
+            nonideality = nonideality_from_dict(nonideality)
+        except ConfigError as exc:
+            raise ProtocolError(str(exc)) from exc
         return cls(config=_build_dataclass(CrossbarConfig, payload,
                                            "crossbar config"),
                    sampling=_build_dataclass(SamplingSpec, sampling,
                                              "sampling spec"),
                    training=_build_dataclass(TrainSpec, training,
                                              "training spec"),
-                   mode=mode)
+                   mode=mode,
+                   nonideality=nonideality)
 
 
 def reject_mixed_identity(body: dict, key_field: str | None = None) -> None:

@@ -41,6 +41,7 @@ from repro.core.emulator import GeniexEmulator, MatrixEmulator
 from repro.core.zoo import GeniexZoo
 from repro.errors import ShapeError
 from repro.funcsim.config import FuncSimConfig
+from repro.nonideal import as_pipeline
 from repro.serve.protocol import ModelSpec
 from repro.utils.cache import LruDict
 from repro.utils.digest import content_key
@@ -181,7 +182,8 @@ class ModelRegistry:
                     emulator = await loop.run_in_executor(
                         None, lambda: self.zoo.get_or_train(
                             spec.config, spec.sampling, spec.training,
-                            mode=spec.mode))
+                            mode=spec.mode,
+                            nonideality=spec.nonideality))
                     self._models.put(key, emulator)
                 return key, emulator
         finally:
@@ -189,7 +191,16 @@ class ModelRegistry:
 
     async def matrix_emulator(self, spec: ModelSpec,
                               conductance_s: np.ndarray) -> tuple:
-        """Warm the batch-invariant :class:`MatrixEmulator` for (spec, G)."""
+        """Warm the batch-invariant :class:`MatrixEmulator` for (spec, G).
+
+        ``conductance_s`` is the *intended* programmed matrix; an active
+        fault composition on the spec perturbs it (deterministically,
+        stream key ``(0,)`` — one registered crossbar is one physical
+        array) before the emulator is bound, so a faulty spec is served
+        faulty physics rather than silently answering clean. The cache
+        key folds the fault composition through ``model_key``, so clean
+        and faulty registrations of the same matrix never alias.
+        """
         model_key = self.model_key(spec)
         key = self.crossbar_key(model_key, conductance_s)
         warm = self._lookup("crossbars", key)
@@ -200,6 +211,11 @@ class ModelRegistry:
             raise ShapeError(
                 f"conductances must have shape {spec.config.shape}, "
                 f"got {conductance_s.shape}")
+        pipeline = as_pipeline(spec.nonideality)
+        if pipeline is not None:
+            conductance_s = pipeline.perturb(
+                conductance_s, (0,), spec.config.g_off_s,
+                spec.config.g_on_s)
         _, emulator = await self.emulator(spec)
         warm = emulator.for_matrix(conductance_s, batch_invariant=True)
         self._crossbars.put(key, warm)

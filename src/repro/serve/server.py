@@ -26,7 +26,11 @@ Every ``POST /v1/*`` body that names a model may either carry the flat
 ``"model"``/``"engine"``/``"sim"`` wire objects or a single ``"spec"``
 object — a full declarative :class:`repro.api.spec.EmulationSpec` in its
 ``to_dict()`` shape (what ``python -m repro spec`` prints). Both paths
-resolve and cache through the same spec digests.
+resolve and cache through the same spec digests, and both accept a
+``nonideality`` fault composition (inside the spec, or as a
+``"nonideality"`` key of the flat model object) — faulty setups are
+keyed apart from clean ones at every warm tier, so a clean request can
+never be answered from a perturbed engine or vice versa.
 
 Prediction and matmul requests are coalesced per warm object by the
 :class:`MicrobatchScheduler`; a full queue surfaces as HTTP 429 with a

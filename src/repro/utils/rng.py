@@ -8,12 +8,16 @@ bit-for-bit and components never share hidden global state.
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-SeedLike = "int | np.random.Generator | None"
+#: Anything accepted where a seed is expected: an integer seed, a ready
+#: generator (used as-is), or ``None`` for fresh OS entropy.
+SeedLike: TypeAlias = "int | np.random.Generator | None"
 
 
-def rng_from_seed(seed) -> np.random.Generator:
+def rng_from_seed(seed: SeedLike) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     ``seed`` may be ``None`` (fresh entropy), an integer, or an existing
@@ -25,7 +29,7 @@ def rng_from_seed(seed) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed, n: int) -> list:
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
     """Derive ``n`` statistically independent generators from ``seed``.
 
     Uses :class:`numpy.random.SeedSequence` spawning so the children are

@@ -1,0 +1,182 @@
+"""Spec-tree integration of the non-ideality node.
+
+Covers the acceptance contract of the fault-injection refactor: strict
+round-trip and evolve support, digest neutrality for clean specs (pinned
+byte-for-byte against the pre-node scheme), and key separation between
+clean and faulty setups at every cache tier's key function.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import EmulationSpec, NonidealitySpec, get_preset
+from repro.core.zoo import GeniexZoo
+from repro.errors import ConfigError
+from repro.nonideal import StuckSpec, VariationSpec
+from repro.serve.protocol import ModelSpec, ProtocolError
+
+WEIGHTS = np.arange(12, dtype=np.float64).reshape(3, 4) / 7.0
+
+#: Digests recorded on the pre-nonideality digest scheme. A spec without
+#: an active nonideality node must reproduce them byte-for-byte — the
+#: node's introduction re-keys *nothing* for clean specs (no spurious
+#: zoo retraining, no serving-registry cache invalidation).
+CLEAN_DIGESTS = {
+    "paper-64x64": ("40a220dba696caf60cd4", "spec-c2f8eed5db2ab97d373e",
+                    "eng-4bdd9a3d8a2a8dcf5236"),
+    "paper-32x32": ("4d60db3b3143a7b62a81", "spec-4edc099139fd8bac23de",
+                    "eng-520b0208228f415ca410"),
+    "quick": ("e1047717f0ae4979c9f7", "spec-3f14fb1730ddf906ccef",
+              "eng-cb53b7d44abc746194e8"),
+    "quick-exact": ("e1047717f0ae4979c9f7", "spec-c7afd3f3e3259f7b17b6",
+                    "eng-d635cb24d0ac0f992029"),
+    "quick-analytical": ("e1047717f0ae4979c9f7",
+                         "spec-60a7679d5de3bb9565e1",
+                         "eng-5ab1c4fb3c704624bc60"),
+}
+
+
+def faulty(base="quick-exact", **nonideality):
+    nonideality.setdefault("variation", {"sigma": 0.1})
+    return get_preset(base).evolve(nonideality=nonideality)
+
+
+class TestCleanDigestRegression:
+    @pytest.mark.parametrize("name", sorted(CLEAN_DIGESTS))
+    def test_preset_digests_unchanged(self, name):
+        spec = get_preset(name)
+        assert (spec.model_key(), spec.key(),
+                spec.weights_key(WEIGHTS)) == CLEAN_DIGESTS[name]
+
+    def test_default_spec_digests_unchanged(self):
+        spec = EmulationSpec()
+        assert (spec.model_key(), spec.key(), spec.weights_key(WEIGHTS)) \
+            == ("c687212ddc6996f9448a", "spec-2698e72cc4201aa6bf0a",
+                "eng-d14eb2ce6f688538de83")
+
+    def test_identity_node_is_digest_neutral(self):
+        """An explicit identity node — even with a nonzero seed — keys
+        exactly like no node at all: the seed only matters once a
+        transform draws from it."""
+        clean = get_preset("quick")
+        explicit = clean.evolve(nonideality={"seed": 123})
+        assert explicit.model_key() == clean.model_key()
+        assert explicit.key() == clean.key()
+        assert explicit.weights_key(WEIGHTS) == clean.weights_key(WEIGHTS)
+
+
+class TestRoundTripAndEvolve:
+    def test_strict_round_trip(self):
+        spec = faulty(stuck={"p_on": 0.01, "p_off": 0.02},
+                      drift={"time_s": 100.0})
+        assert EmulationSpec.from_dict(spec.to_dict()) == spec
+        assert EmulationSpec.from_json(spec.to_json()) == spec
+
+    def test_to_dict_always_carries_the_node(self):
+        payload = EmulationSpec().to_dict()
+        assert payload["nonideality"]["seed"] == 0
+        assert payload["nonideality"]["variation"] == {"sigma": 0.0}
+
+    def test_unknown_fields_rejected_with_dotted_path(self):
+        payload = EmulationSpec().to_dict()
+        payload["nonideality"]["varation"] = {"sigma": 0.1}
+        with pytest.raises(ConfigError, match="nonideality.'varation'"):
+            EmulationSpec.from_dict(payload)
+        payload = EmulationSpec().to_dict()
+        payload["nonideality"]["variation"] = {"sigm": 0.1}
+        with pytest.raises(ConfigError,
+                           match="nonideality.variation.'sigm'"):
+            EmulationSpec.from_dict(payload)
+
+    def test_invalid_values_name_the_path(self):
+        payload = EmulationSpec().to_dict()
+        payload["nonideality"]["stuck"] = {"p_on": 0.9, "p_off": 0.9}
+        with pytest.raises(ConfigError, match="nonideality.stuck"):
+            EmulationSpec.from_dict(payload)
+
+    def test_evolve_dotted_and_nested(self):
+        spec = get_preset("quick").evolve(
+            **{"nonideality.variation.sigma": 0.15})
+        assert spec.nonideality.variation.sigma == 0.15
+        spec = spec.evolve(nonideality={"stuck": {"p_on": 0.02}})
+        # Merge semantics: the variation override survives.
+        assert spec.nonideality.variation.sigma == 0.15
+        assert spec.nonideality.stuck.p_on == 0.02
+
+    def test_evolve_accepts_node_instances_as_replacement(self):
+        node = NonidealitySpec(variation=VariationSpec(sigma=0.3))
+        spec = faulty(stuck={"p_on": 0.1}).evolve(nonideality=node)
+        assert spec.nonideality == node
+        assert spec.nonideality.stuck.is_identity  # replaced, not merged
+
+    def test_ideal_engine_rejects_active_nonideality(self):
+        with pytest.raises(ConfigError, match="ideal"):
+            get_preset("quick").evolve(engine="ideal",
+                                       nonideality={"variation":
+                                                    {"sigma": 0.1}})
+        # Identity node on ideal stays legal.
+        get_preset("quick").evolve(engine="ideal",
+                                   nonideality={"seed": 5})
+
+
+class TestKeySeparation:
+    def test_all_three_keys_separate_clean_from_faulty(self):
+        clean = get_preset("quick-exact")
+        spec = faulty()
+        assert spec.model_key() != clean.model_key()
+        assert spec.key() != clean.key()
+        assert spec.weights_key(WEIGHTS) != clean.weights_key(WEIGHTS)
+
+    def test_different_fault_compositions_separate(self):
+        a = faulty(variation={"sigma": 0.1})
+        b = faulty(variation={"sigma": 0.2})
+        c = faulty(variation={"sigma": 0.1}, seed=1)
+        assert len({a.key(), b.key(), c.key()}) == 3
+
+    def test_zoo_artifact_key_folds_nonideality(self):
+        spec = faulty(base="quick")
+        model = ModelSpec.from_spec(spec)
+        assert GeniexZoo.artifact_key(
+            model.config, model.sampling, model.training, model.mode,
+            nonideality=model.nonideality) == spec.model_key()
+        # Clean call signature unchanged -> clean key unchanged.
+        clean = get_preset("quick")
+        clean_model = ModelSpec.from_spec(clean)
+        assert GeniexZoo.artifact_key(
+            clean_model.config, clean_model.sampling, clean_model.training,
+            clean_model.mode) == clean.model_key()
+
+    def test_preset_variation_is_keyed_apart(self):
+        clean = get_preset("paper-64x64")
+        varied = get_preset("paper-64x64-variation")
+        assert not varied.nonideality.is_identity
+        assert varied.model_key() != clean.model_key()
+        assert varied.key() != clean.key()
+
+    def test_unknown_preset_suggests_closest(self):
+        with pytest.raises(ConfigError, match="paper-64x64-variation"):
+            get_preset("paper-64x64-variatio")
+
+
+class TestWireFormat:
+    def test_model_spec_round_trips_nonideality(self):
+        spec = faulty(base="quick")
+        model = ModelSpec.from_spec(spec)
+        assert model.nonideality == spec.nonideality
+        assert model.to_spec(engine=spec.engine).model_key() == \
+            spec.model_key()
+
+    def test_flat_payload_accepts_nonideality(self):
+        model = ModelSpec.from_payload({
+            "rows": 4, "cols": 4,
+            "sampling": {"n_g_matrices": 3, "n_v_per_g": 4},
+            "training": {"hidden": 8, "epochs": 2},
+            "nonideality": {"seed": 3, "stuck": {"p_on": 0.05}}})
+        assert model.nonideality.stuck.p_on == 0.05
+        assert model.nonideality.seed == 3
+
+    def test_flat_payload_rejects_bad_nonideality(self):
+        with pytest.raises(ProtocolError, match="nonideality"):
+            ModelSpec.from_payload({
+                "rows": 4, "cols": 4,
+                "nonideality": {"variation": {"sigma": -1.0}}})

@@ -1,0 +1,222 @@
+"""Unit tests for the composable device-fault transforms and pipeline."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nonideal import (
+    TRANSFORM_KINDS,
+    DriftSpec,
+    NonidealityPipeline,
+    NonidealitySpec,
+    ReadNoiseSpec,
+    StuckSpec,
+    TemperatureSpec,
+    VariationSpec,
+    as_pipeline,
+)
+
+G_MIN, G_MAX = 1e-6, 1e-5
+RNG = lambda: np.random.default_rng(0)  # noqa: E731
+
+
+def grid(value=5e-6, shape=(8, 8)):
+    return np.full(shape, value)
+
+
+class TestTransformValidation:
+    @pytest.mark.parametrize("cls,kwargs", [
+        (VariationSpec, {"sigma": -0.1}),
+        (ReadNoiseSpec, {"sigma": -1.0}),
+        (DriftSpec, {"time_s": -1.0}),
+        (DriftSpec, {"nu": -0.5}),
+        (DriftSpec, {"t0_s": 0.0}),
+        (TemperatureSpec, {"delta_t_k": -10.0}),
+        (TemperatureSpec, {"tcr_per_k": -0.1}),
+        (TemperatureSpec, {"tile_sigma": -0.1}),
+        (StuckSpec, {"p_on": -0.1}),
+        (StuckSpec, {"p_off": 1.5}),
+        (StuckSpec, {"p_on": 0.6, "p_off": 0.6}),
+    ])
+    def test_rejects_bad_parameters(self, cls, kwargs):
+        with pytest.raises(ConfigError):
+            cls(**kwargs)
+
+    def test_defaults_are_identity(self):
+        for cls in TRANSFORM_KINDS.values():
+            assert cls().is_identity, cls.__name__
+
+    def test_registry_names_match_spec_fields(self):
+        fields = {f.name for f in dataclasses.fields(NonidealitySpec)}
+        assert set(TRANSFORM_KINDS) <= fields
+
+
+class TestTransformSemantics:
+    def test_variation_median_roughly_unbiased_and_clipped(self):
+        g = grid(shape=(200, 200))
+        out = VariationSpec(sigma=0.3).apply(g, RNG(), G_MIN, G_MAX)
+        assert np.median(out) == pytest.approx(5e-6, rel=0.05)
+        assert out.min() >= G_MIN and out.max() <= G_MAX
+
+    def test_drift_is_deterministic_monotone_decay(self):
+        g = grid()
+        early = DriftSpec(time_s=10.0).apply(g, RNG(), G_MIN, G_MAX)
+        late = DriftSpec(time_s=1e4).apply(g, RNG(), G_MIN, G_MAX)
+        assert np.all(early <= g) and np.all(late < early)
+        # No RNG consumption: two applications agree without reseeding.
+        np.testing.assert_array_equal(
+            early, DriftSpec(time_s=10.0).apply(g, RNG(), G_MIN, G_MAX))
+
+    def test_drift_zero_time_is_identity(self):
+        assert DriftSpec(time_s=0.0, nu=0.3).is_identity
+        assert DriftSpec(time_s=5.0, nu=0.0).is_identity
+        assert DriftSpec(time_s=5.0).factor < 1.0
+
+    def test_read_noise_centred_and_clipped(self):
+        g = grid(shape=(300, 300))
+        out = ReadNoiseSpec(sigma=0.05).apply(g, RNG(), G_MIN, G_MAX)
+        assert np.mean(out) == pytest.approx(5e-6, rel=0.02)
+        assert out.min() >= G_MIN and out.max() <= G_MAX
+
+    def test_temperature_scales_down_with_heat(self):
+        g = grid()
+        hot = TemperatureSpec(delta_t_k=50.0).apply(g, RNG(), G_MIN, G_MAX)
+        np.testing.assert_allclose(hot, g / (1 + 0.002 * 50.0))
+
+    def test_temperature_tile_spread_is_one_draw_per_tile(self):
+        g = grid()
+        out = TemperatureSpec(tile_sigma=0.2).apply(g, RNG(), G_MIN, G_MAX)
+        # A single lognormal factor scales the whole tile uniformly.
+        assert np.unique(np.round(out / g, 12)).size == 1
+        assert not np.allclose(out, g)
+
+    def test_stuck_rates_and_precedence(self):
+        g = grid(shape=(200, 200))
+        out = StuckSpec(p_on=0.05, p_off=0.10).apply(g, RNG(), G_MIN, G_MAX)
+        assert np.mean(out == G_MAX) == pytest.approx(0.05, abs=0.01)
+        assert np.mean(out == G_MIN) == pytest.approx(0.10, abs=0.01)
+
+
+class TestNonidealitySpec:
+    def test_identity_detection(self):
+        assert NonidealitySpec().is_identity
+        assert not NonidealitySpec(
+            variation=VariationSpec(sigma=0.1)).is_identity
+        assert NonidealitySpec(seed=99).is_identity  # seed alone is inert
+
+    def test_rejects_bad_seed_and_nodes(self):
+        with pytest.raises(ConfigError):
+            NonidealitySpec(seed=-1)
+        with pytest.raises(ConfigError):
+            NonidealitySpec(seed="zero")
+        with pytest.raises(ConfigError):
+            NonidealitySpec(variation={"sigma": 0.1})
+
+    def test_digest_stability_and_separation(self):
+        a = NonidealitySpec(variation=VariationSpec(sigma=0.1))
+        assert a.digest() == NonidealitySpec(
+            variation=VariationSpec(sigma=0.1)).digest()
+        assert a.digest() != NonidealitySpec(
+            variation=VariationSpec(sigma=0.2)).digest()
+        assert a.digest() != dataclasses.replace(a, seed=1).digest()
+
+    def test_seed_keys_only_stochastic_compositions(self):
+        """Drift-only (and uniform-temperature-only) compositions draw
+        nothing, so two seeds are bit-identical engines and must share
+        every digest — no redundant zoo training for deterministic
+        faults."""
+        drift = {"drift": DriftSpec(time_s=100.0)}
+        assert NonidealitySpec(seed=0, **drift).digest() == \
+            NonidealitySpec(seed=1, **drift).digest()
+        heat = {"temperature": TemperatureSpec(delta_t_k=40.0)}
+        assert NonidealitySpec(seed=0, **heat).digest() == \
+            NonidealitySpec(seed=1, **heat).digest()
+        # Any stochastic transform re-engages the seed.
+        spread = {"temperature": TemperatureSpec(tile_sigma=0.1)}
+        assert NonidealitySpec(seed=0, **spread).digest() != \
+            NonidealitySpec(seed=1, **spread).digest()
+
+    def test_digest_ignores_inactive_slots(self):
+        """An identity transform's (default) fields never key the digest,
+        so adding future transform kinds cannot re-key existing specs."""
+        a = NonidealitySpec(variation=VariationSpec(sigma=0.1))
+        b = dataclasses.replace(
+            a, drift=DriftSpec(time_s=0.0, nu=0.9, t0_s=7.0))
+        assert b.drift.is_identity
+        assert a.digest() == b.digest()
+
+    def test_active_stream_indices_are_stable(self):
+        both = NonidealitySpec(variation=VariationSpec(sigma=0.1),
+                               stuck=StuckSpec(p_on=0.1))
+        stuck_only = NonidealitySpec(stuck=StuckSpec(p_on=0.1))
+        index_of = {kind: i for i, (kind) in
+                    enumerate(TRANSFORM_KINDS)}
+        assert [i for i, _, _ in both.active()] == \
+            [index_of["variation"], index_of["stuck"]]
+        assert [i for i, _, _ in stuck_only.active()] == \
+            [index_of["stuck"]]
+
+
+class TestPipeline:
+    def test_identity_normalises_to_none(self):
+        assert as_pipeline(None) is None
+        assert as_pipeline(NonidealitySpec()) is None
+        assert as_pipeline(NonidealityPipeline(NonidealitySpec())) is None
+        with pytest.raises(ConfigError):
+            as_pipeline({"variation": {"sigma": 0.1}})
+
+    def test_identity_perturb_returns_input_object(self):
+        g = grid()
+        assert NonidealityPipeline(NonidealitySpec()).perturb(
+            g, (0, 0, 0, 0), G_MIN, G_MAX) is g
+
+    def test_coordinate_keyed_determinism(self):
+        spec = NonidealitySpec(seed=7, variation=VariationSpec(sigma=0.2),
+                               stuck=StuckSpec(p_on=0.05, p_off=0.05))
+        p1, p2 = NonidealityPipeline(spec), NonidealityPipeline(spec)
+        g = grid()
+        a = p1.perturb(g, (0, 1, 2, 3), G_MIN, G_MAX)
+        b = p2.perturb(g, (0, 1, 2, 3), G_MIN, G_MAX)
+        np.testing.assert_array_equal(a, b)
+        # Different coordinates draw independent streams.
+        c = p1.perturb(g, (0, 1, 2, 4), G_MIN, G_MAX)
+        assert not np.array_equal(a, c)
+
+    def test_seed_rekeys_every_stream(self):
+        g = grid()
+        a = NonidealityPipeline(NonidealitySpec(
+            seed=0, read_noise=ReadNoiseSpec(sigma=0.1))).perturb(
+            g, (0, 0, 0, 0), G_MIN, G_MAX)
+        b = NonidealityPipeline(NonidealitySpec(
+            seed=1, read_noise=ReadNoiseSpec(sigma=0.1))).perturb(
+            g, (0, 0, 0, 0), G_MIN, G_MAX)
+        assert not np.array_equal(a, b)
+
+    def test_enabling_second_transform_keeps_first_stream(self):
+        """Stream index = registry position: toggling stuck faults on must
+        not re-key the variation draw."""
+        g = grid()
+        alone = NonidealityPipeline(NonidealitySpec(
+            variation=VariationSpec(sigma=0.2))).perturb(
+            g, (0, 0, 0, 0), G_MIN, G_MAX)
+        with_stuck = NonidealityPipeline(NonidealitySpec(
+            variation=VariationSpec(sigma=0.2),
+            stuck=StuckSpec(p_on=0.3))).perturb(
+            g, (0, 0, 0, 0), G_MIN, G_MAX)
+        survivors = with_stuck == alone
+        # Cells not hit by a fault kept their variation draw exactly.
+        assert survivors.mean() > 0.5
+        np.testing.assert_array_equal(with_stuck[survivors],
+                                      alone[survivors])
+
+    def test_canonical_composition_order(self):
+        """Stuck faults are applied last: a stuck-ON cell reads g_on even
+        under heavy drift/temperature derating."""
+        spec = NonidealitySpec(drift=DriftSpec(time_s=1e6),
+                               temperature=TemperatureSpec(delta_t_k=100),
+                               stuck=StuckSpec(p_on=1.0))
+        out = NonidealityPipeline(spec).perturb(grid(), (0, 0, 0, 0),
+                                                G_MIN, G_MAX)
+        np.testing.assert_array_equal(out, np.full((8, 8), G_MAX))

@@ -130,6 +130,53 @@ class TestSpecCommand:
         with pytest.raises(ConfigError, match="PATH=VALUE"):
             main(["spec", "--preset", "quick", "--set", "xbar.rows"])
 
+    def test_set_nonideality_overrides(self, capsys):
+        import json
+
+        assert main(["spec", "--preset", "quick-exact",
+                     "--set", "nonideality.variation.sigma=0.1",
+                     "--set", "nonideality.stuck.p_on=0.02",
+                     "--set", "nonideality.seed=7"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        node = payload["nonideality"]
+        assert node["variation"]["sigma"] == 0.1
+        assert node["stuck"]["p_on"] == 0.02 and node["seed"] == 7
+        # The faulty spec keys apart from the clean preset.
+        from repro.api import EmulationSpec, get_preset
+
+        assert EmulationSpec.from_dict(payload).key() != \
+            get_preset("quick-exact").key()
+
+    def test_set_invalid_nonideality_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="nonideality"):
+            main(["spec", "--preset", "quick",
+                  "--set", "nonideality.variation.sigma=-1"])
+
+    def test_fig_robustness_listed(self):
+        args = build_parser().parse_args(["fig", "robustness"])
+        assert args.name == "robustness"
+
+    def test_train_geniex_warms_the_faulty_key(self, tmp_path, capsys):
+        """Pre-training a faulty spec must cache under the key the spec
+        resolves to (nonideality-folded), not the clean one."""
+        import json
+
+        from repro.api import EmulationSpec
+
+        spec = EmulationSpec.from_dict({
+            "xbar": {"rows": 4, "cols": 4},
+            "emulator": {"sampling": {"n_g_matrices": 3, "n_v_per_g": 4},
+                         "training": {"hidden": 8, "epochs": 2,
+                                      "batch_size": 8}},
+            "nonideality": {"variation": {"sigma": 0.1}}})
+        path = tmp_path / "faulty.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["train-geniex", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"cache key {spec.model_key()}" in out
+
 
 class TestSpecDrivenCommands:
     def test_characterize_with_preset_and_flag_override(self, capsys):

@@ -87,6 +87,33 @@ class TestDriversMicro:
         assert result.by_sigma[1][2] > result.by_sigma[0][2]
         assert "stuck-at-fault" in result.format()
 
+    def test_robustness_micro(self):
+        from repro.api import get_preset
+        from repro.experiments.robustness import run_robustness
+        spec = get_preset("quick-exact").evolve(xbar={"rows": 8,
+                                                      "cols": 8})
+        result = run_robustness(
+            spec=spec, engines=("exact", "analytical"),
+            sigmas=(0.0, 0.2), fault_rates=(0.0,), drift_times=(0.0,),
+            batch=4)
+        assert len(result.grid) == 4
+        by_cell = {(row[0], row[1]): row for row in result.grid}
+        for engine in ("exact", "analytical"):
+            clean, faulty = by_cell[(engine, "0")], by_cell[(engine,
+                                                             "0.2")]
+            assert clean[-1] == "yes", "clean cell must reuse the " \
+                "precomputed baseline"
+            assert faulty[4] > clean[4], \
+                f"{engine}: variation should raise MVM error"
+        assert "funcsim" in result.format()
+
+    def test_robustness_rejects_ideal_engine(self):
+        from repro.api import get_preset
+        from repro.experiments.robustness import run_robustness
+        with pytest.raises(ConfigError):
+            run_robustness(spec=get_preset("quick-exact"),
+                           engines=("ideal",))
+
 
 class TestSpecDrivenFig5:
     def test_spec_emulator_mode_is_honoured(self, tmp_path, monkeypatch):
