@@ -13,7 +13,7 @@ Three ideas:
 * **Spec** — :class:`EmulationSpec` and its nested nodes
   (:class:`DeviceSpec`, :class:`XbarSpec`, :class:`SimSpec`,
   :class:`EmulatorSpec`, :class:`NonidealitySpec`,
-  :class:`RuntimeSpec`) form a validated tree
+  :class:`MitigationSpec`, :class:`RuntimeSpec`) form a validated tree
   with a strict ``to_dict``/``from_dict`` JSON round-trip, named presets
   (:func:`get_preset`, e.g. ``"paper-64x64"``, ``"quick"``) and an
   :meth:`~EmulationSpec.evolve` builder for overrides.
@@ -42,9 +42,15 @@ from repro.api.spec import (
     SimSpec,
     XbarSpec,
     engine_identity,
+    mitigation_from_dict,
     nonideality_from_dict,
     supports_batch_invariance,
     weights_identity,
+)
+from repro.mitigation.spec import (
+    CalibrationSpec,
+    MitigationSpec,
+    NoiseTrainSpec,
 )
 from repro.nonideal import NonidealitySpec
 
@@ -55,6 +61,9 @@ __all__ = [
     "SimSpec",
     "EmulatorSpec",
     "NonidealitySpec",
+    "MitigationSpec",
+    "NoiseTrainSpec",
+    "CalibrationSpec",
     "RuntimeSpec",
     "Session",
     "open_session",
@@ -66,5 +75,6 @@ __all__ = [
     "engine_identity",
     "weights_identity",
     "nonideality_from_dict",
+    "mitigation_from_dict",
     "supports_batch_invariance",
 ]

@@ -22,6 +22,12 @@ defaults (tested in ``tests/api/test_spec.py``).
                    faults (seeded), exercising the ``nonideality`` spec
                    node — keyed apart from ``paper-64x64`` at every
                    cache tier.
+``quick-mitigated``  A faulty ``quick-analytical`` crossbar (30%
+                   variation, 2%/2% stuck-at) with the ``mitigation``
+                   node active: 8 epochs of noise-injection training
+                   (sigma 0.15) plus a 96-sample output calibration —
+                   the CI smoke recipe, and keyed apart from its
+                   unmitigated twin at every cache tier.
 =================  =====================================================
 """
 
@@ -64,6 +70,13 @@ PRESETS = {
     "quick": _QUICK,
     "quick-exact": _QUICK.evolve(engine="exact"),
     "quick-analytical": _QUICK.evolve(engine="analytical"),
+    "quick-mitigated": _QUICK.evolve(
+        engine="analytical",
+        nonideality={"seed": 5,
+                     "variation": {"sigma": 0.3},
+                     "stuck": {"p_on": 0.02, "p_off": 0.02}},
+        mitigation={"noise": {"epochs": 8, "weight_sigma": 0.15},
+                    "calibration": {"samples": 96}}),
 }
 
 

@@ -47,8 +47,10 @@ def resolve_emulator(spec: EmulationSpec, zoo: GeniexZoo | None = None,
     """Get-or-train the GENIEx emulator a spec's ``geniex`` engine needs.
 
     Goes through the zoo's per-key training locks and disk cache; the
-    artifact key is ``spec.model_key()``, so every surface that resolves
-    the same spec shares one trained model.
+    artifact key is ``spec.model_key()`` with the mitigation node
+    stripped (the characterisation sweep is mitigation-independent — see
+    ``GeniexZoo.artifact_key``), so every surface that resolves the same
+    physics shares one trained model.
     """
     zoo = zoo or GeniexZoo()
     return zoo.get_or_train(spec.xbar.to_config(), spec.emulator.sampling,
@@ -163,6 +165,27 @@ class Session:
         if chunk_rows is None:
             chunk_rows = self.spec.runtime.chunk_rows
         return convert_to_mvm(model, self.engine, chunk_rows=chunk_rows)
+
+    def mitigate(self, data, *, hidden=(32,), model_seed: int = 0,
+                 model=None, baseline: bool = True,
+                 progress: bool = False):
+        """Run this spec's ``mitigation`` recipe against its engine.
+
+        Wraps :func:`repro.mitigation.runner.run_mitigation` with this
+        session (its engine, zoo and runtime policy). ``data`` is a
+        dataset handle (name or dict — see
+        :mod:`repro.datasets.handles`) or raw ``(x_train, y_train,
+        x_test, y_test)`` arrays. Returns a
+        :class:`~repro.mitigation.runner.MitigationResult` whose
+        ``serving`` model runs on this session's engine; the artifact is
+        persisted in (and on re-runs reloaded from) the zoo under its
+        mitigated-model digest.
+        """
+        from repro.mitigation.runner import run_mitigation
+        return run_mitigation(self.spec, data, hidden=hidden,
+                              model_seed=model_seed, model=model,
+                              zoo=self.zoo, session=self,
+                              baseline=baseline, progress=progress)
 
     # ------------------------------------------------------------------
     # Introspection / lifecycle

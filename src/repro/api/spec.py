@@ -22,6 +22,10 @@ The spec tree::
     ├── nonideality: NonidealitySpec # device-fault composition
     │   ├── variation / drift / read_noise / temperature / stuck
     │   └── seed
+    ├── mitigation: MitigationSpec   # fault-mitigation recipe
+    │   ├── noise: NoiseTrainSpec    # noise-injection / HW-loop training
+    │   ├── calibration: CalibrationSpec
+    │   └── seed
     └── runtime: RuntimeSpec         # executor / workers / caches
 
 The design-parameter nodes subclass the validated config dataclasses they
@@ -61,6 +65,11 @@ from repro.devices.rram import RramParameters
 from repro.errors import ConfigError
 from repro.funcsim.config import FuncSimConfig
 from repro.funcsim.engine import ENGINE_KINDS, INVARIANT_KINDS
+from repro.mitigation.spec import (
+    CalibrationSpec,
+    MitigationSpec,
+    NoiseTrainSpec,
+)
 from repro.nonideal.pipeline import NonidealitySpec
 from repro.nonideal.transforms import (
     TRANSFORM_KINDS,
@@ -221,6 +230,7 @@ class EmulationSpec:
     sim: SimSpec = SimSpec()
     emulator: EmulatorSpec = EmulatorSpec()
     nonideality: NonidealitySpec = NonidealitySpec()
+    mitigation: MitigationSpec = MitigationSpec()
     runtime: RuntimeSpec = RuntimeSpec()
 
     def __post_init__(self):
@@ -321,11 +331,22 @@ class EmulationSpec:
         that the trained weights differ; drivers that sweep many fault
         points over one design pass the resolved emulator explicitly
         (``Session(..., emulator=...)``) to pay training once.
+
+        The ``mitigation`` digest folds in under the same rule: a
+        mitigated spec can never cache-alias its unmitigated twin at any
+        digest level, while identity mitigation (the default) keeps every
+        pre-node digest byte-for-byte. The characterisation emulator is
+        mitigation-independent, so the zoo strips the node before keying
+        its trained-emulator artifacts (``GeniexZoo.artifact_key``) —
+        the no-aliasing applies to model/engine/weights/mitigated tiers,
+        not to the shared physics characterisation.
         """
         payload = {"xbar": _node_to_dict(self.xbar),
                    "emulator": _node_to_dict(self.emulator)}
         if not self.nonideality.is_identity:
             payload["nonideality"] = self.nonideality.digest()
+        if not self.mitigation.is_identity:
+            payload["mitigation"] = self.mitigation.digest()
         return content_key("", payload)
 
     def key(self) -> str:
@@ -468,9 +489,12 @@ def _evolve_node(node, tree: dict, path: str):
 _SPEC_CHILDREN = {
     EmulationSpec: {"xbar": XbarSpec, "sim": SimSpec,
                     "emulator": EmulatorSpec, "runtime": RuntimeSpec,
-                    "nonideality": NonidealitySpec},
+                    "nonideality": NonidealitySpec,
+                    "mitigation": MitigationSpec},
     XbarSpec: {"rram": DeviceSpec},
     EmulatorSpec: {"sampling": SamplingSpec, "training": TrainSpec},
+    MitigationSpec: {"noise": NoiseTrainSpec,
+                     "calibration": CalibrationSpec},
     NonidealitySpec: {"variation": VariationSpec, "drift": DriftSpec,
                       "read_noise": ReadNoiseSpec,
                       "temperature": TemperatureSpec, "stuck": StuckSpec},
@@ -487,3 +511,9 @@ def nonideality_from_dict(payload, path: str = "nonideality") \
     uses this to accept a fault composition alongside the legacy fields.
     """
     return _node_from_dict(NonidealitySpec, payload, path)
+
+
+def mitigation_from_dict(payload, path: str = "mitigation") \
+        -> MitigationSpec:
+    """Strict decode of a bare mitigation node (wire-format adapters)."""
+    return _node_from_dict(MitigationSpec, payload, path)

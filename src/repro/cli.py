@@ -6,6 +6,8 @@ Commands:
 * ``train-geniex`` — characterise + fit a GENIEx model (cached in the zoo);
 * ``spec`` — print, validate or derive a declarative emulation spec;
 * ``fig`` — regenerate one of the paper's figures/tables from the terminal;
+* ``mitigate`` — run a spec's mitigation recipe (noise-injection training
+  and/or output calibration) against its faulty engine on a dataset;
 * ``serve`` — run the async emulation service with dynamic microbatching.
 
 The canonical description of an emulation setup is
@@ -298,6 +300,35 @@ def _cmd_spec(args) -> int:
     return 0
 
 
+def _cmd_mitigate(args) -> int:
+    from repro.api import open_session
+    from repro.errors import ConfigError
+
+    spec = _load_spec(args)
+    if spec is None:
+        raise ConfigError(
+            "mitigate requires --spec or --preset (with the mitigation "
+            "node set, e.g. --set mitigation.noise.epochs=8)")
+    try:
+        dataset = json.loads(args.dataset)
+    except json.JSONDecodeError:
+        dataset = args.dataset  # bare dataset name
+    with open_session(spec) as session:
+        result = session.mitigate(dataset, hidden=tuple(args.hidden),
+                                  model_seed=args.model_seed,
+                                  baseline=not args.no_baseline,
+                                  progress=True)
+    metrics = result.metrics
+    source = "zoo cache" if result.from_cache else "fresh run"
+    print(f"mitigated model {result.key} ({source}, "
+          f"sizes {'x'.join(map(str, result.sizes))})")
+    print(f"  float accuracy:     {metrics['float_accuracy']:.4f}")
+    if "baseline_accuracy" in metrics:
+        print(f"  unmitigated (hw):   {metrics['baseline_accuracy']:.4f}")
+    print(f"  mitigated (hw):     {metrics['mitigated_accuracy']:.4f}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -388,6 +419,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "experiments (default: $REPRO_WORKERS or 1; "
                             ">1 uses the sharded process backend)")
     p_fig.set_defaults(func=_cmd_fig)
+
+    p_mitigate = sub.add_parser(
+        "mitigate", help="run a spec's mitigation recipe on a dataset")
+    _add_spec_args(p_mitigate)
+    p_mitigate.add_argument(
+        "--dataset", default="blobs",
+        help="dataset handle: a name (blobs/shapes/textures) or a JSON "
+             "object like '{\"name\": \"blobs\", \"n_train\": 256}'")
+    p_mitigate.add_argument("--hidden", type=int, nargs="+", default=[32],
+                            help="classifier hidden layer widths")
+    p_mitigate.add_argument("--model-seed", type=int, default=0,
+                            help="classifier init seed")
+    p_mitigate.add_argument("--no-baseline", action="store_true",
+                            help="skip the unmitigated-baseline accuracy")
+    p_mitigate.set_defaults(func=_cmd_mitigate)
 
     p_serve = sub.add_parser(
         "serve", help="run the emulation service (JSON over HTTP)")

@@ -100,12 +100,15 @@ class GeniexZoo:
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"geniex-{key}.npz")
 
+    def _mitigated_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"mitigated-{key}.npz")
+
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
     @staticmethod
-    def save_model(model: GeniexNet, path: str) -> None:
-        """Atomically write a model artifact.
+    def _atomic_savez(path: str, arrays: dict) -> None:
+        """Atomically write an ``.npz`` archive.
 
         The archive is written to a temporary sibling file and moved into
         place with :func:`os.replace`, so readers either see the complete
@@ -114,20 +117,8 @@ class GeniexZoo:
         Concurrent writers race benignly: both produce identical,
         deterministic artifacts and the last rename wins.
         """
-        if model.normalizer is None:
-            raise SerializationError("cannot save a model without normalizer")
         path = os.path.abspath(path)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        meta = {
-            "rows": model.rows,
-            "cols": model.cols,
-            "hidden": model.hidden,
-            "hidden_layers": model.hidden_layers,
-            "normalizer": model.normalizer.to_dict(),
-        }
-        arrays = {f"param::{k}": v for k, v in model.state_dict().items()}
-        arrays["meta_json"] = np.frombuffer(
-            json.dumps(meta).encode(), dtype=np.uint8)
         fd, tmp_path = tempfile.mkstemp(
             suffix=".npz", prefix=".tmp-", dir=os.path.dirname(path))
         try:
@@ -142,6 +133,23 @@ class GeniexZoo:
             except OSError:
                 pass
             raise
+
+    @staticmethod
+    def save_model(model: GeniexNet, path: str) -> None:
+        """Atomically write a model artifact (see :meth:`_atomic_savez`)."""
+        if model.normalizer is None:
+            raise SerializationError("cannot save a model without normalizer")
+        meta = {
+            "rows": model.rows,
+            "cols": model.cols,
+            "hidden": model.hidden,
+            "hidden_layers": model.hidden_layers,
+            "normalizer": model.normalizer.to_dict(),
+        }
+        arrays = {f"param::{k}": v for k, v in model.state_dict().items()}
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8)
+        GeniexZoo._atomic_savez(path, arrays)
 
     @staticmethod
     def load_model(path: str) -> GeniexNet:
@@ -169,6 +177,45 @@ class GeniexZoo:
                 f"artifact at {path}: {exc}") from exc
         model.eval()
         return model
+
+    # ------------------------------------------------------------------
+    # Mitigated-model artifacts
+    # ------------------------------------------------------------------
+    def save_mitigated(self, key: str, state: dict, meta: dict) -> None:
+        """Atomically persist one mitigated-model artifact.
+
+        ``key`` is the mitigated-model digest (see
+        :func:`repro.mitigation.runner.mitigated_key` — it folds in the
+        full spec identity including the mitigation node, the dataset
+        handle and the model architecture, so a mitigated artifact can
+        never alias a raw model or a differently-mitigated one).
+        ``state`` maps names to arrays (the trained state dict plus any
+        fitted calibration buffers); ``meta`` is a small JSON-encodable
+        record (sizes, metrics, handle) needed to rebuild and audit it.
+        """
+        arrays = {f"param::{k}": np.asarray(v) for k, v in state.items()}
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8)
+        self._atomic_savez(self._mitigated_path(key), arrays)
+
+    def load_mitigated(self, key: str) -> tuple[dict, dict] | None:
+        """Load a mitigated artifact as ``(state, meta)``; None if absent.
+
+        An unreadable artifact (crashed legacy writer) behaves like a
+        missing one — the caller simply re-runs mitigation and the
+        atomic re-save repairs the file.
+        """
+        path = self._mitigated_path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with np.load(path) as archive:
+                meta = json.loads(bytes(archive["meta_json"]).decode())
+                state = {k[len("param::"):]: archive[k]
+                         for k in archive.files if k.startswith("param::")}
+            return state, meta
+        except Exception:
+            return None
 
     # ------------------------------------------------------------------
     # Main entry point

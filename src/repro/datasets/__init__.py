@@ -16,6 +16,12 @@ Two visually distinct generators are provided:
 from repro.datasets.shapes import make_shapes, make_shapes_split, SHAPE_NAMES
 from repro.datasets.textures import make_textures, make_textures_split
 from repro.datasets.blobs import make_blobs, make_blobs_split
+from repro.datasets.handles import (
+    DATASET_SPLITS,
+    handle_digest,
+    normalise_handle,
+    resolve_handle,
+)
 
 __all__ = [
     "make_shapes",
@@ -25,4 +31,8 @@ __all__ = [
     "make_textures_split",
     "make_blobs",
     "make_blobs_split",
+    "DATASET_SPLITS",
+    "handle_digest",
+    "normalise_handle",
+    "resolve_handle",
 ]

@@ -1,0 +1,112 @@
+"""Content-addressable dataset handles.
+
+A *handle* is a small JSON object naming one procedural dataset split —
+``{"name": "blobs", "n_train": 256, "n_test": 128, "seed": 0, ...}`` —
+that any process can resolve to the exact same arrays, because every
+generator in :mod:`repro.datasets` is a pure function of its seed. That
+makes datasets wire-safe (the serve ``/mitigate`` endpoint takes a handle
+instead of shipping arrays) and digest-safe (a handle folds into
+mitigated-artifact keys the same way specs do).
+
+``normalise_handle`` canonicalises a handle — fills every generator
+default explicitly and rejects unknown names/fields with the dotted path,
+the same strictness contract as the spec codec — so two handles that
+resolve to the same arrays always digest identically.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.datasets.blobs import make_blobs, make_blobs_split
+from repro.datasets.shapes import make_shapes, make_shapes_split
+from repro.datasets.textures import make_textures, make_textures_split
+from repro.errors import ConfigError
+from repro.utils.digest import content_key
+
+#: Resolvable dataset names -> (split function, base generator). The base
+#: generator's signature (minus ``n``) defines the legal handle kwargs.
+DATASET_SPLITS = {
+    "blobs": (make_blobs_split, make_blobs),
+    "shapes": (make_shapes_split, make_shapes),
+    "textures": (make_textures_split, make_textures),
+}
+
+_DEFAULT_N_TRAIN = 256
+_DEFAULT_N_TEST = 128
+
+
+def _generator_params(base_fn) -> dict:
+    """Name -> default for every tunable of a base generator (sans n)."""
+    params = {}
+    for name, param in inspect.signature(base_fn).parameters.items():
+        if name == "n":
+            continue
+        params[name] = param.default
+    return params
+
+
+def normalise_handle(handle) -> dict:
+    """Canonical form of a dataset handle.
+
+    Accepts a bare name string or a dict with at least ``"name"``.
+    Returns a dict with every field explicit (split sizes and all
+    generator kwargs, defaults filled in), so the canonical form — and
+    therefore :func:`handle_digest` — is independent of which defaults
+    the caller spelled out. Unknown names and fields raise
+    :class:`ConfigError` naming the offending path.
+    """
+    if isinstance(handle, str):
+        handle = {"name": handle}
+    if not isinstance(handle, dict):
+        raise ConfigError(
+            f"dataset handle must be a name or JSON object, got "
+            f"{type(handle).__name__}")
+    payload = dict(handle)
+    name = payload.pop("name", None)
+    if name not in DATASET_SPLITS:
+        raise ConfigError(
+            f"unknown dataset {name!r}; expected one of "
+            f"{sorted(DATASET_SPLITS)}")
+    _, base_fn = DATASET_SPLITS[name]
+    out = {"name": name,
+           "n_train": payload.pop("n_train", _DEFAULT_N_TRAIN),
+           "n_test": payload.pop("n_test", _DEFAULT_N_TEST)}
+    for split in ("n_train", "n_test"):
+        value = out[split]
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 1:
+            raise ConfigError(
+                f"dataset.{split} must be a positive integer, got "
+                f"{value!r}")
+    params = _generator_params(base_fn)
+    for key, value in payload.items():
+        if key not in params:
+            raise ConfigError(
+                f"unknown dataset field dataset.{key!r} for {name!r}; "
+                f"expected one of {sorted(params)}")
+        params[key] = value
+    out.update(params)
+    return out
+
+
+def handle_digest(handle) -> str:
+    """Stable content digest of a (normalised) dataset handle."""
+    return content_key("ds", normalise_handle(handle))
+
+
+def resolve_handle(handle) -> tuple:
+    """Materialise ``(x_train, y_train, x_test, y_test)`` for a handle.
+
+    Deterministic: the same handle resolves to bit-identical arrays in
+    every process (the generators are pure functions of their seeds).
+    """
+    normalised = normalise_handle(handle)
+    split_fn, _ = DATASET_SPLITS[normalised["name"]]
+    kwargs = {k: v for k, v in normalised.items() if k != "name"}
+    n_train = kwargs.pop("n_train")
+    n_test = kwargs.pop("n_test")
+    try:
+        return split_fn(n_train, n_test, **kwargs)
+    except ConfigError as exc:
+        raise ConfigError(f"invalid dataset handle: {exc}") from exc

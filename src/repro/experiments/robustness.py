@@ -41,6 +41,7 @@ from repro.core.sampling import SamplingSpec, VgSampler
 from repro.errors import ConfigError
 from repro.experiments.common import Profile, format_table, get_profile
 from repro.funcsim.engine import IdealMvmEngine
+from repro.mitigation.calibration import fit_affine_correction
 from repro.nonideal import (
     DriftSpec,
     NonidealityPipeline,
@@ -74,17 +75,28 @@ def nonideality_for(sigma: float = 0.0, fault_rate: float = 0.0,
 
 @dataclass
 class RobustnessResult:
-    """Grid rows ``[engine, sigma, fault, drift, rmse, p95, reused]``."""
+    """Grid rows ``[engine, sigma, fault, drift, rmse, p95, reused]``.
+
+    With ``mitigated=True`` (from ``run_robustness(mitigate=True)``) two
+    extra columns — mitigated RMSE and the fraction of RMSE recovered —
+    sit *before* the trailing ``reused clean`` column, so ``row[4]``
+    (raw RMSE) and ``row[-1]`` (reuse marker) index the same fields
+    either way.
+    """
 
     grid: list = field(default_factory=list)
+    mitigated: bool = False
 
     def format(self) -> str:
+        headers = ["engine", "sigma", "fault rate", "drift s", "RMSE",
+                   "|err| p95"]
+        if self.mitigated:
+            headers += ["mitig RMSE", "recovered"]
+        headers.append("reused clean")
         return format_table(
             "Robustness: MVM error vs device faults "
             "(full funcsim pipeline, error against the ideal FxP product)",
-            ["engine", "sigma", "fault rate", "drift s", "RMSE",
-             "|err| p95", "reused clean"],
-            self.grid)
+            headers, self.grid)
 
 
 def nf_stats(config, nonideality: NonidealitySpec, n_g: int, n_v: int,
@@ -139,7 +151,7 @@ def run_robustness(profile: Profile | None = None, *,
                    fault_rates: tuple = DEFAULT_FAULT_RATES,
                    drift_times: tuple = DEFAULT_DRIFT_TIMES,
                    batch: int = 16, seed: int = 13,
-                   zoo=None) -> RobustnessResult:
+                   mitigate: bool = False, zoo=None) -> RobustnessResult:
     """Sweep the fault grid through the full funcsim engine pipeline.
 
     ``spec`` fixes the crossbar design / precision / emulator recipe
@@ -148,6 +160,15 @@ def run_robustness(profile: Profile | None = None, *,
     used. One fixed operand pair streams through every engine x fault
     combination, and each row reports the error of the faulty crossbar
     product against the ideal fixed-point product.
+
+    ``mitigate=True`` adds a per-cell output calibration column: a
+    disjoint calibration batch (drawn from ``seed + 1``) runs through
+    the same faulty engine, a per-output-column affine correction is
+    fitted against the ideal product
+    (:func:`~repro.mitigation.calibration.fit_affine_correction`, ridge
+    from ``spec.mitigation.calibration.ridge``), and the held-out
+    operands are re-scored after correction — quantifying how much of
+    each cell's systematic error calibration recovers.
     """
     if spec is None:
         profile = profile or get_profile()
@@ -158,9 +179,18 @@ def run_robustness(profile: Profile | None = None, *,
                 "the ideal engine has no analog state to perturb and "
                 "cannot participate in a robustness sweep")
     x, weights = _sweep_operands(spec, batch, seed)
-    y_ideal = IdealMvmEngine(spec.sim.to_config()).matmul(x, weights)
+    ideal_engine = IdealMvmEngine(spec.sim.to_config())
+    y_ideal = ideal_engine.matmul(x, weights)
+    x_cal = y_cal_ideal = None
+    if mitigate:
+        # Calibration operands are disjoint from the scored batch (seed+1)
+        # so the corrected RMSE is held-out, not a fit to its own target.
+        cal_rng = np.random.default_rng(seed + 1)
+        x_cal = cal_rng.uniform(-0.5, 0.5,
+                                size=(max(batch, 32), x.shape[1]))
+        y_cal_ideal = ideal_engine.matmul(x_cal, weights)
 
-    result = RobustnessResult()
+    result = RobustnessResult(mitigated=mitigate)
     grid = [(s, r, d) for s in sigmas for r in fault_rates
             for d in drift_times]
     for engine in engines:
@@ -179,23 +209,35 @@ def run_robustness(profile: Profile | None = None, *,
         # from it — the sweep's clean baseline column costs nothing.
         with open_session(base, zoo=zoo, emulator=emulator) as session:
             clean_y = session.matmul(x, weights)
+            clean_y_cal = session.matmul(x_cal, weights) if mitigate \
+                else None
         for sigma, rate, drift in grid:
             point = base.evolve(nonideality=nonideality_for(
                 sigma=sigma, fault_rate=rate, drift_time_s=drift,
                 seed=seed))
             reused = point.nonideality.is_identity
             if reused:
-                y = clean_y
+                y, y_cal = clean_y, clean_y_cal
             else:
                 with open_session(point, zoo=zoo,
                                   emulator=emulator) as session:
                     y = session.matmul(x, weights)
+                    y_cal = session.matmul(x_cal, weights) if mitigate \
+                        else None
             err = np.abs(y - y_ideal)
-            result.grid.append(
-                [engine, f"{sigma:g}", f"{rate:g}", f"{drift:g}",
-                 float(np.sqrt(np.mean(err ** 2))),
-                 float(np.percentile(err, 95)),
-                 "yes" if reused else "no"])
+            rmse = float(np.sqrt(np.mean(err ** 2)))
+            row = [engine, f"{sigma:g}", f"{rate:g}", f"{drift:g}", rmse,
+                   float(np.percentile(err, 95))]
+            if mitigate:
+                scale, offset = fit_affine_correction(
+                    y_cal, y_cal_ideal,
+                    ridge=spec.mitigation.calibration.ridge)
+                mit_err = np.abs(y * scale + offset - y_ideal)
+                mit_rmse = float(np.sqrt(np.mean(mit_err ** 2)))
+                recovered = 1.0 - mit_rmse / rmse if rmse > 0 else 0.0
+                row += [mit_rmse, f"{recovered:+.1%}"]
+            row.append("yes" if reused else "no")
+            result.grid.append(row)
     return result
 
 

@@ -28,6 +28,9 @@ from __future__ import annotations
 
 import copy
 
+import numpy as np
+
+from repro.errors import ConfigError
 from repro.funcsim.layers import Conv2dMVM, LinearMVM
 from repro.funcsim.planner import NetworkProgram
 from repro.nn.modules import Conv2d, Linear, Module
@@ -70,6 +73,79 @@ def close_mvm_executor(model: Module) -> None:
     executor = getattr(model, "mvm_executor", None)
     if executor is not None:
         executor.close()
+
+
+def _sync_module(converted: Module, source: Module, path: str) -> None:
+    for name, src_child in source._modules.items():
+        child_path = f"{path}.{name}" if path else name
+        mvm_child = converted._modules.get(name)
+        if mvm_child is None:
+            raise ConfigError(
+                f"converted model has no module at {child_path!r}")
+        if isinstance(src_child, Linear):
+            if not isinstance(mvm_child, LinearMVM):
+                raise ConfigError(
+                    f"{child_path!r} is Linear in the source but "
+                    f"{type(mvm_child).__name__} in the converted model")
+            if mvm_child.executor is not None:
+                raise ConfigError(
+                    f"{child_path!r} is attached to an executor; its loaded "
+                    f"program would go stale — sync only inline models")
+            weight = np.asarray(src_child.weight.data, dtype=np.float64)
+            mvm_child.prepared = mvm_child.engine.prepare(weight.T)
+            mvm_child.bias = None if src_child.bias is None else np.asarray(
+                src_child.bias.data, dtype=np.float64)
+        elif isinstance(src_child, Conv2d):
+            if not isinstance(mvm_child, Conv2dMVM):
+                raise ConfigError(
+                    f"{child_path!r} is Conv2d in the source but "
+                    f"{type(mvm_child).__name__} in the converted model")
+            if mvm_child.executor is not None:
+                raise ConfigError(
+                    f"{child_path!r} is attached to an executor; its loaded "
+                    f"program would go stale — sync only inline models")
+            weight = np.asarray(src_child.weight.data, dtype=np.float64)
+            mvm_child.prepared = mvm_child.engine.prepare(
+                weight.reshape(mvm_child.out_channels, -1).T)
+            mvm_child.bias = None if src_child.bias is None else np.asarray(
+                src_child.bias.data, dtype=np.float64)
+        else:
+            for pname, param in src_child._parameters.items():
+                target = mvm_child._parameters.get(pname)
+                if target is None or target.data.shape != param.data.shape:
+                    raise ConfigError(
+                        f"converted model has no matching parameter "
+                        f"{child_path}.{pname}")
+                target.data[...] = param.data
+            for bname, buf in src_child._buffers.items():
+                target = mvm_child._buffers.get(bname)
+                if target is None or target.shape != buf.shape:
+                    raise ConfigError(
+                        f"converted model has no matching buffer "
+                        f"{child_path}.{bname}")
+                target[...] = buf
+            _sync_module(mvm_child, src_child, child_path)
+
+
+def sync_mvm_model(converted: Module, source: Module) -> None:
+    """Re-program a converted model from ``source``'s live weights.
+
+    ``converted`` must come from ``convert_to_mvm(source_like, engine)``
+    with the same module structure as ``source``. Every MVM layer is
+    re-prepared on its engine from the source layer's current weights
+    (biases re-taken digitally); parameters and buffers of all other
+    modules are copied in place. This is the hardware-in-the-loop
+    training primitive: mutate the float model, sync, and the next
+    forward pass through ``converted`` sees the new weights through the
+    full (possibly faulty) crossbar physics.
+
+    Engines prepare deterministically (fault injection included — the
+    non-ideality pipeline keys its draws by matrix content, not call
+    order), so syncing is safe to repeat and value-stable. Layers
+    attached to a runtime executor are rejected: their compiled programs
+    are already loaded into the backend and would silently go stale.
+    """
+    _sync_module(converted, source, "")
 
 
 def convert_to_mvm(model: Module, engine, chunk_rows: int | None = None,

@@ -12,17 +12,35 @@ mitigations so the framework closes that loop:
 * :mod:`repro.mitigation.calibration` — post-training output calibration:
   fit per-layer affine corrections on a small calibration set to undo the
   systematic component of the crossbar distortion.
+
+Both are spec-addressable: :class:`MitigationSpec` (in
+:mod:`repro.mitigation.spec`) is the ``mitigation`` node of
+:class:`repro.api.EmulationSpec`, and
+:mod:`repro.mitigation.runner` executes a spec's recipe end to end
+(training, conversion, calibration, zoo persistence, metrics). The
+runner is intentionally *not* imported here — it depends on
+``repro.api``, which imports this package for the spec node.
 """
 
 from repro.mitigation.noise_training import NoiseSpec, train_with_noise
 from repro.mitigation.calibration import (
     CalibratedModel,
+    fit_affine_correction,
     fit_output_calibration,
+)
+from repro.mitigation.spec import (
+    CalibrationSpec,
+    MitigationSpec,
+    NoiseTrainSpec,
 )
 
 __all__ = [
     "NoiseSpec",
     "train_with_noise",
     "CalibratedModel",
+    "fit_affine_correction",
     "fit_output_calibration",
+    "CalibrationSpec",
+    "MitigationSpec",
+    "NoiseTrainSpec",
 ]

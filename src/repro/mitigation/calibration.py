@@ -24,12 +24,43 @@ class CalibratedModel(Module):
     def __init__(self, base: Module, scale: np.ndarray, offset: np.ndarray):
         super().__init__()
         self.base = base
-        self.scale = np.asarray(scale, dtype=np.float32)
-        self.offset = np.asarray(offset, dtype=np.float32)
+        # Buffers, not plain attrs: the fitted correction must survive a
+        # state_dict() round trip along with the base weights.
+        self.register_buffer("scale", np.asarray(scale, dtype=np.float32))
+        self.register_buffer("offset", np.asarray(offset, dtype=np.float32))
 
     def forward(self, x):
-        out = self.base(x)
-        return Tensor(out.data * self.scale + self.offset)
+        # Graph-connected: gradients keep flowing into the base model, so
+        # calibration composes with further (re)training.
+        return self.base(x) * self.scale + self.offset
+
+
+def fit_affine_correction(noisy: np.ndarray, clean: np.ndarray,
+                          ridge: float = 1e-3):
+    """Per-output 1-D ridge fit of ``clean ~ scale * noisy + offset``.
+
+    The array-level core of :func:`fit_output_calibration`, exposed so
+    callers holding raw outputs (e.g. the robustness sweep, which works
+    on engine matmuls rather than models) can reuse the exact same fit.
+
+    Returns ``(scale, offset)`` as float64 arrays shaped like one output
+    row.
+    """
+    noisy = np.asarray(noisy, dtype=np.float64)
+    clean = np.asarray(clean, dtype=np.float64)
+    if noisy.shape != clean.shape:
+        raise ShapeError(
+            f"model output shapes differ: {noisy.shape} vs {clean.shape}")
+    if len(noisy) < 2:
+        raise ConfigError("calibration needs at least 2 samples")
+    n = noisy.shape[0]
+    mean_x = noisy.mean(axis=0)
+    mean_y = clean.mean(axis=0)
+    var_x = ((noisy - mean_x) ** 2).sum(axis=0) / n
+    cov_xy = ((noisy - mean_x) * (clean - mean_y)).sum(axis=0) / n
+    scale = (cov_xy + ridge) / (var_x + ridge)
+    offset = mean_y - scale * mean_x
+    return scale, offset
 
 
 def fit_output_calibration(nonideal_model: Module,
@@ -58,18 +89,7 @@ def fit_output_calibration(nonideal_model: Module,
             block = Tensor(x_calibration[start:start + batch])
             noisy_out.append(nonideal_model(block).data)
             clean_out.append(reference_model(block).data)
-    noisy = np.concatenate(noisy_out).astype(np.float64)
-    clean = np.concatenate(clean_out).astype(np.float64)
-    if noisy.shape != clean.shape:
-        raise ShapeError(
-            f"model output shapes differ: {noisy.shape} vs {clean.shape}")
-
-    # Per-output 1-D ridge regression: clean ~ a * noisy + b.
-    n = noisy.shape[0]
-    mean_x = noisy.mean(axis=0)
-    mean_y = clean.mean(axis=0)
-    var_x = ((noisy - mean_x) ** 2).sum(axis=0) / n
-    cov_xy = ((noisy - mean_x) * (clean - mean_y)).sum(axis=0) / n
-    scale = (cov_xy + ridge) / (var_x + ridge)
-    offset = mean_y - scale * mean_x
+    noisy = np.concatenate(noisy_out)
+    clean = np.concatenate(clean_out)
+    scale, offset = fit_affine_correction(noisy, clean, ridge=ridge)
     return CalibratedModel(nonideal_model, scale, offset)

@@ -250,3 +250,35 @@ class ServeClient:
                                         engine=engine, sim=sim,
                                         default_engine="geniex")
         return np.asarray(self._request("POST", "/v1/matmul", payload)["y"])
+
+    def mitigate(self, *, spec, dataset, hidden=None,
+                 seed: int | None = None) -> dict:
+        """Run the spec's mitigation recipe server-side on a dataset.
+
+        ``spec`` must carry a non-identity ``mitigation`` node with
+        ``noise.epochs >= 1`` (the server trains the classifier itself).
+        ``dataset`` is a content-addressable handle — a name like
+        ``"blobs"`` or a ``{"name": ..., "n_train": ..., ...}`` dict.
+        ``hidden``/``seed`` pick the classifier architecture (defaults
+        ``[32]`` / ``0``). Returns the response dict: ``mitigated_key``
+        (address for :meth:`mitigated_predict`), ``sizes``, ``metrics``
+        (float/mitigated/baseline accuracies) and ``from_cache``.
+        """
+        payload = _identity_payload({}, None, spec)
+        payload["dataset"] = dataset
+        net: dict = {}
+        if hidden is not None:
+            net["hidden"] = [int(h) for h in hidden]
+        if seed is not None:
+            net["seed"] = int(seed)
+        if net:
+            payload["net"] = net
+        return self._request("POST", "/v1/mitigate", payload)
+
+    def mitigated_predict(self, x, *, mitigated_key: str) -> np.ndarray:
+        """Mitigated logits for ``x`` (``(F,)`` or ``(B, F)``) from a
+        warm mitigated model (key from :meth:`mitigate`)."""
+        payload = {"mitigated_key": mitigated_key,
+                   "x": np.asarray(x).tolist()}
+        return np.asarray(self._request(
+            "POST", "/v1/mitigated_predict", payload)["logits"])

@@ -26,6 +26,7 @@ from repro.api.spec import (
 )
 from repro.core.sampling import SamplingSpec
 from repro.core.trainer import TrainSpec
+from repro.datasets.handles import normalise_handle
 from repro.devices.rram import RramParameters
 from repro.errors import ConfigError, ReproError
 from repro.funcsim.config import FuncSimConfig
@@ -208,6 +209,58 @@ def parse_emulation_spec(body: dict) -> EmulationSpec:
         return EmulationSpec.from_dict(body["spec"])
     except ConfigError as exc:
         raise ProtocolError(str(exc)) from exc
+
+
+def parse_mitigate_request(body: dict) -> tuple:
+    """Validate a ``POST /v1/mitigate`` body.
+
+    Returns ``(spec, dataset, hidden, model_seed)``. The body carries a
+    full ``"spec"`` (whose ``mitigation`` node must be non-identity and
+    must train — the server has no local pretrained model to run a
+    calibration-only recipe against), a content-addressable ``"dataset"``
+    handle (name or dict, see :mod:`repro.datasets.handles`), and an
+    optional ``"net"`` object choosing the classifier architecture
+    (``{"hidden": [...], "seed": 0}`` — named ``net`` because the flat
+    ``model`` field already means the GENIEx model identity).
+    """
+    reject_mixed_identity(body)
+    spec = parse_emulation_spec(body)
+    if spec.mitigation.is_identity:
+        raise ProtocolError(
+            "spec.mitigation is the identity — set mitigation.noise "
+            "and/or mitigation.calibration to request a mitigation")
+    if spec.mitigation.noise.is_identity:
+        raise ProtocolError(
+            "spec.mitigation.noise.epochs must be >= 1: the server "
+            "trains the classifier itself, and a calibration-only recipe "
+            "needs a local pretrained model (use Session.mitigate)")
+    if "dataset" not in body:
+        raise ProtocolError(
+            "request requires a \"dataset\" handle (a dataset name or "
+            "{\"name\": ..., \"n_train\": ..., ...} object)")
+    try:
+        dataset = normalise_handle(body["dataset"])
+    except ConfigError as exc:
+        raise ProtocolError(str(exc)) from exc
+    net = body.get("net", {})
+    if not isinstance(net, dict):
+        raise ProtocolError("\"net\" must be a JSON object")
+    unknown = set(net) - {"hidden", "seed"}
+    if unknown:
+        raise ProtocolError(
+            f"unknown \"net\" field(s) {sorted(unknown)}; expected "
+            f"\"hidden\" and/or \"seed\"")
+    hidden = net.get("hidden", [32])
+    if not isinstance(hidden, list) or not hidden or any(
+            not isinstance(h, int) or isinstance(h, bool) or h < 1
+            for h in hidden):
+        raise ProtocolError(
+            "net.hidden must be a non-empty list of positive integers")
+    model_seed = net.get("seed", 0)
+    if not isinstance(model_seed, int) or isinstance(model_seed, bool) \
+            or model_seed < 0:
+        raise ProtocolError("net.seed must be a non-negative integer")
+    return spec, dataset, tuple(hidden), model_seed
 
 
 def parse_sim_config(body: dict) -> FuncSimConfig:

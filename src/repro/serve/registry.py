@@ -21,6 +21,14 @@ requests — from any client, in any order — land on the same warm object
   through :func:`repro.api.session.build_engine` from the spec, under a
   server-owned runtime policy (batch-invariant whenever possible,
   thread sharding, bounded tile cache).
+* **mitigated** — whole mitigated classifiers (noise-trained weights on
+  a live engine, output calibration applied), keyed by
+  :func:`repro.mitigation.runner.mitigated_key` — full spec digest
+  (which folds the mitigation node) × dataset handle × architecture, so
+  a mitigated model can never alias the raw model serving the same
+  physics. Builds run :func:`~repro.mitigation.runner.run_mitigation`
+  on the executor; the zoo persists the artifact, so a registry restart
+  rebuilds from disk instead of retraining.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.api.session import build_engine
+from repro.api.session import Session, build_engine
 from repro.api.spec import (
     EmulationSpec,
     engine_identity,
@@ -41,6 +49,7 @@ from repro.core.emulator import GeniexEmulator, MatrixEmulator
 from repro.core.zoo import GeniexZoo
 from repro.errors import ShapeError
 from repro.funcsim.config import FuncSimConfig
+from repro.mitigation.runner import mitigated_key, run_mitigation
 from repro.nonideal import as_pipeline
 from repro.serve.protocol import ModelSpec
 from repro.utils.cache import LruDict
@@ -70,6 +79,30 @@ class PreparedEngine:
         self.engine.close(wait=wait)
 
 
+@dataclass
+class MitigatedModel:
+    """One warm mitigated classifier bound to its own session engine."""
+
+    key: str
+    spec_key: str
+    sizes: tuple
+    metrics: dict
+    from_cache: bool
+    _session: Session
+    _serving: object
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Mitigated logits for a batch (through the session engine)."""
+        from repro.nn.tensor import Tensor, no_grad
+        with no_grad():
+            return np.asarray(self._serving(Tensor(np.atleast_2d(x))).data,
+                              dtype=np.float64)
+
+    def close(self, wait: bool = True) -> None:
+        """Release the session's runtime workers (engine degrades inline)."""
+        self._session.close(wait=wait)
+
+
 class _CacheStats:
     __slots__ = ("hits", "misses")
 
@@ -83,8 +116,8 @@ class ModelRegistry:
 
     def __init__(self, zoo: GeniexZoo | None = None, *,
                  max_models: int = 8, max_crossbars: int = 128,
-                 max_engines: int = 16, tile_cache_size: int = 256,
-                 engine_workers: int = 1):
+                 max_engines: int = 16, max_mitigated: int = 8,
+                 tile_cache_size: int = 256, engine_workers: int = 1):
         self.zoo = zoo or GeniexZoo()
         self.tile_cache_size = int(tile_cache_size)
         # > 1 shards every prepared engine's matmuls over the funcsim
@@ -99,8 +132,15 @@ class ModelRegistry:
         # still answers queued microbatches inline.
         self._engines = LruDict(
             max_engines, on_evict=lambda _key, warm: warm.close(wait=False))
+        # Mitigated models own a whole session; eviction releases its
+        # runtime workers the same way (the zoo artifact survives, so a
+        # re-request rebuilds from disk, not from scratch).
+        self._mitigated = LruDict(
+            max_mitigated,
+            on_evict=lambda _key, warm: warm.close(wait=False))
         self._stats = {"models": _CacheStats(), "crossbars": _CacheStats(),
-                       "engines": _CacheStats()}
+                       "engines": _CacheStats(),
+                       "mitigated": _CacheStats()}
         # Per-key locks are only touched from the event loop, so a plain
         # dict is safe; the slow work they guard runs on executor threads.
         self._locks: dict = {}
@@ -304,6 +344,67 @@ class ModelRegistry:
     def prepared_engine(self, key: str) -> PreparedEngine | None:
         """Fetch a previously prepared engine by key (or ``None``)."""
         return self._lookup("engines", key)
+
+    async def mitigate(self, spec: EmulationSpec, dataset,
+                       hidden=(32,), model_seed: int = 0) -> MitigatedModel:
+        """Warm (or run) the mitigation a spec + dataset handle describe.
+
+        The cache key is :func:`~repro.mitigation.runner.mitigated_key`
+        under the server-side runtime policy — the full spec digest
+        already folds the mitigation node, so mitigated models never
+        collide with the raw engines/crossbars serving the same physics.
+        The run itself (training, conversion, calibration, persistence)
+        happens on an executor thread under a per-key lock; the zoo makes
+        repeat requests a disk load and same-process repeats a pure
+        cache hit.
+        """
+        spec = self.serving_spec(spec)
+        key = mitigated_key(spec, dataset, hidden=hidden,
+                            model_seed=model_seed)
+        warm = self._lookup("mitigated", key)
+        if warm is not None:
+            return warm
+        try:
+            async with self._lock_for("mitigated:" + key):
+                warm = self._mitigated.get(key)
+                if warm is not None:
+                    return warm
+                emulator = None
+                if spec.engine == "geniex":
+                    # Warm the characterisation emulator through the
+                    # model tier first (mitigation-independent key), so
+                    # it shares the cache with every other endpoint.
+                    _, emulator = await self.emulator(
+                        ModelSpec.from_spec(spec))
+                loop = asyncio.get_running_loop()
+
+                def build() -> MitigatedModel:
+                    session = Session(spec, zoo=self.zoo,
+                                      emulator=emulator)
+                    try:
+                        result = run_mitigation(
+                            spec, dataset, hidden=hidden,
+                            model_seed=model_seed, zoo=self.zoo,
+                            session=session)
+                    except BaseException:
+                        session.close(wait=False)
+                        raise
+                    return MitigatedModel(
+                        key=key, spec_key=spec.key(),
+                        sizes=tuple(result.sizes),
+                        metrics=dict(result.metrics),
+                        from_cache=result.from_cache,
+                        _session=session, _serving=result.serving)
+
+                warm = await loop.run_in_executor(None, build)
+                self._mitigated.put(key, warm)
+                return warm
+        finally:
+            self._drop_lock("mitigated:" + key)
+
+    def mitigated_model(self, key: str) -> MitigatedModel | None:
+        """Fetch a previously built mitigated model by key (or ``None``)."""
+        return self._lookup("mitigated", key)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -20,6 +20,9 @@ Endpoints
 ``POST /v1/weights``         prepare an MVM engine for a weight matrix,
                              returns ``weights_key``
 ``POST /v1/matmul``          full bit-sliced crossbar matmul
+``POST /v1/mitigate``        run a spec's mitigation recipe on a dataset
+                             handle, returns ``mitigated_key`` + metrics
+``POST /v1/mitigated_predict``  logits from a warm mitigated model
 ===========================  ========================================
 
 Every ``POST /v1/*`` body that names a model may either carry the flat
@@ -50,8 +53,8 @@ from repro.errors import ConfigError, ReproError, ShapeError
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (ProtocolError, decode_array, encode_array,
                                   parse_emulation_spec, parse_engine_kind,
-                                  parse_model_spec, parse_sim_config,
-                                  reject_mixed_identity)
+                                  parse_mitigate_request, parse_model_spec,
+                                  parse_sim_config, reject_mixed_identity)
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import MicrobatchScheduler, QueueFullError
 
@@ -104,6 +107,8 @@ class EmulationServer:
             ("POST", "/v1/predict_currents"): self._post_predict_currents,
             ("POST", "/v1/weights"): self._post_weights,
             ("POST", "/v1/matmul"): self._post_matmul,
+            ("POST", "/v1/mitigate"): self._post_mitigate,
+            ("POST", "/v1/mitigated_predict"): self._post_mitigated_predict,
         }
 
     # ------------------------------------------------------------------
@@ -363,6 +368,37 @@ class EmulationServer:
         if single:
             result = result[0]
         return {"y": encode_array(result), "weights_key": warm.key}
+
+    async def _post_mitigate(self, body: dict) -> dict:
+        spec, dataset, hidden, model_seed = parse_mitigate_request(body)
+        warm = await self.registry.mitigate(spec, dataset, hidden=hidden,
+                                            model_seed=model_seed)
+        return {"mitigated_key": warm.key, "spec_key": warm.spec_key,
+                "sizes": list(warm.sizes), "metrics": warm.metrics,
+                "from_cache": warm.from_cache}
+
+    async def _post_mitigated_predict(self, body: dict) -> dict:
+        if "mitigated_key" not in body:
+            raise ProtocolError(
+                "request requires a \"mitigated_key\" (from POST "
+                "/v1/mitigate)")
+        reject_mixed_identity(body, key_field="mitigated_key")
+        key = str(body["mitigated_key"])
+        warm = self.registry.mitigated_model(key)
+        if warm is None:
+            raise _NotFound(f"unknown mitigated_key {key!r}; build it "
+                            f"via POST /v1/mitigate")
+        x = decode_array(body, "x")
+        single = x.ndim == 1
+        if x.shape[-1] != warm.sizes[0]:
+            raise ProtocolError(
+                f"x must have {warm.sizes[0]} entries per vector, "
+                f"got shape {x.shape}")
+        result = await self.scheduler.submit(
+            ("mitigated", key), np.atleast_2d(x), warm.predict)
+        if single:
+            result = result[0]
+        return {"logits": encode_array(result), "mitigated_key": key}
 
 
 class ServerThread:

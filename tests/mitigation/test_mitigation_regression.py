@@ -1,0 +1,198 @@
+"""Regression suite for the spec-addressed mitigation pipeline.
+
+Pins the contracts the mitigation refactor introduced: calibration state
+survives a ``state_dict`` round trip bit-for-bit, gradients flow through
+:class:`CalibratedModel`, noise training is deterministic for a fixed
+seed (at any batch size, across executors, with hardware in the loop),
+``sync_mvm_model`` re-programs a converted model exactly, and mitigated
+zoo artifacts can never alias raw models.
+"""
+
+import tempfile
+
+import numpy as np
+import pytest
+
+from repro.api import EmulationSpec, MitigationSpec, open_session
+from repro.core.zoo import GeniexZoo
+from repro.datasets import make_blobs_split
+from repro.errors import ConfigError
+from repro.funcsim.convert import convert_to_mvm, sync_mvm_model
+from repro.funcsim.engine import make_engine
+from repro.funcsim.config import FuncSimConfig
+from repro.mitigation import (
+    CalibratedModel,
+    NoiseSpec,
+    train_with_noise,
+)
+from repro.models import MLP
+from repro.nn.tensor import Tensor, no_grad
+from repro.xbar.config import CrossbarConfig
+
+ANALYTICAL = EmulationSpec.from_dict({
+    "engine": "analytical",
+    "xbar": {"rows": 8, "cols": 8},
+    "nonideality": {"seed": 7, "variation": {"sigma": 0.2}},
+})
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    return make_blobs_split(200, 80, num_features=8, num_classes=3,
+                            spread=0.8, seed=0)
+
+
+def _engine():
+    return make_engine("analytical", CrossbarConfig(rows=8, cols=8),
+                       FuncSimConfig())
+
+
+class TestCalibratedModelState:
+    def test_scale_offset_live_in_state_dict(self):
+        base = MLP((4, 6, 2), seed=0)
+        model = CalibratedModel(base, np.array([2.0, 0.5]),
+                                np.array([0.1, -0.2]))
+        state = model.state_dict()
+        assert "scale" in state and "offset" in state
+        np.testing.assert_array_equal(state["scale"],
+                                      np.float32([2.0, 0.5]))
+
+    def test_state_dict_round_trip_bit_for_bit(self, blobs):
+        x_train, _, x_test, _ = blobs
+        model = MLP((8, 12, 3), seed=1)
+        scale = np.linspace(0.5, 1.5, 3)
+        offset = np.linspace(-0.2, 0.2, 3)
+        calibrated = CalibratedModel(model, scale, offset)
+        state = calibrated.state_dict()
+
+        twin = CalibratedModel(MLP((8, 12, 3), seed=2),
+                               np.ones(3), np.zeros(3))
+        twin.load_state_dict(state)
+        with no_grad():
+            a = calibrated(Tensor(x_test)).data
+            b = twin(Tensor(x_test)).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_gradients_flow_through_correction(self):
+        model = CalibratedModel(MLP((4, 6, 2), seed=0),
+                                np.array([2.0, 0.5]),
+                                np.array([0.1, -0.2]))
+        out = model(Tensor(np.random.default_rng(0)
+                           .standard_normal((5, 4))))
+        out.sum().backward()
+        grads = [p.grad for p in model.parameters()]
+        assert grads and all(g is not None for g in grads)
+        assert any(np.abs(g).max() > 0 for g in grads)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("batch_size", [16, 64])
+    def test_two_runs_bit_identical(self, blobs, batch_size):
+        x_train, y_train, _, _ = blobs
+        runs = []
+        for _ in range(2):
+            model = MLP((8, 12, 3), seed=0)
+            history = train_with_noise(
+                model, x_train, y_train,
+                NoiseSpec(weight_sigma=0.1, activation_sigma=0.05),
+                epochs=3, batch_size=batch_size, seed=42)
+            runs.append((history, model.state_dict()))
+        assert runs[0][0] == runs[1][0]
+        for key in runs[0][1]:
+            np.testing.assert_array_equal(runs[0][1][key], runs[1][1][key])
+
+    def test_hardware_loop_bit_identical(self, blobs):
+        x_train, y_train, _, _ = blobs
+        states = []
+        for _ in range(2):
+            model = MLP((8, 10, 3), seed=0)
+            history = train_with_noise(
+                model, x_train, y_train, NoiseSpec(weight_sigma=0.1),
+                epochs=2, batch_size=64, seed=7, engine=_engine())
+            states.append((history, model.state_dict()))
+        assert states[0][0] == states[1][0]
+        for key in states[0][1]:
+            np.testing.assert_array_equal(states[0][1][key],
+                                          states[1][1][key])
+
+
+class TestIncludeOneD:
+    def test_biases_clean_by_default_perturbed_on_request(self):
+        rng = np.random.default_rng(0)
+
+        def perturbed_indices(include_1d):
+            model = MLP((6, 8, 2), seed=0)
+            before = [p.data.copy() for p in model.parameters()]
+            from repro.mitigation.noise_training import _WeightPerturbation
+            perturbation = _WeightPerturbation(
+                model, 0.5, rng, include_1d=include_1d)
+            touched = [i for i, (p, b) in enumerate(
+                zip(model.parameters(), before))
+                if not np.array_equal(p.data, b)]
+            perturbation.revert_and_project_grads()
+            return model, touched
+
+        model, touched = perturbed_indices(False)
+        dims = [p.ndim for p in model.parameters()]
+        assert all(dims[i] >= 2 for i in touched)
+        assert len(touched) == sum(d >= 2 for d in dims)
+        _, touched_all = perturbed_indices(True)
+        assert len(touched_all) == len(dims)
+
+
+class TestSyncMvmModel:
+    def test_reprograms_to_match_fresh_conversion(self, blobs):
+        x_train, _, _, _ = blobs
+        model = MLP((8, 10, 3), seed=0)
+        engine = _engine()
+        converted = convert_to_mvm(model, engine)
+        # Mutate the float weights, then sync.
+        for param in model.parameters():
+            param.data += 0.05
+        sync_mvm_model(converted, model)
+        fresh = convert_to_mvm(model, engine)
+        with no_grad():
+            a = converted(Tensor(x_train[:16])).data
+            b = fresh(Tensor(x_train[:16])).data
+        np.testing.assert_array_equal(a, b)
+
+
+class TestZooNonAliasing:
+    def test_mitigated_namespace_is_separate(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            zoo = GeniexZoo(tmp)
+            state = {"model::w": np.arange(6.0).reshape(2, 3)}
+            meta = {"sizes": [2, 3], "calibrated": False}
+            zoo.save_mitigated("abc123", state, meta)
+            loaded_state, loaded_meta = zoo.load_mitigated("abc123")
+            np.testing.assert_array_equal(loaded_state["model::w"],
+                                          state["model::w"])
+            assert loaded_meta["sizes"] == [2, 3]
+            assert zoo.load_mitigated("missing") is None
+
+    def test_runner_caches_under_mitigated_digest(self, blobs):
+        spec = ANALYTICAL.evolve(
+            mitigation={"noise": {"epochs": 2, "batch_size": 64},
+                        "calibration": {"samples": 32}})
+        with tempfile.TemporaryDirectory() as tmp:
+            zoo = GeniexZoo(tmp)
+            with open_session(spec, zoo=zoo) as session:
+                first = session.mitigate(blobs, baseline=False)
+                assert not first.from_cache
+                again = session.mitigate(blobs, baseline=False)
+            assert again.from_cache
+            assert again.key == first.key
+            assert again.metrics == first.metrics
+            x_test = blobs[2]
+            np.testing.assert_array_equal(first.predict(x_test[:8]),
+                                          again.predict(x_test[:8]))
+
+    def test_mitigated_and_raw_keys_never_collide(self, blobs):
+        from repro.mitigation.runner import mitigated_key
+
+        spec = ANALYTICAL.evolve(mitigation={"noise": {"epochs": 2}})
+        key = mitigated_key(spec, blobs)
+        assert key != spec.key() and key != spec.model_key()
+        # Stripping the node makes the key undefined, not aliased.
+        with pytest.raises(ConfigError):
+            mitigated_key(spec.evolve(mitigation=MitigationSpec()), blobs)

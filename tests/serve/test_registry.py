@@ -187,7 +187,8 @@ class TestEngineTier:
 
     def test_stats_shape(self, registry):
         stats = registry.stats()
-        assert set(stats) == {"models", "crossbars", "engines"}
+        assert set(stats) == {"models", "crossbars", "engines",
+                              "mitigated"}
         for entry in stats.values():
             assert set(entry) == {"size", "capacity", "hits", "misses",
                                   "hit_rate"}

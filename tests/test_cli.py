@@ -158,6 +158,35 @@ class TestSpecCommand:
         args = build_parser().parse_args(["fig", "robustness"])
         assert args.name == "robustness"
 
+    def test_mitigate_parses_and_defaults(self):
+        args = build_parser().parse_args(
+            ["mitigate", "--preset", "quick-mitigated",
+             "--dataset", "blobs", "--hidden", "16", "8"])
+        assert args.preset == "quick-mitigated"
+        assert args.hidden == [16, 8] and args.model_seed == 0
+        assert not args.no_baseline
+
+    def test_mitigate_requires_a_spec(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="--spec or --preset"):
+            main(["mitigate", "--dataset", "blobs"])
+
+    def test_set_mitigation_flows_into_spec(self, capsys):
+        import json
+
+        main(["spec", "--preset", "quick-analytical",
+              "--set", "mitigation.noise.epochs=4",
+              "--set", "mitigation.calibration.samples=32"])
+        payload = json.loads(capsys.readouterr().out)
+        node = payload["mitigation"]
+        assert node["noise"]["epochs"] == 4
+        assert node["calibration"]["samples"] == 32
+        from repro.api import EmulationSpec, get_preset
+
+        assert EmulationSpec.from_dict(payload).key() != \
+            get_preset("quick-analytical").key()
+
     def test_train_geniex_warms_the_faulty_key(self, tmp_path, capsys):
         """Pre-training a faulty spec must cache under the key the spec
         resolves to (nonideality-folded), not the clean one."""

@@ -107,6 +107,28 @@ class TestDriversMicro:
                 f"{engine}: variation should raise MVM error"
         assert "funcsim" in result.format()
 
+    def test_robustness_mitigated_columns(self):
+        from repro.api import get_preset
+        from repro.experiments.robustness import run_robustness
+        spec = get_preset("quick-analytical").evolve(xbar={"rows": 8,
+                                                           "cols": 8})
+        result = run_robustness(
+            spec=spec, engines=("analytical",),
+            sigmas=(0.0, 0.2), fault_rates=(0.0, 0.05),
+            drift_times=(0.0,), batch=8, mitigate=True)
+        assert result.mitigated
+        # Two columns inserted BEFORE the reuse marker: row[4] (raw
+        # RMSE) and row[-1] (reused) keep their positions.
+        for row in result.grid:
+            assert len(row) == 9
+            assert isinstance(row[4], float) and isinstance(row[6], float)
+            assert row[-1] in ("yes", "no")
+        faulty = [row for row in result.grid if row[-1] == "no"]
+        assert faulty, "the faulty cells must not reuse the clean solve"
+        # Calibration must recover part of every faulty cell's error.
+        assert all(row[6] < row[4] for row in faulty)
+        assert "mitig RMSE" in result.format()
+
     def test_robustness_rejects_ideal_engine(self):
         from repro.api import get_preset
         from repro.experiments.robustness import run_robustness
