@@ -135,10 +135,17 @@ def run_benchmark() -> dict:
                 assert np.array_equal(out, ref), \
                     f"{kind}/{backend}x{workers} diverged from serial"
                 rate = _time_inference(converted, image_sets)
+                # Cumulative per-stage wall time folded in from every
+                # shard worker (repro.obs.SpanTimings).
+                timings = converted.mvm_executor.span_timings.snapshot()
                 close_mvm_executor(converted)
                 entry["backends"][f"{backend}-{workers}"] = {
                     "images_per_s": round(rate, 3),
                     "speedup_vs_serial": round(rate / serial_rate, 3),
+                    "span_timings": {
+                        name: {"count": t["count"],
+                               "total_s": round(t["total_s"], 4)}
+                        for name, t in timings.items()},
                 }
         results["engines"][kind] = entry
     return results

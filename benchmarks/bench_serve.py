@@ -55,13 +55,14 @@ def _cache_dir():
     return env or os.path.join(tempfile.gettempdir(), "repro-bench-serve")
 
 
-def _boot(max_batch_rows: int):
+def _boot(max_batch_rows: int, tracing: bool = True):
     registry = ModelRegistry(GeniexZoo(cache_dir=_cache_dir()),
                              tile_cache_size=0)  # measure the model, not
     server = EmulationServer(registry,          # the tile-result cache
                              max_batch_rows=max_batch_rows,
                              flush_deadline_s=0.002,
-                             max_queue_rows=8192)
+                             max_queue_rows=8192,
+                             tracing=tracing)
     return ServerThread(server)
 
 
@@ -118,22 +119,27 @@ def _workload(port: int, weights_key: str, concurrency: int):
     return measured / elapsed, sum(rejected)
 
 
-def _run_mode(label: str, max_batch_rows: int) -> dict:
+def _run_mode(label: str, max_batch_rows: int,
+              tracing: bool = True) -> dict:
     results = {}
     for concurrency in CONCURRENCY:
-        with _boot(max_batch_rows) as handle:
+        with _boot(max_batch_rows, tracing=tracing) as handle:
             with ServeClient("127.0.0.1", handle.port, timeout=300) as c:
                 c.load_model(MODEL)
                 weights = (np.random.default_rng(7)
                            .standard_normal(LAYER_SHAPE) * 0.4)
                 key = c.register_weights(MODEL, weights, engine="geniex")
                 rps, rejected = _workload(handle.port, key, concurrency)
-                micro = c.metrics()["microbatch"]
+                metrics = c.metrics()
+                micro = metrics["microbatch"]
             results[str(concurrency)] = {
                 "requests_per_s": round(rps, 1),
                 "rejected": rejected,
                 "mean_batch_rows": round(micro["mean_rows_per_batch"], 2),
                 "batches": micro["batches"],
+                # Server-side latency histogram percentiles (ms), from
+                # the repro.obs metrics registry.
+                "latency": metrics.get("latency", {}),
             }
             print(f"{label:<12} c={concurrency:<3} "
                   f"{rps:>8.1f} req/s   "
@@ -142,11 +148,39 @@ def _run_mode(label: str, max_batch_rows: int) -> dict:
     return results
 
 
+def _tracing_overhead(micro: dict) -> dict:
+    """Re-run the microbatch c=16 point with tracing disabled.
+
+    Compares against the traced run from ``micro`` to put a number on
+    the per-request cost of span recording (metrics stay on in both —
+    they are constitutive of the serving layer, not optional).
+    """
+    concurrency = 16
+    with _boot(64, tracing=False) as handle:
+        with ServeClient("127.0.0.1", handle.port, timeout=300) as c:
+            c.load_model(MODEL)
+            weights = (np.random.default_rng(7)
+                       .standard_normal(LAYER_SHAPE) * 0.4)
+            key = c.register_weights(MODEL, weights, engine="geniex")
+            rps, _ = _workload(handle.port, key, concurrency)
+    traced_rps = micro[str(concurrency)]["requests_per_s"]
+    overhead_pct = (rps - traced_rps) / rps * 100.0 if rps else 0.0
+    print(f"tracing-off  c={concurrency:<3} {rps:>8.1f} req/s   "
+          f"(tracing overhead {overhead_pct:+.1f}%)")
+    return {
+        "concurrency": concurrency,
+        "requests_per_s_tracing_off": round(rps, 1),
+        "requests_per_s_tracing_on": traced_rps,
+        "overhead_pct": round(overhead_pct, 2),
+    }
+
+
 def run_bench() -> dict:
     print(f"\nserving benchmark: 64x32 layer on 16x16 GENIEx crossbar "
           f"tiles, {MEASURE_S:.0f}s per point, zoo cache at {_cache_dir()}")
     micro = _run_mode("microbatch", 64)
     single = _run_mode("per-request", 1)
+    overhead = _tracing_overhead(micro)
     speedups = {c: round(micro[c]["requests_per_s"]
                          / single[c]["requests_per_s"], 2)
                 for c in micro}
@@ -158,6 +192,7 @@ def run_bench() -> dict:
         "microbatch": micro,
         "per_request": single,
         "speedup": speedups,
+        "tracing_overhead": overhead,
     }
     with open(OUTPUT, "w") as handle:
         json.dump(report, handle, indent=2)

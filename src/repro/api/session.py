@@ -35,6 +35,7 @@ from repro.core.zoo import GeniexZoo
 from repro.errors import ConfigError
 from repro.funcsim.convert import convert_to_mvm
 from repro.funcsim.engine import PreparedMatrix, make_engine
+from repro.obs import span
 from repro.utils.cache import LruDict
 
 #: Prepared weight matrices memoised per session (keyed by content
@@ -95,10 +96,11 @@ class Session:
                 f"names and spec dicts")
         self.spec = spec
         self.zoo = zoo
-        if spec.engine == "geniex" and emulator is None:
-            emulator = resolve_emulator(spec, zoo=zoo, progress=progress)
-        self.emulator = emulator
-        self.engine = build_engine(spec, emulator=emulator)
+        with span("session-build", engine=spec.engine):
+            if spec.engine == "geniex" and emulator is None:
+                emulator = resolve_emulator(spec, zoo=zoo, progress=progress)
+            self.emulator = emulator
+            self.engine = build_engine(spec, emulator=emulator)
         # Evicting a prepared matrix also drops its layer program from
         # the attached executor (if any), so a sharded session streaming
         # many distinct matrices stays bounded on both sides.
@@ -191,7 +193,16 @@ class Session:
     # Introspection / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Engine counters, tile-cache counters and the spec digest."""
+        """Unified observability snapshot of this session.
+
+        Always carries ``spec_key`` and the engine's event counters
+        (``engine``); adds ``tile_cache`` counters when the engine keeps
+        a tile-result cache, and ``runtime`` — the attached executor's
+        cumulative per-stage span timings (``{stage: {count, total_s}}``,
+        folded in from every shard worker) — when the session runs on a
+        sharded executor. Reading the snapshot never perturbs caches or
+        counters.
+        """
         out = {"spec_key": self.spec.key(),
                "engine": self.engine.stats.snapshot()
                if hasattr(self.engine, "stats") else {}}
@@ -200,6 +211,13 @@ class Session:
             hits, misses = cache.counters()
             out["tile_cache"] = {"hits": hits, "misses": misses,
                                  "size": len(cache)}
+        executor = getattr(self.engine, "executor", None)
+        if executor is not None:
+            out["runtime"] = {
+                "backend": executor.name,
+                "workers": executor.workers,
+                "span_timings": executor.span_timings.snapshot(),
+            }
         return out
 
     def close(self, wait: bool = True) -> None:

@@ -8,7 +8,11 @@ Commands:
 * ``fig`` — regenerate one of the paper's figures/tables from the terminal;
 * ``mitigate`` — run a spec's mitigation recipe (noise-injection training
   and/or output calibration) against its faulty engine on a dataset;
-* ``serve`` — run the async emulation service with dynamic microbatching.
+* ``serve`` — run the async emulation service with dynamic microbatching;
+* ``obs`` — per-stage latency report from a server's recent traces.
+
+``--log-level`` (or ``REPRO_LOG_LEVEL``) tunes the stdlib logging the
+commands emit under the ``repro.*`` logger hierarchy.
 
 The canonical description of an emulation setup is
 :class:`repro.api.spec.EmulationSpec`; ``characterize``, ``train-geniex``
@@ -331,11 +335,13 @@ def _cmd_mitigate(args) -> int:
 
 def _cmd_serve(args) -> int:
     import asyncio
+    import logging
 
     from repro.core.zoo import GeniexZoo
     from repro.serve.registry import ModelRegistry
     from repro.serve.server import EmulationServer
 
+    log = logging.getLogger("repro.cli")
     registry = ModelRegistry(
         GeniexZoo(cache_dir=args.cache_dir, verbose=True,
                   max_memory_entries=args.max_models),
@@ -351,9 +357,8 @@ def _cmd_serve(args) -> int:
 
     async def run() -> None:
         await server.start(args.host, args.port)
-        print(f"repro serve listening on http://{server.host}:{server.port} "
-              f"(max_batch={args.max_batch}, "
-              f"flush_deadline={args.flush_deadline_ms:g} ms)", flush=True)
+        log.info("serve options: max_batch=%d flush_deadline=%g ms",
+                 args.max_batch, args.flush_deadline_ms)
         try:
             await server.serve_forever()
         except asyncio.CancelledError:
@@ -364,7 +369,33 @@ def _cmd_serve(args) -> int:
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
-        print("repro serve: shutting down", flush=True)
+        log.info("shutting down")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.errors import ConfigError
+    from repro.obs import format_stage_report, stage_report
+
+    if args.input:
+        with open(args.input) as handle:
+            payload = json.load(handle)
+        traces = payload["traces"] if isinstance(payload, dict) else payload
+    else:
+        from repro.serve.client import ServeClient
+        with ServeClient(args.host, args.port) as client:
+            traces = client.traces()
+    if not isinstance(traces, list):
+        raise ConfigError(
+            "expected a trace list (or a {'traces': [...]} dump, the "
+            "/v1/debug/traces response shape)")
+    report = stage_report(traces)
+    if args.json:
+        print(json.dumps({"traces": len(traces), "stages": report},
+                         indent=2))
+    else:
+        print(f"{len(traces)} traces")
+        print(format_stage_report(report))
     return 0
 
 
@@ -372,6 +403,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="GENIEx reproduction command-line interface")
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL",
+        help="logging level for repro.* loggers (DEBUG/INFO/WARNING/...; "
+             "default: $REPRO_LOG_LEVEL or INFO)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_char = sub.add_parser("characterize",
@@ -459,11 +494,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="GENIEx zoo directory (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro/geniex)")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_obs = sub.add_parser(
+        "obs", help="per-stage latency report from serve traces")
+    p_obs.add_argument("--input", default=None, metavar="FILE",
+                       help="trace dump file (a /v1/debug/traces response "
+                            "or a bare trace list); default: fetch live")
+    p_obs.add_argument("--host", default="127.0.0.1",
+                       help="server to fetch traces from (without --input)")
+    p_obs.add_argument("--port", type=int, default=8000)
+    p_obs.add_argument("--json", action="store_true",
+                       help="emit the report as JSON instead of a table")
+    p_obs.set_defaults(func=_cmd_obs)
     return parser
 
 
 def main(argv=None) -> int:
+    from repro.obs import setup_logging
+
     args = build_parser().parse_args(argv)
+    setup_logging(args.log_level)
     return args.func(args)
 
 

@@ -11,6 +11,7 @@ self-contained.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 import threading
@@ -25,6 +26,8 @@ from repro.core.trainer import TrainSpec, train_geniex
 from repro.errors import SerializationError
 from repro.utils.cache import LruDict
 from repro.xbar.config import CrossbarConfig
+
+_log = logging.getLogger("repro.zoo")
 
 
 def default_cache_dir() -> str:
@@ -51,6 +54,21 @@ class GeniexZoo:
         # characterisation + training runs at most once.
         self._mutex = threading.Lock()
         self._key_locks: dict[str, threading.Lock] = {}
+        # get-or-train outcome counters (guarded by ``_mutex``); exposed
+        # via :meth:`counters` so the serving registry can federate them
+        # into its metrics namespace.
+        self._counters = {"calls": 0, "memory_hits": 0, "disk_loads": 0,
+                          "trains": 0}
+
+    def _count(self, outcome: str) -> None:
+        with self._mutex:
+            self._counters["calls"] += 1
+            self._counters[outcome] += 1
+
+    def counters(self) -> dict:
+        """Snapshot of get-or-train outcome counts."""
+        with self._mutex:
+            return dict(self._counters)
 
     def _lock_for(self, key: str) -> threading.Lock:
         with self._mutex:
@@ -241,6 +259,7 @@ class GeniexZoo:
                                 nonideality=nonideality)
         cached = self._memory.get(key)
         if cached is not None:
+            self._count("memory_hits")
             return cached
         try:
             with self._lock_for(key):
@@ -248,17 +267,18 @@ class GeniexZoo:
                 # trained (or loaded) the artifact while we waited.
                 cached = self._memory.get(key)
                 if cached is not None:
+                    self._count("memory_hits")
                     return cached
                 path = self._path(key)
                 emulator = self._load_if_present(path)
                 if emulator is None:
-                    if self.verbose or progress:
-                        print(f"[geniex-zoo] training model for "
-                              f"{config.rows}x{config.cols} "
-                              f"r_on={config.r_on_ohm:g} "
-                              f"onoff={config.onoff_ratio:g} "
-                              f"v={config.v_supply_v:g} (key {key})",
-                              flush=True)
+                    _log.log(
+                        logging.INFO if (self.verbose or progress)
+                        else logging.DEBUG,
+                        "training model for %dx%d r_on=%g onoff=%g v=%g "
+                        "(key %s)", config.rows, config.cols,
+                        config.r_on_ohm, config.onoff_ratio,
+                        config.v_supply_v, key)
                     dataset = build_geniex_dataset(config, sampling,
                                                    mode=mode,
                                                    progress=progress)
@@ -266,6 +286,9 @@ class GeniexZoo:
                                             verbose=progress)
                     self.save_model(model, path)
                     emulator = GeniexEmulator(model)
+                    self._count("trains")
+                else:
+                    self._count("disk_loads")
                 self._memory.put(key, emulator)
                 return emulator
         finally:

@@ -77,11 +77,13 @@ from repro.funcsim.config import FuncSimConfig
 from repro.funcsim.planner import plan_layer
 from repro.funcsim.runtime.base import make_executor
 from repro.funcsim.runtime.kernel import (
+    STAT_FIELDS,
     active_signs,
     execute_tile_row,
     new_stat_counts,
     quantize_input,
 )
+from repro.obs import span
 from repro.funcsim.slicing import sign_split, split_unsigned
 from repro.funcsim.tiles import n_tiles, tile_matrix
 from repro.nonideal.pipeline import as_pipeline
@@ -472,8 +474,9 @@ class EngineStats:
     aggregate into one coherent report instead of racing on increments.
     """
 
-    FIELDS = ("matmuls", "readouts", "skipped_zero_streams",
-              "adc_conversions", "cache_hits")
+    # Aliases the kernel's schema: one tuple defines which counters
+    # exist, everywhere (shard dicts, merge validation, snapshots, repr).
+    FIELDS = STAT_FIELDS
 
     def __init__(self):
         self._lock = threading.Lock()
@@ -488,6 +491,10 @@ class EngineStats:
         """Consistent copy of all counters."""
         with self._lock:
             return {field: getattr(self, field) for field in self.FIELDS}
+
+    def as_dict(self) -> dict:
+        """Alias of :meth:`snapshot` (dict-like reporting surfaces)."""
+        return self.snapshot()
 
     def merge(self, other) -> "EngineStats":
         """Fold another stats object (or counter mapping) into this one."""
@@ -509,12 +516,16 @@ class EngineStats:
         for field in self.FIELDS:
             setattr(self, field, state.get(field, 0))
 
+    # Short labels for the repr; fields without one print in full.
+    _REPR_LABELS = {"skipped_zero_streams": "skipped",
+                    "adc_conversions": "adc"}
+
     def __repr__(self):
-        return (f"EngineStats(matmuls={self.matmuls}, "
-                f"readouts={self.readouts}, "
-                f"skipped={self.skipped_zero_streams}, "
-                f"adc={self.adc_conversions}, "
-                f"cache_hits={self.cache_hits})")
+        counts = self.snapshot()
+        body = ", ".join(
+            f"{self._REPR_LABELS.get(field, field)}={counts[field]}"
+            for field in self.FIELDS)
+        return f"EngineStats({body})"
 
 
 # ----------------------------------------------------------------------
@@ -691,21 +702,27 @@ class CrossbarMvmEngine:
         if self.executor is not None:
             self.executor.add_layer(prepared.uid, program)
             return self.executor.matmul(prepared.uid, x, stats=self.stats)
-        plan = program.plan
-        qx = quantize_input(plan, x)
-        x_signs = active_signs(qx)
-        counts = new_stat_counts()
-        counts["matmuls"] = 1
-        acc = plan.sim_config.accumulator_format
-        out_value = np.zeros((qx.shape[0], plan.out_width))
-        for tr in range(plan.t_r):
-            tr_counts = execute_tile_row(program, qx, x_signs, tr, self.adc,
-                                         cache=self.tile_cache, stats=counts)
-            # Tile-row partial sums accumulate through the fixed-point
-            # accumulator register (paper: 32-bit, 24 fractional).
-            out_value = acc.quantize(out_value + tr_counts * plan.value_lsb)
-        self.stats.merge(counts)
-        return out_value[:, :prepared.n_out]
+        # The span observes wall time only — no RNG, no numeric state —
+        # so traced and untraced runs are bit-identical.
+        with span("engine-compute"):
+            plan = program.plan
+            qx = quantize_input(plan, x)
+            x_signs = active_signs(qx)
+            counts = new_stat_counts()
+            counts["matmuls"] = 1
+            acc = plan.sim_config.accumulator_format
+            out_value = np.zeros((qx.shape[0], plan.out_width))
+            for tr in range(plan.t_r):
+                tr_counts = execute_tile_row(program, qx, x_signs, tr,
+                                             self.adc,
+                                             cache=self.tile_cache,
+                                             stats=counts)
+                # Tile-row partial sums accumulate through the fixed-point
+                # accumulator register (paper: 32-bit, 24 fractional).
+                out_value = acc.quantize(out_value
+                                         + tr_counts * plan.value_lsb)
+            self.stats.merge(counts)
+            return out_value[:, :prepared.n_out]
 
     def close(self, wait: bool = True) -> None:
         """Release the attached executor's workers (if any).

@@ -23,6 +23,7 @@ determinism contract.
 from __future__ import annotations
 
 import threading
+from time import perf_counter
 
 import numpy as np
 
@@ -38,6 +39,7 @@ from repro.funcsim.runtime.kernel import (
     quantize_input,
     shard_adc,
 )
+from repro.obs import SpanTimings, span
 
 #: Work (activation elements x tile-rows) below which the parallel
 #: backends run shards inline on the calling thread: pool dispatch / IPC
@@ -62,6 +64,10 @@ class ExecutorBase:
         # the small-work inline fallback.
         self.inline_work_threshold = INLINE_WORK_THRESHOLD
         self.stats = EngineStats()
+        # Cumulative per-stage wall times; shard workers record into a
+        # per-call accumulator which folds in here, exactly like the
+        # event counters fold into ``stats``.
+        self.span_timings = SpanTimings()
         self._programs: dict = {}
         self._seq: dict = {}
         self._caches: dict = {}
@@ -142,32 +148,41 @@ class ExecutorBase:
             seq = self._seq[layer_id]
             self._seq[layer_id] = seq + 1
         plan = program.plan
-        qx = quantize_input(plan, x)
-        batch = qx.shape[0]
-        chunks = chunk_ranges(batch, self.shard_rows)
-        # Activation signs are a per-chunk property shared by every
-        # tile-row shard of the chunk; compute them once here.
-        signs = [active_signs(qx[start:stop]) for start, stop in chunks]
-        counts = np.empty((plan.t_r, batch, plan.out_width))
-        call_stats = new_stat_counts()
-        call_stats["matmuls"] = 1
-        if self._closed:
-            self._run_shards_inline(layer_id, program, qx, chunks, signs,
-                                    seq, counts, call_stats)
-        else:
-            self._run_shards(layer_id, program, qx, chunks, signs, seq,
-                             counts, call_stats)
-        out = merge_tile_rows(plan, counts)
+        with span("engine-compute", layer=layer_id, backend=self.name):
+            qx = quantize_input(plan, x)
+            batch = qx.shape[0]
+            chunks = chunk_ranges(batch, self.shard_rows)
+            # Activation signs are a per-chunk property shared by every
+            # tile-row shard of the chunk; compute them once here.
+            signs = [active_signs(qx[start:stop]) for start, stop in chunks]
+            counts = np.empty((plan.t_r, batch, plan.out_width))
+            call_stats = new_stat_counts()
+            call_stats["matmuls"] = 1
+            call_timings = SpanTimings()
+            t_shards = perf_counter()
+            with span("tile-shards", shards=len(chunks) * plan.t_r):
+                if self._closed:
+                    self._run_shards_inline(layer_id, program, qx, chunks,
+                                            signs, seq, counts, call_stats,
+                                            call_timings)
+                else:
+                    self._run_shards(layer_id, program, qx, chunks, signs,
+                                     seq, counts, call_stats, call_timings)
+            call_timings.add("tile-shards", perf_counter() - t_shards)
+            out = merge_tile_rows(plan, counts)
         self.stats.merge(call_stats)
+        self.span_timings.merge(call_timings)
         if stats is not None and stats is not self.stats:
             stats.merge(call_stats)
         return out
 
     def _run_shards(self, layer_id: str, program: LayerProgram,
                     qx: np.ndarray, chunks: list, signs: list, seq: int,
-                    counts: np.ndarray, call_stats: dict) -> None:
-        """Fill ``counts[tr, start:stop]`` for every (tile-row, chunk) shard
-        and accumulate event counters into ``call_stats``."""
+                    counts: np.ndarray, call_stats: dict,
+                    call_timings: SpanTimings) -> None:
+        """Fill ``counts[tr, start:stop]`` for every (tile-row, chunk) shard,
+        accumulating event counters into ``call_stats`` and per-shard wall
+        times into ``call_timings`` (under the ``"shard"`` stage name)."""
         raise NotImplementedError
 
     def _cache_for(self, layer_id: str, program: LayerProgram):
@@ -184,7 +199,7 @@ class ExecutorBase:
         return cache
 
     def _run_shards_inline(self, layer_id, program, qx, chunks, signs, seq,
-                           counts, call_stats) -> None:
+                           counts, call_stats, call_timings) -> None:
         """Serial reference schedule, shared by every backend.
 
         The parallel backends fall back to it for small matmuls (below
@@ -197,9 +212,11 @@ class ExecutorBase:
             qx_chunk = qx[start:stop]
             for tr in range(plan.t_r):
                 adc = shard_adc(plan, seq, tr, chunk_idx)
+                t0 = perf_counter()
                 counts[tr, start:stop] = execute_tile_row(
                     program, qx_chunk, signs[chunk_idx], tr, adc,
                     cache=cache, stats=call_stats)
+                call_timings.add("shard", perf_counter() - t0)
 
     def _is_small_work(self, plan, qx: np.ndarray) -> bool:
         return qx.size * plan.t_r <= self.inline_work_threshold

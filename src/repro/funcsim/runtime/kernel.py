@@ -236,7 +236,15 @@ def merge_tile_rows(plan: LayerPlan, counts: np.ndarray) -> np.ndarray:
     return out_value[:, :plan.n_out]
 
 
+#: Every per-shard counter, in report order. The single source of truth
+#: for the stat schema: ``EngineStats.FIELDS`` aliases this tuple, so the
+#: kernel's shard-local dicts and the engine's cumulative report can
+#: never drift apart (a new counter added here is automatically counted,
+#: merged, snapshotted and serialised everywhere).
+STAT_FIELDS = ("matmuls", "readouts", "skipped_zero_streams",
+               "adc_conversions", "cache_hits")
+
+
 def new_stat_counts() -> dict:
     """Fresh per-shard counter dict (mergeable into ``EngineStats``)."""
-    return {"matmuls": 0, "readouts": 0, "skipped_zero_streams": 0,
-            "adc_conversions": 0, "cache_hits": 0}
+    return dict.fromkeys(STAT_FIELDS, 0)

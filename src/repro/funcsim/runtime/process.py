@@ -24,6 +24,7 @@ import pickle
 import threading
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import shared_memory
+from time import perf_counter
 
 import numpy as np
 
@@ -35,6 +36,7 @@ from repro.funcsim.runtime.kernel import (
     new_stat_counts,
     shard_adc,
 )
+from repro.obs import SpanTimings
 
 # ----------------------------------------------------------------------
 # Worker-process state and entry points
@@ -63,11 +65,12 @@ def _worker_cache(layer_id):
 
 def _worker_run(layer_id: str, in_name: str, in_shape: tuple,
                 out_name: str, out_shape: tuple, seq: int,
-                signs: list, tasks: list) -> dict:
+                signs: list, tasks: list) -> tuple:
     """Execute a group of (chunk_idx, start, stop, tr) shards.
 
     Activations are read from — and decoded counts written to — the named
-    shared-memory segments; only the event counters travel back by pickle.
+    shared-memory segments; only the event counters and the worker-local
+    span-timing snapshot travel back by pickle, as ``(stats, timings)``.
     """
     program = _WORKER["programs"][layer_id]
     cache = _worker_cache(layer_id)
@@ -75,18 +78,21 @@ def _worker_run(layer_id: str, in_name: str, in_shape: tuple,
     shm_in = shared_memory.SharedMemory(name=in_name)
     shm_out = shared_memory.SharedMemory(name=out_name)
     stats = new_stat_counts()
+    timings = SpanTimings()
     try:
         qx = np.ndarray(in_shape, dtype=np.int64, buffer=shm_in.buf)
         counts = np.ndarray(out_shape, dtype=np.float64, buffer=shm_out.buf)
         for chunk_idx, start, stop, tr in tasks:
             adc = shard_adc(plan, seq, tr, chunk_idx)
+            t0 = perf_counter()
             counts[tr, start:stop] = execute_tile_row(
                 program, qx[start:stop], signs[chunk_idx], tr, adc,
                 cache=cache, stats=stats)
+            timings.add("shard", perf_counter() - t0)
     finally:
         shm_in.close()
         shm_out.close()
-    return stats
+    return stats, timings.snapshot()
 
 
 class ProcessExecutor(ExecutorBase):
@@ -134,18 +140,18 @@ class ProcessExecutor(ExecutorBase):
 
     # ------------------------------------------------------------------
     def _run_shards(self, layer_id, program, qx, chunks, signs, seq, counts,
-                    call_stats) -> None:
+                    call_stats, call_timings) -> None:
         plan = program.plan
         if self._is_small_work(plan, qx):
             # Shared-memory setup and submit IPC would dwarf the compute;
             # same shards, same noise keying, identical results.
             self._run_shards_inline(layer_id, program, qx, chunks, signs,
-                                    seq, counts, call_stats)
+                                    seq, counts, call_stats, call_timings)
             return
         pool = self._ensure_pool()
         if pool is None:  # closed concurrently: degrade to inline
             self._run_shards_inline(layer_id, program, qx, chunks, signs,
-                                    seq, counts, call_stats)
+                                    seq, counts, call_stats, call_timings)
             return
         tasks = [(chunk_idx, start, stop, tr)
                  for chunk_idx, (start, stop) in enumerate(chunks)
@@ -170,9 +176,10 @@ class ProcessExecutor(ExecutorBase):
                                    seq, signs, group)
                        for group in groups]
             for future in futures:
-                worker_stats = future.result()
+                worker_stats, worker_timings = future.result()
                 for key, value in worker_stats.items():
                     call_stats[key] += value
+                call_timings.merge(worker_timings)
             counts[...] = shared_counts
         finally:
             shm_in.close()

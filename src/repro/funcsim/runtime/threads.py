@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 
 from repro.funcsim.runtime.base import ExecutorBase
 from repro.funcsim.runtime.kernel import (
@@ -49,13 +50,13 @@ class ThreadExecutor(ExecutorBase):
             return self._pool
 
     def _run_shards(self, layer_id, program, qx, chunks, signs, seq, counts,
-                    call_stats) -> None:
+                    call_stats, call_timings) -> None:
         plan = program.plan
         if self._is_small_work(plan, qx):
             # Pool dispatch would cost more than the compute; same shards,
             # same noise keying, identical results.
             self._run_shards_inline(layer_id, program, qx, chunks, signs,
-                                    seq, counts, call_stats)
+                                    seq, counts, call_stats, call_timings)
             return
         cache = self._cache_for(layer_id, program)
         merge_lock = threading.Lock()
@@ -64,10 +65,14 @@ class ThreadExecutor(ExecutorBase):
             chunk_idx, start, stop, tr = task
             local = new_stat_counts()
             adc = shard_adc(plan, seq, tr, chunk_idx)
+            t0 = perf_counter()
             # Disjoint (tr, chunk) slab: safe to write without a lock.
             counts[tr, start:stop] = execute_tile_row(
                 program, qx[start:stop], signs[chunk_idx], tr, adc,
                 cache=cache, stats=local)
+            # SpanTimings.add is internally locked, so worker threads
+            # record straight into the shared per-call accumulator.
+            call_timings.add("shard", perf_counter() - t0)
             with merge_lock:
                 for key, value in local.items():
                     call_stats[key] += value
@@ -78,7 +83,7 @@ class ThreadExecutor(ExecutorBase):
         pool = self._ensure_pool()
         if pool is None:  # closed concurrently: degrade to inline
             self._run_shards_inline(layer_id, program, qx, chunks, signs,
-                                    seq, counts, call_stats)
+                                    seq, counts, call_stats, call_timings)
             return
         # list() propagates the first worker exception to the caller.
         list(pool.map(run, tasks))

@@ -1,0 +1,46 @@
+"""Logging setup for the ``repro.*`` logger hierarchy.
+
+All repro modules log through ``logging.getLogger("repro.<area>")``;
+nothing is emitted until an application configures a handler. The CLI
+(and any embedding application that wants console output) calls
+:func:`setup_logging` once — it attaches a stream handler to the
+``repro`` root logger, honouring ``--log-level`` / ``REPRO_LOG_LEVEL``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+
+DEFAULT_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+ENV_VAR = "REPRO_LOG_LEVEL"
+
+
+def resolve_level(level=None) -> int:
+    """Numeric level from an explicit arg, ``REPRO_LOG_LEVEL``, or INFO."""
+    if level is None:
+        level = os.environ.get(ENV_VAR) or "INFO"
+    if isinstance(level, int):
+        return level
+    name = str(level).strip().upper()
+    resolved = logging.getLevelName(name)
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    return resolved
+
+
+def setup_logging(level=None, stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger tree (idempotent).
+
+    Returns the ``repro`` root logger. A second call only adjusts the
+    level, so library users and tests can call it freely without
+    duplicating handlers.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(resolve_level(level))
+    if not logger.handlers:
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(DEFAULT_FORMAT))
+        logger.addHandler(handler)
+        logger.propagate = False
+    return logger

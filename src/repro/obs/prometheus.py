@@ -1,0 +1,72 @@
+"""Prometheus text exposition (version 0.0.4) for registry snapshots.
+
+Renders the JSON-ready dict produced by
+:meth:`repro.obs.metrics.MetricsRegistry.snapshot` into the plain-text
+format Prometheus scrapes: ``# HELP`` / ``# TYPE`` headers per family,
+one sample line per child, and for histograms the cumulative
+``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (text.replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _format_value(value) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    f = float(value)
+    if f.is_integer() and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _labels_text(labels: dict, extra: dict | None = None) -> str:
+    items = list(labels.items())
+    if extra:
+        items.extend(extra.items())
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(str(v))}"'
+                    for k, v in items)
+    return "{" + body + "}"
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render a registry snapshot as Prometheus text exposition."""
+    lines = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("type", "counter")
+        help_text = family.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in family.get("values", []):
+            labels = entry.get("labels", {})
+            if kind == "histogram":
+                for bound, cumulative in entry["buckets"]:
+                    le = "+Inf" if bound == "+Inf" \
+                        else _format_value(bound)
+                    lines.append(
+                        f"{name}_bucket{_labels_text(labels, {'le': le})}"
+                        f" {_format_value(cumulative)}")
+                lines.append(f"{name}_sum{_labels_text(labels)}"
+                             f" {_format_value(entry['sum'])}")
+                lines.append(f"{name}_count{_labels_text(labels)}"
+                             f" {_format_value(entry['count'])}")
+            else:
+                lines.append(f"{name}{_labels_text(labels)}"
+                             f" {_format_value(entry['value'])}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,84 @@
+"""Per-stage latency reports over trace dumps (``repro obs``).
+
+Takes the trace dicts served by ``/v1/debug/traces`` (or dumped to a
+file) and aggregates span durations by stage name across every trace,
+walking nested children. Percentiles here are exact — computed from the
+raw per-span durations, not bucketed — because a trace dump is small and
+offline analysis can afford it.
+"""
+
+from __future__ import annotations
+
+
+def _walk(span_dicts, visit) -> None:
+    for s in span_dicts:
+        visit(s)
+        children = s.get("children")
+        if children:
+            _walk(children, visit)
+
+
+def _exact_percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def stage_report(traces) -> dict:
+    """Aggregate span durations by stage name across trace dicts.
+
+    Returns ``{stage: {count, total_ms, mean_ms, p50_ms, p95_ms,
+    p99_ms, max_ms}}``.
+    """
+    durations: dict = {}
+
+    def visit(span_dict):
+        name = span_dict.get("name", "?")
+        durations.setdefault(name, []).append(
+            float(span_dict.get("duration_ms", 0.0)))
+
+    for trace in traces:
+        _walk(trace.get("spans", []), visit)
+
+    report = {}
+    for name, values in durations.items():
+        values.sort()
+        total = sum(values)
+        report[name] = {
+            "count": len(values),
+            "total_ms": round(total, 3),
+            "mean_ms": round(total / len(values), 3),
+            "p50_ms": round(_exact_percentile(values, 0.50), 3),
+            "p95_ms": round(_exact_percentile(values, 0.95), 3),
+            "p99_ms": round(_exact_percentile(values, 0.99), 3),
+            "max_ms": round(values[-1], 3),
+        }
+    return report
+
+
+def format_stage_report(report: dict) -> str:
+    """Fixed-width table, stages sorted by total time descending."""
+    headers = ("stage", "count", "total_ms", "mean_ms", "p50_ms",
+               "p95_ms", "p99_ms", "max_ms")
+    rows = [headers]
+    ordered = sorted(report.items(), key=lambda kv: -kv[1]["total_ms"])
+    for name, stats in ordered:
+        rows.append((name, str(stats["count"]),
+                     f"{stats['total_ms']:.3f}", f"{stats['mean_ms']:.3f}",
+                     f"{stats['p50_ms']:.3f}", f"{stats['p95_ms']:.3f}",
+                     f"{stats['p99_ms']:.3f}", f"{stats['max_ms']:.3f}"))
+    widths = [max(len(row[i]) for row in rows) for i in range(len(headers))]
+    lines = []
+    for idx, row in enumerate(rows):
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[i].rjust(widths[i]) for i in range(1, len(headers))]
+        lines.append("  ".join(cells).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -145,6 +145,31 @@ class ServeClient:
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
 
+    def prometheus_metrics(self) -> str:
+        """The ``/metrics`` endpoint in Prometheus text exposition.
+
+        Sends ``Accept: text/plain`` (the content-negotiation trigger)
+        and returns the raw exposition text; :meth:`metrics` keeps the
+        default JSON shape.
+        """
+        conn = self._connection()
+        try:
+            conn.request("GET", "/metrics",
+                         headers={"Connection": "keep-alive",
+                                  "Accept": "text/plain"})
+            response = conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            self.close()
+            raise
+        if not 200 <= response.status < 300:
+            raise ServerError(response.status, data.decode(errors="replace"))
+        return data.decode()
+
+    def traces(self) -> list:
+        """Recent request traces from ``/v1/debug/traces``."""
+        return self._request("GET", "/v1/debug/traces")["traces"]
+
     def models(self) -> list:
         return self._request("GET", "/v1/models")["models"]
 

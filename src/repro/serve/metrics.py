@@ -1,83 +1,196 @@
-"""Thread-safe serving metrics: counters, gauges and the batch histogram.
+"""Serving metrics on top of the :mod:`repro.obs` registry.
 
-One :class:`ServeMetrics` instance is shared between the asyncio event loop
-(request accounting) and the scheduler's executor threads (batch
-accounting), hence the lock. ``snapshot`` renders everything into the plain
-JSON object the ``/metrics`` endpoint returns.
+One :class:`ServeMetrics` instance is shared between the asyncio event
+loop (request accounting) and the scheduler's executor threads (batch
+accounting). Every figure lives in an :class:`~repro.obs.MetricsRegistry`
+instrument — the Prometheus ``/metrics`` exposition renders straight
+from ``self.registry`` — while :meth:`snapshot` keeps producing the
+established JSON object (with a new ``latency`` section) for the JSON
+``/metrics`` surface and existing dashboards.
+
+Hot-path discipline: children are resolved once (memoised per endpoint /
+status / reason) so the per-event cost is a lock-guarded add, never a
+name lookup.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import Counter
+
+from repro.obs import MetricsRegistry
+
+#: Batch-size buckets: powers of two up to the row cap, in rows.
+BATCH_ROWS_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, float("inf"))
 
 
 class ServeMetrics:
-    """Cumulative serving counters for one server instance."""
+    """Cumulative serving metrics for one server instance.
 
-    def __init__(self):
-        self._lock = threading.Lock()
-        self.requests: Counter = Counter()       # endpoint -> count
-        self.responses: Counter = Counter()      # HTTP status -> count
-        self.rejected = 0                        # 429s from backpressure
-        # Microbatching: one observation per flushed batch.
-        self.batches = 0
-        self.batched_rows = 0
-        self.batched_requests = 0
-        self.batch_rows_histogram: Counter = Counter()  # rows -> batches
-        # full | deadline | completion | drain
-        self.flush_reasons: Counter = Counter()
-        # Queue gauges (updated by the scheduler).
-        self.queue_rows = 0
-        self.queue_rows_peak = 0
+    Each server owns its registry by default so several servers booted in
+    one test process never cross-pollute; pass a shared registry to
+    aggregate.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        reg = self.registry
+        self._requests = reg.counter(
+            "repro_http_requests_total",
+            "HTTP requests accepted, by endpoint.", labelnames=("endpoint",))
+        self._responses = reg.counter(
+            "repro_http_responses_total",
+            "HTTP responses sent, by status code.", labelnames=("status",))
+        self._rejected = reg.counter(
+            "repro_http_rejected_total",
+            "Requests rejected with 429 by queue backpressure.")
+        self._http_seconds = reg.histogram(
+            "repro_http_request_duration_seconds",
+            "End-to-end request latency, by endpoint.",
+            labelnames=("endpoint",))
+        self._queue_wait_seconds = reg.histogram(
+            "repro_queue_wait_seconds",
+            "Time a request's rows waited in the microbatch queue.")
+        self._batch_execute_seconds = reg.histogram(
+            "repro_batch_execute_seconds",
+            "Executor time per flushed batch (stack + compute + split).")
+        self._batches = reg.counter(
+            "repro_microbatch_batches_total",
+            "Flushed microbatches, by flush reason.", labelnames=("reason",))
+        self._batched_rows = reg.counter(
+            "repro_microbatch_rows_total",
+            "Rows executed through flushed microbatches.")
+        self._batched_requests = reg.counter(
+            "repro_microbatch_requests_total",
+            "Requests coalesced into flushed microbatches.")
+        self._batch_rows_hist = reg.histogram(
+            "repro_microbatch_batch_rows",
+            "Rows per flushed microbatch.", buckets=BATCH_ROWS_BUCKETS)
+        self._queue_rows = reg.gauge(
+            "repro_queue_rows", "Rows currently queued for batching.")
+        self._queue_rows_peak = reg.gauge(
+            "repro_queue_rows_peak", "High-water mark of queued rows.")
+        # Memoised label children (hot path: one dict hit, no kwargs).
+        self._by_endpoint: dict = {}
+        self._by_status: dict = {}
+        self._by_reason: dict = {}
+        self._lat_by_endpoint: dict = {}
+        # The queue gauge needs read-modify-write for the peak; small
+        # dedicated lock rather than abusing an instrument's.
+        self._queue_lock = threading.Lock()
+        # Exact rows -> batches counts for the legacy JSON histogram.
+        self._rows_exact: dict = {}
+        self._rows_exact_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def record_request(self, endpoint: str) -> None:
-        with self._lock:
-            self.requests[endpoint] += 1
+        child = self._by_endpoint.get(endpoint)
+        if child is None:
+            child = self._by_endpoint[endpoint] = \
+                self._requests.labels(endpoint=endpoint)
+        child.inc()
 
     def record_response(self, status: int) -> None:
-        with self._lock:
-            self.responses[status] += 1
-            if status == 429:
-                self.rejected += 1
+        child = self._by_status.get(status)
+        if child is None:
+            child = self._by_status[status] = \
+                self._responses.labels(status=status)
+        child.inc()
+        if status == 429:
+            self._rejected.inc()
+
+    def observe_http(self, endpoint: str, duration_s: float) -> None:
+        child = self._lat_by_endpoint.get(endpoint)
+        if child is None:
+            child = self._lat_by_endpoint[endpoint] = \
+                self._http_seconds.labels(endpoint=endpoint)
+        child.observe(duration_s)
+
+    def record_queue_wait(self, duration_s: float) -> None:
+        self._queue_wait_seconds.observe(duration_s)
+
+    def record_batch_execute(self, duration_s: float) -> None:
+        self._batch_execute_seconds.observe(duration_s)
 
     def record_batch(self, rows: int, requests: int, reason: str) -> None:
-        with self._lock:
-            self.batches += 1
-            self.batched_rows += rows
-            self.batched_requests += requests
-            self.batch_rows_histogram[rows] += 1
-            self.flush_reasons[reason] += 1
+        child = self._by_reason.get(reason)
+        if child is None:
+            child = self._by_reason[reason] = \
+                self._batches.labels(reason=reason)
+        child.inc()
+        self._batched_rows.inc(rows)
+        self._batched_requests.inc(requests)
+        self._batch_rows_hist.observe(rows)
+        with self._rows_exact_lock:
+            self._rows_exact[rows] = self._rows_exact.get(rows, 0) + 1
 
     def record_queue_delta(self, delta_rows: int) -> None:
-        with self._lock:
-            self.queue_rows += delta_rows
-            self.queue_rows_peak = max(self.queue_rows_peak, self.queue_rows)
+        with self._queue_lock:
+            rows = self._queue_rows._default.value + delta_rows
+            self._queue_rows.set(rows)
+            if rows > self._queue_rows_peak._default.value:
+                self._queue_rows_peak.set(rows)
 
     # ------------------------------------------------------------------
+    @property
+    def queue_rows(self) -> int:
+        return self._queue_rows._default.value
+
+    @property
+    def queue_rows_peak(self) -> int:
+        return self._queue_rows_peak._default.value
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sum_family(family) -> dict:
+        return {entry["labels"][family.labelnames[0]]: entry["value"]
+                for entry in family.snapshot()["values"]}
+
+    @staticmethod
+    def _latency_summary(family) -> dict:
+        agg = family.aggregate()
+        return {"count": agg["count"],
+                "p50_ms": round(agg["p50"] * 1e3, 3),
+                "p95_ms": round(agg["p95"] * 1e3, 3),
+                "p99_ms": round(agg["p99"] * 1e3, 3),
+                "mean_ms": round(
+                    agg["sum"] / agg["count"] * 1e3, 3)
+                if agg["count"] else 0.0}
+
     def snapshot(self) -> dict:
-        with self._lock:
-            batches = self.batches
-            return {
-                "requests": dict(self.requests),
-                "responses": {str(k): v for k, v in self.responses.items()},
-                "rejected": self.rejected,
-                "microbatch": {
-                    "batches": batches,
-                    "rows": self.batched_rows,
-                    "requests": self.batched_requests,
-                    "mean_rows_per_batch": (
-                        self.batched_rows / batches if batches else 0.0),
-                    "mean_requests_per_batch": (
-                        self.batched_requests / batches if batches else 0.0),
-                    "rows_histogram": {
-                        str(k): v for k, v
-                        in sorted(self.batch_rows_histogram.items())},
-                    "flush_reasons": dict(self.flush_reasons),
-                },
-                "queue": {
-                    "rows": self.queue_rows,
-                    "rows_peak": self.queue_rows_peak,
-                },
-            }
+        """The JSON ``/metrics`` object (legacy shape + ``latency``)."""
+        requests = self._sum_family(self._requests)
+        responses = self._sum_family(self._responses)
+        reasons = self._sum_family(self._batches)
+        batches = sum(reasons.values())
+        rows = self._batched_rows._default.value
+        batched_requests = self._batched_requests._default.value
+        with self._rows_exact_lock:
+            rows_exact = dict(self._rows_exact)
+        return {
+            "requests": requests,
+            "responses": responses,
+            "rejected": self._rejected._default.value,
+            "microbatch": {
+                "batches": batches,
+                "rows": rows,
+                "requests": batched_requests,
+                "mean_rows_per_batch": (rows / batches if batches else 0.0),
+                "mean_requests_per_batch": (
+                    batched_requests / batches if batches else 0.0),
+                "rows_histogram": {
+                    str(k): v for k, v in sorted(rows_exact.items())},
+                "flush_reasons": reasons,
+            },
+            "queue": {
+                "rows": self.queue_rows,
+                "rows_peak": self.queue_rows_peak,
+            },
+            "latency": {
+                "http": self._latency_summary(self._http_seconds),
+                "queue_wait": self._latency_summary(
+                    self._queue_wait_seconds),
+                "batch_execute": self._latency_summary(
+                    self._batch_execute_seconds),
+            },
+        }

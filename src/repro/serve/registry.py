@@ -49,8 +49,10 @@ from repro.core.emulator import GeniexEmulator, MatrixEmulator
 from repro.core.zoo import GeniexZoo
 from repro.errors import ShapeError
 from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.engine import EngineStats
 from repro.mitigation.runner import mitigated_key, run_mitigation
 from repro.nonideal import as_pipeline
+from repro.obs import counter_family, gauge_family
 from repro.serve.protocol import ModelSpec
 from repro.utils.cache import LruDict
 from repro.utils.digest import content_key
@@ -430,3 +432,54 @@ class ModelRegistry:
                 "hit_rate": stats.hits / total if total else 0.0,
             }
         return caches
+
+    def obs_families(self) -> dict:
+        """Registry-owned figures as obs metric families.
+
+        Registered as a snapshot-time collector on the server's metrics
+        registry: LRU tier hit/miss/size/capacity, aggregate
+        ``EngineStats`` and tile-cache events over the *warm* engines
+        (gauges, since eviction shrinks the population), and the zoo's
+        get-or-train outcome counters. Reading never touches recency
+        (``LruDict.values`` is a pure snapshot), so scraping cannot
+        perturb eviction order.
+        """
+        tiers = self.stats()
+        engine_events = dict.fromkeys(EngineStats.FIELDS, 0)
+        tile_events = {"hits": 0, "misses": 0}
+        for warm in self._engines.values():
+            for field, value in warm.engine.stats.snapshot().items():
+                engine_events[field] = engine_events.get(field, 0) + value
+            cache = getattr(warm.engine, "tile_cache", None)
+            if cache is not None:
+                hits, misses = cache.counters()
+                tile_events["hits"] += hits
+                tile_events["misses"] += misses
+        return {
+            "repro_registry_cache_hits_total": counter_family(
+                "Warm-tier cache hits, by registry tier.",
+                [({"tier": name}, s["hits"]) for name, s in tiers.items()]),
+            "repro_registry_cache_misses_total": counter_family(
+                "Warm-tier cache misses, by registry tier.",
+                [({"tier": name}, s["misses"])
+                 for name, s in tiers.items()]),
+            "repro_registry_cache_size": gauge_family(
+                "Entries currently warm, by registry tier.",
+                [({"tier": name}, s["size"]) for name, s in tiers.items()]),
+            "repro_registry_cache_capacity": gauge_family(
+                "Configured capacity, by registry tier.",
+                [({"tier": name}, s["capacity"])
+                 for name, s in tiers.items()]),
+            "repro_engine_events": gauge_family(
+                "EngineStats events summed over warm prepared engines.",
+                [({"event": field}, value)
+                 for field, value in engine_events.items()]),
+            "repro_tile_cache_events": gauge_family(
+                "Tile-result cache events summed over warm engines.",
+                [({"event": name}, value)
+                 for name, value in tile_events.items()]),
+            "repro_zoo_requests_total": counter_family(
+                "GENIEx zoo get-or-train calls, by outcome.",
+                [({"outcome": name}, value)
+                 for name, value in self.zoo.counters().items()]),
+        }

@@ -31,6 +31,15 @@ keeping the event loop free to accept requests while NumPy works. At most
 one batch per key is in flight at any time — tile models, engine stats and
 solver factorisations are not thread-safe — so ``max_workers > 1``
 parallelises across *different* keys only, and is always safe.
+
+Tracing: ``submit`` captures the caller's active :class:`~repro.obs.Trace`
+with each queued request. When a batch flushes, every traced request gets
+a ``queue-wait`` span (enqueue → flush) and a ``batch-execute`` span
+(flush → result). Because ``run_in_executor`` does not propagate
+contextvars, the executor callable activates a private collector trace
+around ``batch_fn``; whatever spans the model records (engine-compute,
+tile shards) are grafted as ``batch-execute`` children into *every*
+request of the batch — the compute genuinely served them all.
 """
 
 from __future__ import annotations
@@ -38,10 +47,12 @@ from __future__ import annotations
 import asyncio
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
 
 import numpy as np
 
 from repro.errors import ConfigError, ReproError
+from repro.obs import Trace, activate, current_trace, deactivate
 from repro.serve.metrics import ServeMetrics
 
 
@@ -55,7 +66,7 @@ class _KeyQueue:
     __slots__ = ("items", "n_rows", "timer", "inflight")
 
     def __init__(self):
-        self.items = deque()     # (rows, batch_fn, future)
+        self.items = deque()     # (rows, batch_fn, future, trace, t_enq)
         self.n_rows = 0
         self.timer = None        # asyncio.TimerHandle for the deadline
         self.inflight = 0        # batches launched but not yet completed
@@ -131,20 +142,55 @@ class MicrobatchScheduler:
             queue = self._queues[key] = _KeyQueue()
         loop = asyncio.get_running_loop()
         future = loop.create_future()
-        queue.items.append((rows, batch_fn, future))
+        trace = current_trace()
+        if trace is not None:
+            trace.meta["rows"] = trace.meta.get("rows", 0) + n_rows
+        entry = (rows, batch_fn, future, trace, perf_counter())
+        queue.items.append(entry)
         queue.n_rows += n_rows
         self.metrics.record_queue_delta(n_rows)
-        if queue.n_rows >= self.max_batch_rows:
-            self._drain_key(key, queue, "full")
-        elif queue.inflight == 0 and queue.timer is None:
-            # Partial batch while the key is idle: start the deadline
-            # clock. While a batch is in flight, partial arrivals simply
-            # accumulate — they are flushed the moment it completes
-            # (continuous batching), so a ticking timer would only
-            # fragment them into needlessly small batches.
-            queue.timer = loop.call_later(
-                self.flush_deadline_s, self._on_deadline, key)
+        try:
+            if queue.n_rows >= self.max_batch_rows:
+                self._drain_key(key, queue, "full")
+            elif queue.inflight == 0 and queue.timer is None:
+                # Partial batch while the key is idle: start the deadline
+                # clock. While a batch is in flight, partial arrivals simply
+                # accumulate — they are flushed the moment it completes
+                # (continuous batching), so a ticking timer would only
+                # fragment them into needlessly small batches.
+                queue.timer = loop.call_later(
+                    self.flush_deadline_s, self._on_deadline, key)
+        except BaseException:
+            self._rollback_submit(key, queue, entry, n_rows)
+            raise
         return await future
+
+    def _rollback_submit(self, key, queue: _KeyQueue, entry,
+                         n_rows: int) -> None:
+        """Undo one enqueue after a failed flush trigger.
+
+        Keeps the ``queue_rows`` gauge truthful: the +delta recorded on
+        enqueue is reversed iff the entry is still queued (an entry
+        already taken into a batch had its delta reversed by the take).
+        """
+        # Identity scan, not ``in``: entries hold numpy arrays, whose
+        # ``==`` is elementwise and would poison tuple comparison.
+        for i, item in enumerate(queue.items):
+            if item is entry:
+                del queue.items[i]
+                queue.n_rows -= n_rows
+                self.metrics.record_queue_delta(-n_rows)
+                break
+        future = entry[2]
+        if future.done() and not future.cancelled():
+            # The failed drain may have parked the error on the future;
+            # submit re-raises it directly, so mark it retrieved.
+            future.exception()
+        if not queue.items and queue.inflight == 0:
+            if queue.timer is not None:
+                queue.timer.cancel()
+                queue.timer = None
+            self._queues.pop(key, None)
 
     # ------------------------------------------------------------------
     def _on_deadline(self, key) -> None:
@@ -180,10 +226,23 @@ class MicrobatchScheduler:
                 break
             batch, batch_rows = self._take_batch(queue)
             self.metrics.record_queue_delta(-batch_rows)
-            self.metrics.record_batch(batch_rows, len(batch), reason)
+            try:
+                self.metrics.record_batch(batch_rows, len(batch), reason)
+                task = loop.create_task(
+                    self._run_batch(key, queue, batch, batch_rows, reason))
+            except BaseException as exc:
+                # The rows already left the queue (and the gauge); the
+                # batch can no longer run, so its futures must fail
+                # rather than hang, and an emptied queue must not leak.
+                for _, _, future, _, _ in batch:
+                    if not future.done():
+                        future.set_exception(
+                            exc if isinstance(exc, Exception)
+                            else RuntimeError(f"batch launch failed: {exc}"))
+                if not queue.items and queue.inflight == 0:
+                    self._queues.pop(key, None)
+                raise
             queue.inflight += 1
-            task = loop.create_task(
-                self._run_batch(key, queue, batch, batch_rows))
             self._inflight.add(task)
             task.add_done_callback(self._inflight.discard)
         if queue.items:
@@ -213,36 +272,68 @@ class MicrobatchScheduler:
         return batch, batch_rows
 
     async def _run_batch(self, key, queue: _KeyQueue, batch,
-                         batch_rows: int) -> None:
+                         batch_rows: int, reason: str) -> None:
         batch_fn = batch[0][1]
         loop = asyncio.get_running_loop()
+        t_flush = perf_counter()
+        traced = False
+        for _, _, _, trace, t_enq in batch:
+            wait_s = t_flush - t_enq
+            self.metrics.record_queue_wait(wait_s)
+            if trace is not None:
+                traced = True
+                trace.add_span("queue-wait", t_enq, wait_s)
+        collected: list = []
+        if traced:
+            # contextvars do not cross run_in_executor: activate a fresh
+            # collector trace on the worker thread, and graft whatever the
+            # model records (engine-compute, shards) into every request.
+            def fn(stacked, _fn=batch_fn):
+                collector = Trace("batch-execute", max_spans=64)
+                token = activate(collector)
+                try:
+                    return _fn(stacked)
+                finally:
+                    deactivate(token)
+                    collected.extend(collector.spans())
+        else:
+            fn = batch_fn
         try:
             try:
                 # Stacking stays inside the guard: if it fails (e.g.
                 # MemoryError) the futures must still resolve and the
                 # inflight count must still drop.
-                arrays = [rows for rows, _, _ in batch]
+                arrays = [rows for rows, _, _, _, _ in batch]
                 stacked = arrays[0] if len(arrays) == 1 \
                     else np.concatenate(arrays)
-                result = await loop.run_in_executor(
-                    self._executor, batch_fn, stacked)
+                result = await loop.run_in_executor(self._executor, fn,
+                                                    stacked)
                 result = np.asarray(result)
                 if result.shape[0] != batch_rows:
                     raise RuntimeError(
                         f"batch function returned {result.shape[0]} rows "
                         f"for a {batch_rows}-row batch")
             except Exception as exc:
-                for _, _, future in batch:
+                for _, _, future, _, _ in batch:
                     if not future.done():
                         future.set_exception(exc)
                 return
             offset = 0
-            for rows, _, future in batch:
+            for rows, _, future, _, _ in batch:
                 n = rows.shape[0]
                 if not future.done():
                     future.set_result(result[offset:offset + n])
                 offset += n
         finally:
+            t_done = perf_counter()
+            self.metrics.record_batch_execute(t_done - t_flush)
+            for _, _, _, trace, _ in batch:
+                if trace is not None:
+                    trace.add_span(
+                        "batch-execute", t_flush, t_done - t_flush,
+                        children=collected,
+                        meta={"rows": batch_rows, "requests": len(batch),
+                              "reason": reason})
             queue.inflight -= 1
             if queue.items:
                 # Requests that arrived (or were left over) while this

@@ -9,8 +9,11 @@ Endpoints
 
 ===========================  ========================================
 ``GET  /healthz``            liveness probe
-``GET  /metrics``            serving metrics (batch histogram, queue
-                             depths, registry cache hit rates)
+``GET  /metrics``            serving metrics — JSON by default, Prometheus
+                             text exposition when the ``Accept`` header
+                             asks for ``text/plain`` / openmetrics
+``GET  /v1/debug/traces``    ring buffer of recent request traces
+                             (nested per-stage spans)
 ``GET  /v1/models``          warm models in the registry
 ``POST /v1/models``          train/load a model spec into the registry
 ``POST /v1/crossbars``       program a conductance matrix, returns
@@ -44,12 +47,18 @@ Prediction and matmul requests are coalesced per warm object by the
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
+import logging
 import threading
+from time import perf_counter
 
 import numpy as np
 
 from repro.errors import ConfigError, ReproError, ShapeError
+from repro.obs import Trace, TraceBuffer, activate, deactivate, span
+from repro.obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.obs.prometheus import render_prometheus
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (ProtocolError, decode_array, encode_array,
                                   parse_emulation_spec, parse_engine_kind,
@@ -61,6 +70,19 @@ from repro.serve.scheduler import MicrobatchScheduler, QueueFullError
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
             429: "Too Many Requests", 500: "Internal Server Error"}
+
+_log = logging.getLogger("repro.serve")
+_access_log = logging.getLogger("repro.serve.access")
+
+
+class RawResponse:
+    """A non-JSON handler result: pre-encoded body + its content type."""
+
+    __slots__ = ("content_type", "body")
+
+    def __init__(self, content_type: str, body: bytes):
+        self.content_type = content_type
+        self.body = body
 
 
 class _NotFound(ReproError, KeyError):
@@ -83,9 +105,12 @@ class EmulationServer:
                  max_batch_rows: int = 64, flush_deadline_s: float = 0.002,
                  max_queue_rows: int = 4096, max_workers: int = 1,
                  max_body_bytes: int = 32 * 1024 * 1024,
-                 idle_timeout_s: float = 120.0):
+                 idle_timeout_s: float = 120.0,
+                 tracing: bool = True, trace_buffer_size: int = 256,
+                 slow_request_s: float = 1.0):
         self.registry = registry or ModelRegistry()
         self.metrics = ServeMetrics()
+        self.metrics.registry.register_collector(self.registry.obs_families)
         self.scheduler = MicrobatchScheduler(
             max_batch_rows=max_batch_rows,
             flush_deadline_s=flush_deadline_s,
@@ -94,12 +119,17 @@ class EmulationServer:
             metrics=self.metrics)
         self.max_body_bytes = int(max_body_bytes)
         self.idle_timeout_s = float(idle_timeout_s)
+        self.tracing = bool(tracing)
+        self.slow_request_s = float(slow_request_s)
+        self.traces = TraceBuffer(trace_buffer_size)
+        self._request_ids = itertools.count(1)
         self.host = None
         self.port = None
         self._server = None
         self._routes = {
             ("GET", "/healthz"): self._get_healthz,
             ("GET", "/metrics"): self._get_metrics,
+            ("GET", "/v1/debug/traces"): self._get_traces,
             ("GET", "/v1/models"): self._get_models,
             ("POST", "/v1/models"): self._post_models,
             ("POST", "/v1/crossbars"): self._post_crossbars,
@@ -119,6 +149,7 @@ class EmulationServer:
         self._server = await asyncio.start_server(self._handle, host, port)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        _log.info("listening on http://%s:%s", self.host, self.port)
 
     async def serve_forever(self) -> None:
         await self._server.serve_forever()
@@ -165,19 +196,65 @@ class EmulationServer:
                     break
                 if request is None:
                     break
-                method, path, body, keep_alive = request
-                status, payload = await self._dispatch(method, path, body)
+                method, path, body, keep_alive, headers = request
+                endpoint = f"{method} {path}"
+                rid = next(self._request_ids)
+                t0 = perf_counter()
+                trace = token = http_span = None
+                if self.tracing:
+                    trace = Trace(endpoint, trace_id=f"req-{rid}")
+                    token = activate(trace)
+                    http_span = trace.begin("http")
+                try:
+                    status, payload = await self._dispatch(
+                        method, path, body, headers)
+                finally:
+                    if trace is not None:
+                        trace.end(http_span)
+                        deactivate(token)
+                duration_s = perf_counter() - t0
                 self.metrics.record_response(status)
-                if len(body) > self.OFFLOAD_BYTES:
+                # Unknown paths share one latency label so a URL scanner
+                # cannot blow up the endpoint cardinality.
+                known = (method, path) in self._routes
+                self.metrics.observe_http(
+                    endpoint if known else "other", duration_s)
+                rows = 0
+                if trace is not None:
+                    rows = trace.meta.get("rows", 0)
+                    trace.meta["endpoint"] = endpoint
+                    trace.meta["status"] = status
+                    trace.meta["duration_ms"] = round(duration_s * 1e3, 3)
+                    self.traces.append(trace.to_dict())
+                _access_log.info(
+                    'id=%d endpoint="%s" status=%d rows=%d '
+                    'duration_ms=%.3f', rid, endpoint, status, rows,
+                    duration_s * 1e3)
+                if duration_s >= self.slow_request_s:
+                    stages = ""
+                    if trace is not None and http_span.children:
+                        stages = " stages: " + ", ".join(
+                            f"{child.name}={child.duration * 1e3:.1f}ms"
+                            for child in http_span.children)
+                    _log.warning(
+                        "slow request id=%d endpoint=%s status=%d "
+                        "duration_ms=%.1f%s", rid, endpoint, status,
+                        duration_s * 1e3, stages)
+                if isinstance(payload, RawResponse):
+                    content_type = payload.content_type
+                    data = payload.body
+                elif len(body) > self.OFFLOAD_BYTES:
                     # Big request -> likely big response: encode off-loop
                     # so deadline timers and other connections keep moving.
+                    content_type = "application/json"
                     data = await asyncio.get_running_loop().run_in_executor(
                         None, lambda: json.dumps(payload).encode())
                 else:
+                    content_type = "application/json"
                     data = json.dumps(payload).encode()
                 connection = "keep-alive" if keep_alive else "close"
                 head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}"
-                        f"\r\nContent-Type: application/json"
+                        f"\r\nContent-Type: {content_type}"
                         f"\r\nContent-Length: {len(data)}"
                         f"\r\nConnection: {connection}")
                 if status == 429:
@@ -229,9 +306,10 @@ class EmulationServer:
         keep_alive = headers.get("connection", "keep-alive").lower() \
             != "close"
         path = target.split("?", 1)[0]
-        return method.upper(), path, body, keep_alive
+        return method.upper(), path, body, keep_alive, headers
 
-    async def _dispatch(self, method: str, path: str, body: bytes):
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        headers: dict):
         handler = self._routes.get((method, path))
         if handler is None:
             if any(p == path for (_, p) in self._routes):
@@ -253,7 +331,7 @@ class EmulationServer:
                 if not isinstance(parsed, dict):
                     raise ProtocolError("request body must be a JSON object")
                 return 200, await handler(parsed)
-            return 200, await handler()
+            return 200, await handler(headers)
         except QueueFullError as exc:
             return 429, {"error": str(exc)}
         except _NotFound as exc:
@@ -266,16 +344,30 @@ class EmulationServer:
     # ------------------------------------------------------------------
     # Handlers
     # ------------------------------------------------------------------
-    async def _get_healthz(self) -> dict:
+    async def _get_healthz(self, headers: dict) -> dict:
         return {"status": "ok"}
 
-    async def _get_metrics(self) -> dict:
+    @staticmethod
+    def _wants_prometheus(headers: dict) -> bool:
+        accept = headers.get("accept", "").lower()
+        return ("text/plain" in accept or "openmetrics" in accept
+                or "prometheus" in accept)
+
+    async def _get_metrics(self, headers: dict):
+        if self._wants_prometheus(headers):
+            # Prometheus text exposition straight off the obs registry
+            # (instrument families + registry/zoo/engine collectors).
+            text = render_prometheus(self.metrics.registry.snapshot())
+            return RawResponse(_PROM_CONTENT_TYPE, text.encode())
         snapshot = self.metrics.snapshot()
         snapshot["queue"]["per_key"] = self.scheduler.queue_depths()
         snapshot["registry"] = self.registry.stats()
         return snapshot
 
-    async def _get_models(self) -> dict:
+    async def _get_traces(self, headers: dict) -> dict:
+        return {"traces": self.traces.snapshot()}
+
+    async def _get_models(self, headers: dict) -> dict:
         return {"models": self.registry.list_models()}
 
     async def _post_models(self, body: dict) -> dict:
@@ -291,17 +383,18 @@ class EmulationServer:
 
     async def _resolve_crossbar(self, body: dict):
         """A warm crossbar from ``crossbar_key`` or (model, conductances)."""
-        if "crossbar_key" in body:
-            reject_mixed_identity(body, key_field="crossbar_key")
-            key = str(body["crossbar_key"])
-            warm = self.registry.crossbar(key)
-            if warm is None:
-                raise _NotFound(f"unknown crossbar_key {key!r}; register "
-                                f"it via POST /v1/crossbars")
-            return key, warm
-        spec = parse_model_spec(body)
-        conductances = decode_array(body, "conductances", ndim=(2,))
-        return await self.registry.matrix_emulator(spec, conductances)
+        with span("registry-resolve"):
+            if "crossbar_key" in body:
+                reject_mixed_identity(body, key_field="crossbar_key")
+                key = str(body["crossbar_key"])
+                warm = self.registry.crossbar(key)
+                if warm is None:
+                    raise _NotFound(f"unknown crossbar_key {key!r}; "
+                                    f"register it via POST /v1/crossbars")
+                return key, warm
+            spec = parse_model_spec(body)
+            conductances = decode_array(body, "conductances", ndim=(2,))
+            return await self.registry.matrix_emulator(spec, conductances)
 
     async def _predict(self, body: dict, endpoint: str, field: str) -> dict:
         key, warm = await self._resolve_crossbar(body)
@@ -332,28 +425,30 @@ class EmulationServer:
                 "n_out": warm.n_out, "engine": warm.kind}
 
     async def _resolve_engine(self, body: dict):
-        if "weights_key" in body:
-            reject_mixed_identity(body, key_field="weights_key")
-            key = str(body["weights_key"])
-            warm = self.registry.prepared_engine(key)
-            if warm is None:
-                raise _NotFound(f"unknown weights_key {key!r}; register "
-                                f"it via POST /v1/weights")
-            return warm
-        weights = decode_array(body, "weights", ndim=(2,))
-        if "spec" in body:
-            # Declarative path: one EmulationSpec object carries engine
-            # kind, crossbar, sim and emulator — exactly the to_dict()
-            # shape `python -m repro spec` emits — and keys the warm
-            # tier by spec.weights_key(weights). Mixing it with the
-            # flat identity fields is rejected, not silently resolved.
-            reject_mixed_identity(body)
-            return await self.registry.engine_from_spec(
-                parse_emulation_spec(body), weights)
-        spec = parse_model_spec(body)
-        kind = parse_engine_kind(body)
-        sim_config = parse_sim_config(body)
-        return await self.registry.engine(spec, kind, sim_config, weights)
+        with span("registry-resolve"):
+            if "weights_key" in body:
+                reject_mixed_identity(body, key_field="weights_key")
+                key = str(body["weights_key"])
+                warm = self.registry.prepared_engine(key)
+                if warm is None:
+                    raise _NotFound(f"unknown weights_key {key!r}; "
+                                    f"register it via POST /v1/weights")
+                return warm
+            weights = decode_array(body, "weights", ndim=(2,))
+            if "spec" in body:
+                # Declarative path: one EmulationSpec object carries engine
+                # kind, crossbar, sim and emulator — exactly the to_dict()
+                # shape `python -m repro spec` emits — and keys the warm
+                # tier by spec.weights_key(weights). Mixing it with the
+                # flat identity fields is rejected, not silently resolved.
+                reject_mixed_identity(body)
+                return await self.registry.engine_from_spec(
+                    parse_emulation_spec(body), weights)
+            spec = parse_model_spec(body)
+            kind = parse_engine_kind(body)
+            sim_config = parse_sim_config(body)
+            return await self.registry.engine(spec, kind, sim_config,
+                                              weights)
 
     async def _post_matmul(self, body: dict) -> dict:
         warm = await self._resolve_engine(body)
@@ -371,8 +466,9 @@ class EmulationServer:
 
     async def _post_mitigate(self, body: dict) -> dict:
         spec, dataset, hidden, model_seed = parse_mitigate_request(body)
-        warm = await self.registry.mitigate(spec, dataset, hidden=hidden,
-                                            model_seed=model_seed)
+        with span("registry-resolve"):
+            warm = await self.registry.mitigate(spec, dataset, hidden=hidden,
+                                                model_seed=model_seed)
         return {"mitigated_key": warm.key, "spec_key": warm.spec_key,
                 "sizes": list(warm.sizes), "metrics": warm.metrics,
                 "from_cache": warm.from_cache}
@@ -384,7 +480,8 @@ class EmulationServer:
                 "/v1/mitigate)")
         reject_mixed_identity(body, key_field="mitigated_key")
         key = str(body["mitigated_key"])
-        warm = self.registry.mitigated_model(key)
+        with span("registry-resolve"):
+            warm = self.registry.mitigated_model(key)
         if warm is None:
             raise _NotFound(f"unknown mitigated_key {key!r}; build it "
                             f"via POST /v1/mitigate")

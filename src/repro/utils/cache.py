@@ -74,6 +74,15 @@ class LruDict:
         with self._lock:
             return list(self._data.keys())
 
+    def values(self) -> list:
+        """Snapshot of the values, oldest first.
+
+        Unlike :meth:`get`, reading values does not refresh recency —
+        observers (metrics collectors) must not perturb eviction order.
+        """
+        with self._lock:
+            return list(self._data.values())
+
     def clear(self) -> None:
         with self._lock:
             self._data.clear()

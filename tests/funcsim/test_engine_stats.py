@@ -64,3 +64,21 @@ class TestEngineStats:
 
     def test_repr(self, engine):
         assert "EngineStats" in repr(engine.stats)
+
+    def test_fields_are_single_source_of_truth(self, engine, rng):
+        """FIELDS, the kernel's shard-local dicts and both snapshot
+        spellings must agree key-for-key — a counter added in one place
+        but not the others would silently drop events."""
+        from repro.funcsim.engine import EngineStats
+        from repro.funcsim.runtime.kernel import (STAT_FIELDS,
+                                                  new_stat_counts)
+
+        assert EngineStats.FIELDS == STAT_FIELDS
+        assert tuple(new_stat_counts()) == STAT_FIELDS
+        x = np.abs(rng.normal(size=(2, 8))) * 0.4
+        prepared = engine.prepare(np.abs(rng.normal(size=(8, 4))) * 0.4)
+        engine.matmul(x, prepared)
+        snap = engine.stats.snapshot()
+        assert tuple(snap) == STAT_FIELDS
+        assert engine.stats.as_dict() == snap
+        assert snap["matmuls"] == 1 and snap["readouts"] > 0

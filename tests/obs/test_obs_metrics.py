@@ -1,0 +1,157 @@
+"""Unit tests for the metrics registry and Prometheus rendering."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    bucket_percentile,
+    counter_family,
+    gauge_family,
+)
+
+
+class TestInstruments:
+    def test_counter_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("events_total", "events")
+        c.inc()
+        c.inc(4)
+        snap = reg.snapshot()["events_total"]
+        assert snap["type"] == "counter"
+        assert snap["values"] == [{"labels": {}, "value": 5}]
+
+    def test_gauge_set_and_inc(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(7)
+        g.inc(-3)
+        assert reg.snapshot()["depth"]["values"][0]["value"] == 4
+
+    def test_labelled_children_are_memoised(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits", labelnames=("tier",))
+        child = fam.labels(tier="warm")
+        assert fam.labels(tier="warm") is child
+        child.inc()
+        fam.labels(tier="cold").inc(2)
+        values = {tuple(v["labels"].items()): v["value"]
+                  for v in reg.snapshot()["hits"]["values"]}
+        assert values[(("tier", "warm"),)] == 1
+        assert values[(("tier", "cold"),)] == 2
+
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_histogram_buckets_and_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.05, 0.5, 2.0):
+            h.observe(v)
+        snap = reg.snapshot()["lat"]["values"][0]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(2.6)
+        # Cumulative: <=0.1 -> 2, <=1.0 -> 3, <=10.0 -> 4, +Inf -> 4
+        assert snap["buckets"] == [[0.1, 2], [1.0, 3], [10.0, 4],
+                                   ["+Inf", 4]]
+        assert 0.0 < snap["p50"] <= 0.1
+        assert 1.0 < snap["p99"] <= 10.0
+
+    def test_bucket_percentile_empty_is_zero(self):
+        assert bucket_percentile((1.0, float("inf")), [0, 0], 0.5) == 0.0
+
+    def test_default_latency_buckets_end_in_inf(self):
+        assert DEFAULT_LATENCY_BUCKETS_S[-1] == float("inf")
+        assert list(DEFAULT_LATENCY_BUCKETS_S) == \
+            sorted(DEFAULT_LATENCY_BUCKETS_S)
+
+    def test_histogram_aggregate_across_labels(self):
+        reg = MetricsRegistry()
+        fam = reg.histogram("lat", labelnames=("ep",), buckets=(1.0,))
+        fam.labels(ep="a").observe(0.5)
+        fam.labels(ep="b").observe(0.5)
+        agg = fam.aggregate()
+        assert agg["count"] == 2 and agg["sum"] == pytest.approx(1.0)
+
+
+class TestMergeAndCollectors:
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg in (a, b):
+            reg.counter("n").inc(3)
+            reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+            reg.gauge("depth").set(9)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["n"]["values"][0]["value"] == 6
+        hist = snap["lat"]["values"][0]
+        assert hist["count"] == 2 and hist["buckets"][0][1] == 2
+        # Gauges overwrite: a merged gauge is a point sample.
+        assert snap["depth"]["values"][0]["value"] == 9
+
+    def test_merge_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0,)).observe(0.5)
+        b.histogram("lat", buckets=(2.0,)).observe(0.5)
+        with pytest.raises(ValueError, match="bucket bounds mismatch"):
+            a.merge(b.snapshot())
+
+    def test_collector_families_appear_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.register_collector(lambda: {
+            "cache_hits_total": counter_family(
+                "hits", [({"tier": "warm"}, 11)]),
+            "cache_size": gauge_family("size", [({}, 3)]),
+        })
+        snap = reg.snapshot()
+        assert snap["cache_hits_total"]["values"][0]["value"] == 11
+        assert snap["cache_size"]["values"][0]["value"] == 3
+
+
+class TestPrometheusRendering:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_requests_total", "requests",
+                    labelnames=("endpoint",)).labels(
+                        endpoint="POST /v1/matmul").inc(2)
+        reg.histogram("repro_latency_seconds", "latency",
+                      buckets=(0.1, 1.0)).observe(0.05)
+        reg.gauge("repro_queue_rows", "queued rows").set(4)
+        text = render_prometheus(reg.snapshot())
+        assert "# HELP repro_requests_total requests\n" in text
+        assert "# TYPE repro_requests_total counter\n" in text
+        assert ('repro_requests_total{endpoint="POST /v1/matmul"} 2'
+                in text)
+        assert 'repro_latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_latency_seconds_sum 0.05" in text
+        assert "repro_latency_seconds_count 1" in text
+        assert "repro_queue_rows 4" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labelnames=("k",)).labels(k='a"b\\c\nd').inc()
+        text = render_prometheus(reg.snapshot())
+        assert 'c{k="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_families_render_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total").inc()
+        reg.counter("a_total").inc()
+        text = render_prometheus(reg.snapshot())
+        assert text.index("a_total") < text.index("z_total")
+
+    def test_non_finite_values_render(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(math.inf)
+        assert "g +Inf" in render_prometheus(reg.snapshot())
