@@ -76,7 +76,8 @@ def build_engine(spec: EmulationSpec, emulator=None):
                        tile_cache_size=runtime.tile_cache_size,
                        batch_invariant=runtime.batch_invariant,
                        executor=runtime.executor, workers=runtime.workers,
-                       nonideality=spec.nonideality)
+                       nonideality=spec.nonideality,
+                       backend=runtime.backend)
 
 
 class Session:

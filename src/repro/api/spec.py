@@ -65,6 +65,7 @@ from repro.devices.rram import RramParameters
 from repro.errors import ConfigError
 from repro.funcsim.config import FuncSimConfig
 from repro.funcsim.engine import ENGINE_KINDS, INVARIANT_KINDS
+from repro.funcsim.runtime.backends import BACKEND_KINDS, INTERPRETER_KINDS
 from repro.mitigation.spec import (
     CalibrationSpec,
     MitigationSpec,
@@ -198,6 +199,12 @@ class RuntimeSpec:
             the microbatching service). Only this field participates in
             ``spec.key()`` — every other runtime knob is value-neutral
             by the runtime's determinism contract.
+        backend: Array backend of the compiled fused kernel (``None``
+            resolves through ``$REPRO_BACKEND`` to ``"numpy"``;
+            ``"interp"`` forces the interpreted reference kernel). All
+            values are bit-identical, so — like every knob but
+            ``batch_invariant`` — the choice never enters ``spec.key()``
+            or cache digests.
     """
 
     executor: str | None = None
@@ -205,6 +212,7 @@ class RuntimeSpec:
     tile_cache_size: int = 256
     chunk_rows: int | None = None
     batch_invariant: bool = False
+    backend: str | None = None
 
     def __post_init__(self):
         if self.executor not in EXECUTOR_KINDS:
@@ -219,6 +227,11 @@ class RuntimeSpec:
         if self.chunk_rows is not None and self.chunk_rows < 1:
             raise ConfigError(
                 f"chunk_rows must be >= 1 or None, got {self.chunk_rows}")
+        if self.backend is not None \
+                and self.backend not in BACKEND_KINDS + INTERPRETER_KINDS:
+            raise ConfigError(
+                f"unknown array backend {self.backend!r}; expected one of "
+                f"{BACKEND_KINDS + INTERPRETER_KINDS}")
 
 
 @dataclass(frozen=True)

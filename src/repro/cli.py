@@ -259,6 +259,10 @@ def _cmd_fig(args) -> int:
         # The experiment drivers read the worker count through
         # repro.experiments.common.default_workers().
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.backend is not None:
+        # Engines built anywhere down the run resolve this through
+        # resolve_backend(); an explicit spec value still wins.
+        os.environ["REPRO_BACKEND"] = args.backend
     spec = _load_spec(args)
     module_name, func_name = _FIG_RUNNERS[args.name].split(":")
     runner = getattr(importlib.import_module(module_name), func_name)
@@ -347,7 +351,8 @@ def _cmd_serve(args) -> int:
                   max_memory_entries=args.max_models),
         max_models=args.max_models,
         tile_cache_size=args.tile_cache,
-        engine_workers=args.engine_workers)
+        engine_workers=args.engine_workers,
+        backend=args.backend)
     server = EmulationServer(
         registry,
         max_batch_rows=args.max_batch,
@@ -453,6 +458,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="funcsim runtime workers for DNN accuracy "
                             "experiments (default: $REPRO_WORKERS or 1; "
                             ">1 uses the sharded process backend)")
+    p_fig.add_argument("--backend", default=None,
+                       help="fused-kernel array backend (numpy, numba, "
+                            "torch, or interp for the interpreted "
+                            "reference; default: $REPRO_BACKEND or numpy)")
     p_fig.set_defaults(func=_cmd_fig)
 
     p_mitigate = sub.add_parser(
@@ -490,6 +499,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--engine-workers", type=int, default=1,
                          help="shard prepared-engine matmuls across this "
                               "many runtime threads (1 = inline)")
+    p_serve.add_argument("--backend", default=None,
+                         help="fused-kernel array backend for warm engines "
+                              "(numpy, numba, torch, or interp; default: "
+                              "$REPRO_BACKEND or numpy)")
     p_serve.add_argument("--cache-dir", default=None,
                          help="GENIEx zoo directory (default: "
                               "$REPRO_CACHE_DIR or ~/.cache/repro/geniex)")

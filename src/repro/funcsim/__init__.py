@@ -39,6 +39,17 @@ In batch-invariant mode all backends produce bit-identical outputs at any
 worker count; with ADC noise, per-shard noise streams are keyed by tile
 coordinates so noisy runs reproduce exactly regardless of scheduling.
 
+**Compiled fused execution.** For the closed-form tile kinds (``geniex``,
+``exact``, ``analytical``) a compile pass (:mod:`repro.funcsim.compiler`)
+lowers each layer program into fused tile-row kernels: per-tile-row
+stacked operand tensors, one batched read-out and one ADC pass per stream
+stack, and a vectorized decode with precomputed sign/shift prefactors.
+The fused path is bit-identical to the interpreted kernel (which remains
+the reference and the fallback for ``decoupled``/``circuit``), executes
+on a pluggable array backend (:mod:`repro.funcsim.runtime.backends`:
+``numpy`` default, ``numba``/``torch`` when installed), and is on by
+default — disable it with ``backend="interp"`` or ``REPRO_BACKEND=interp``.
+
 **Batched tile API.** Every tile model maps a voltage batch ``(M, rows)``
 to currents ``(M, cols)`` in one call, and the kernel stacks all active
 stream blocks of a tile-row into a single such batch per tile model — the
@@ -76,6 +87,7 @@ from repro.funcsim.engine import (
     TileResultCache,
     make_engine,
 )
+from repro.funcsim.compiler import CompiledLayer, compile_program
 from repro.funcsim.planner import (
     LayerPlan,
     LayerProgram,
@@ -87,7 +99,10 @@ from repro.funcsim.runtime import (
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
+    available_backends,
+    get_backend,
     make_executor,
+    resolve_backend,
 )
 from repro.funcsim.layers import Conv2dMVM, LinearMVM
 from repro.funcsim.convert import (
@@ -114,11 +129,16 @@ __all__ = [
     "LayerProgram",
     "NetworkProgram",
     "plan_layer",
+    "CompiledLayer",
+    "compile_program",
     "ExecutorBase",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "available_backends",
+    "get_backend",
     "make_executor",
+    "resolve_backend",
     "LinearMVM",
     "Conv2dMVM",
     "convert_to_mvm",

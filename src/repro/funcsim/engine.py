@@ -62,6 +62,7 @@ the exact fixed-point product ("Ideal FxP" in the paper's figures).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import threading
 
@@ -74,14 +75,16 @@ from repro.core.emulator import GeniexEmulator
 from repro.errors import ConfigError, ShapeError
 from repro.funcsim.adc import AdcModel
 from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.compiler import compile_program
 from repro.funcsim.planner import plan_layer
+from repro.funcsim.runtime.backends import resolve_backend
 from repro.funcsim.runtime.base import make_executor
 from repro.funcsim.runtime.kernel import (
     STAT_FIELDS,
     active_signs,
-    execute_tile_row,
     new_stat_counts,
     quantize_input,
+    run_tile_row,
 )
 from repro.obs import span
 from repro.funcsim.slicing import sign_split, split_unsigned
@@ -585,18 +588,26 @@ class CrossbarMvmEngine:
     :meth:`prepare`, before the layer program is built — so the perturbed
     tiles travel inside the program across thread and process boundaries
     and every executor backend computes on bit-identical hardware state.
+
+    ``backend`` selects the array backend of the compiled fused kernel
+    (``"numpy"`` default, ``"numba"``/``"torch"`` when installed; see
+    :mod:`repro.funcsim.runtime.backends`). The interpreter sentinels
+    ``"interp"``/``"interpreted"``/``"off"`` disable the compile pass and
+    run the reference kernel; either way the results are bit-identical,
+    and the choice never enters cache keys or spec digests.
     """
 
     def __init__(self, xbar_config: CrossbarConfig,
                  sim_config: FuncSimConfig, tile_factory,
                  tile_cache_size: int = 256, executor=None,
-                 nonideality=None):
+                 nonideality=None, backend=None):
         tile_factory.check_crossbar(xbar_config)
         self.xbar_config = xbar_config
         self.sim_config = sim_config
         self.tile_factory = tile_factory
         self.name = tile_factory.name
         self.executor = executor
+        self.array_backend = resolve_backend(backend)
         # None for clean engines (identity pipelines normalise to None,
         # keeping the clean path's prepared-matrix tokens byte-identical).
         self.nonideality = as_pipeline(nonideality)
@@ -678,6 +689,10 @@ class CrossbarMvmEngine:
             weights.shape[0], weights.shape[1], qw, models, t_r, t_c,
             sign_present, token=token)
         prepared.program = plan_layer(self, prepared)
+        if self.array_backend is not None:
+            prepared.program.compile_requested = True
+            prepared.program.compiled = compile_program(prepared.program,
+                                                        self.array_backend)
         return prepared
 
     # ------------------------------------------------------------------
@@ -702,7 +717,7 @@ class CrossbarMvmEngine:
         if self.executor is not None:
             self.executor.add_layer(prepared.uid, program)
             return self.executor.matmul(prepared.uid, x, stats=self.stats)
-        # The span observes wall time only — no RNG, no numeric state —
+        # The spans observe wall time only — no RNG, no numeric state —
         # so traced and untraced runs are bit-identical.
         with span("engine-compute"):
             plan = program.plan
@@ -712,15 +727,20 @@ class CrossbarMvmEngine:
             counts["matmuls"] = 1
             acc = plan.sim_config.accumulator_format
             out_value = np.zeros((qx.shape[0], plan.out_width))
-            for tr in range(plan.t_r):
-                tr_counts = execute_tile_row(program, qx, x_signs, tr,
+            fused = contextlib.nullcontext() if program.compiled is None \
+                else span("fused-execute", layer=plan.uid,
+                          backend=program.compiled.backend_name)
+            with fused:
+                for tr in range(plan.t_r):
+                    tr_counts = run_tile_row(program, qx, x_signs, tr,
                                              self.adc,
                                              cache=self.tile_cache,
                                              stats=counts)
-                # Tile-row partial sums accumulate through the fixed-point
-                # accumulator register (paper: 32-bit, 24 fractional).
-                out_value = acc.quantize(out_value
-                                         + tr_counts * plan.value_lsb)
+                    # Tile-row partial sums accumulate through the
+                    # fixed-point accumulator register (paper: 32-bit, 24
+                    # fractional).
+                    out_value = acc.quantize(out_value
+                                             + tr_counts * plan.value_lsb)
             self.stats.merge(counts)
             return out_value[:, :prepared.n_out]
 
@@ -740,7 +760,7 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
                 tile_cache_size: int = 256,
                 batch_invariant: bool = False,
                 executor=None, workers: int | None = None,
-                nonideality=None):
+                nonideality=None, backend=None):
     """Engine factory: ``ideal | exact | geniex | analytical | decoupled |
     circuit`` (the :data:`ENGINE_KINDS` tuple).
 
@@ -772,6 +792,11 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
     with no analog crossbar state to perturb, and silently returning
     clean results for a faulty spec would misreport every robustness
     sweep built on it.
+
+    ``backend`` picks the fused-kernel array backend (``None`` resolves
+    through ``$REPRO_BACKEND`` to ``"numpy"``; ``"interp"`` forces the
+    interpreted reference kernel) — purely a performance knob, outputs
+    are bit-identical either way. Ignored for ``ideal``.
     """
     nonideality = as_pipeline(nonideality)
     if kind == "ideal":
@@ -822,4 +847,5 @@ def make_engine(kind: str, xbar_config: CrossbarConfig,
         executor = make_executor(executor, workers=workers)
     return CrossbarMvmEngine(xbar_config, sim_config, factory,
                              tile_cache_size=tile_cache_size,
-                             executor=executor, nonideality=nonideality)
+                             executor=executor, nonideality=nonideality,
+                             backend=backend)

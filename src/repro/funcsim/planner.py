@@ -103,12 +103,20 @@ class LayerProgram:
     per-tile-row shared voltage term. ``tile_cache_size`` carries the
     engine's tile-result LRU budget so every execution context (engine,
     executor, worker process) sizes its cache identically.
+
+    ``compiled`` holds the program's fused execution form (a
+    :class:`~repro.funcsim.compiler.CompiledLayer`, built by the engine's
+    compile pass) when the tile kind is fusible; ``compile_requested``
+    records that compilation was asked for, so the kernel dispatcher can
+    count interpreter fallbacks separately from interpreter-only runs.
     """
 
     plan: LayerPlan
     models: dict
     tile_factory: object
     tile_cache_size: int = 0
+    compiled: object = None
+    compile_requested: bool = False
 
     @property
     def cacheable(self) -> bool:

@@ -21,8 +21,19 @@ Determinism: the shard decomposition depends only on the workload and
 every backend returns bit-identical outputs, and with ADC noise the
 coordinate-keyed noise streams make results reproducible at any worker
 count (see :mod:`repro.funcsim.runtime.kernel`).
+
+Each shard runs through :func:`~repro.funcsim.runtime.kernel.run_tile_row`,
+which dispatches to the compiled fused kernel when the program carries one
+(see :mod:`repro.funcsim.compiler`) and to the interpreted reference kernel
+otherwise — bit-identically either way. The fused kernel's array ops come
+from the pluggable :mod:`~repro.funcsim.runtime.backends` registry.
 """
 
+from repro.funcsim.runtime.backends import (
+    available_backends,
+    get_backend,
+    resolve_backend,
+)
 from repro.funcsim.runtime.base import ExecutorBase, make_executor
 from repro.funcsim.runtime.kernel import (
     DEFAULT_SHARD_ROWS,
@@ -30,6 +41,7 @@ from repro.funcsim.runtime.kernel import (
     execute_tile_row,
     merge_tile_rows,
     quantize_input,
+    run_tile_row,
     shard_adc,
 )
 from repro.funcsim.runtime.process import ProcessExecutor
@@ -42,10 +54,14 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "available_backends",
+    "get_backend",
     "make_executor",
+    "resolve_backend",
     "chunk_ranges",
     "execute_tile_row",
     "merge_tile_rows",
     "quantize_input",
+    "run_tile_row",
     "shard_adc",
 ]

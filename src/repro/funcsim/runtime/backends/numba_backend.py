@@ -1,0 +1,85 @@
+"""Numba backend: JIT-compiled ordered decode accumulation.
+
+The decode collapse is a strictly ordered float64 accumulation (see
+:meth:`~repro.funcsim.runtime.backends.numpy_backend.NumpyBackend.
+decode_accumulate`); the JIT kernel performs the same scalar adds in the
+same order, so it is bitwise interchangeable with the numpy loop while
+avoiding one temporary traversal per ``j`` step. The tile read-out
+matmuls stay on numpy's BLAS (numba would not beat it there, and keeping
+the physics on one BLAS build preserves the interpreter-fallback
+bit-identity guarantee).
+
+Importing this module is safe without numba installed; availability is
+reported through :meth:`NumbaBackend.is_available` and the registry falls
+back to numpy with a one-time warning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.funcsim.runtime.backends.numpy_backend import NumpyBackend
+
+
+class NumbaBackend(NumpyBackend):
+    """Numpy ops with a numba-JIT decode accumulation."""
+
+    name = "numba"
+    _kernel = None
+    _contract_kernel = None
+
+    @staticmethod
+    def is_available() -> bool:
+        try:
+            import numba  # noqa: F401
+        except Exception:
+            return False
+        return True
+
+    @staticmethod
+    def unavailable_reason() -> str:
+        return "the numba package is not installed"
+
+    def decode_accumulate(self, terms: np.ndarray,
+                          out: np.ndarray) -> np.ndarray:
+        if NumbaBackend._kernel is None:
+            import numba
+
+            @numba.njit(cache=False)
+            def _accumulate(terms, out):
+                n_terms, t_c, batch, cols = terms.shape
+                for j in range(n_terms):
+                    for t in range(t_c):
+                        for b in range(batch):
+                            for c in range(cols):
+                                out[b, t, c] += terms[j, t, b, c]
+
+            NumbaBackend._kernel = _accumulate
+        NumbaBackend._kernel(np.ascontiguousarray(terms), out)
+        return out
+
+    def decode_contract(self, counts: np.ndarray,
+                        prefac: np.ndarray) -> np.ndarray:
+        if NumbaBackend._contract_kernel is None:
+            import numba
+
+            @numba.njit(cache=False)
+            def _contract(counts, prefac, out):
+                s_n, batch, w_n, k_n, t_n, c_n = counts.shape
+                # Ascending (s, w, k) accumulation per output element —
+                # the interpreted kernel's addition order.
+                for s in range(s_n):
+                    for b in range(batch):
+                        for w in range(w_n):
+                            for k in range(k_n):
+                                f = prefac[s, w, k]
+                                for t in range(t_n):
+                                    for c in range(c_n):
+                                        out[b, t, c] += \
+                                            counts[s, b, w, k, t, c] * f
+
+            NumbaBackend._contract_kernel = _contract
+        out = np.zeros(counts.shape[1:2] + counts.shape[4:])
+        NumbaBackend._contract_kernel(np.ascontiguousarray(counts),
+                                      np.ascontiguousarray(prefac), out)
+        return out

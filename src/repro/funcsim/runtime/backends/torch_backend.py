@@ -1,0 +1,64 @@
+"""Torch backend: decode stage on torch CPU tensors.
+
+Torch's CPU element-wise float64 adds are exact IEEE-754 operations, so
+running the ordered decode accumulation on zero-copy tensor views of the
+numpy buffers is bitwise interchangeable with the numpy loop. As with the
+numba backend, the tile read-out matmuls stay on numpy's BLAS — torch's
+own BLAS build is not guaranteed to match numpy's bit-for-bit, and the
+compiled path must remain bit-identical to the interpreted reference.
+
+Importing this module is safe without torch installed; availability is
+reported through :meth:`TorchBackend.is_available` and the registry falls
+back to numpy with a one-time warning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.funcsim.runtime.backends.numpy_backend import NumpyBackend
+
+
+class TorchBackend(NumpyBackend):
+    """Numpy ops with the decode accumulation on torch CPU tensors."""
+
+    name = "torch"
+
+    @staticmethod
+    def is_available() -> bool:
+        try:
+            import torch  # noqa: F401
+        except Exception:
+            return False
+        return True
+
+    @staticmethod
+    def unavailable_reason() -> str:
+        return "the torch package is not installed"
+
+    def decode_accumulate(self, terms: np.ndarray,
+                          out: np.ndarray) -> np.ndarray:
+        import torch
+
+        terms_t = torch.from_numpy(np.ascontiguousarray(terms))
+        out_t = torch.from_numpy(out)  # shares memory: updates land in out
+        for j in range(terms_t.shape[0]):
+            out_t += terms_t[j].permute(1, 0, 2)
+        return out
+
+    def decode_contract(self, counts: np.ndarray,
+                        prefac: np.ndarray) -> np.ndarray:
+        import torch
+
+        # torch.einsum's reduction order is not specified, so the fused
+        # contraction stays an explicit ascending-(s, w, k) loop of exact
+        # power-of-two scaled adds on zero-copy tensor views.
+        counts_t = torch.from_numpy(np.ascontiguousarray(counts))
+        s_n, batch, w_n, k_n, t_n, c_n = counts_t.shape
+        out = np.zeros((batch, t_n, c_n))
+        out_t = torch.from_numpy(out)
+        for s in range(s_n):
+            for w in range(w_n):
+                for k in range(k_n):
+                    out_t += counts_t[s, :, w, k] * float(prefac[s, w, k])
+        return out

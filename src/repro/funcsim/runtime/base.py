@@ -22,6 +22,8 @@ determinism contract.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import threading
 from time import perf_counter
 
@@ -33,10 +35,10 @@ from repro.funcsim.runtime.kernel import (
     DEFAULT_SHARD_ROWS,
     active_signs,
     chunk_ranges,
-    execute_tile_row,
     merge_tile_rows,
     new_stat_counts,
     quantize_input,
+    run_tile_row,
     shard_adc,
 )
 from repro.obs import SpanTimings, span
@@ -48,10 +50,25 @@ from repro.obs import SpanTimings, span
 INLINE_WORK_THRESHOLD = 1 << 15
 
 
+def available_cpus() -> int:
+    """CPUs this process may run on (affinity-aware, like the benches)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 class ExecutorBase:
     """Common scheduling logic; backends implement ``_run_shards``."""
 
     name = "base"
+
+    #: Minimum estimated ADC conversions per shard for pool dispatch to
+    #: pay for itself; below it (or on a single-CPU host) the parallel
+    #: backends run the call inline. ``0`` disables the estimate (the
+    #: serial backend, which has no dispatch cost to amortise). Backends
+    #: override per their dispatch overhead; see :meth:`_should_inline`.
+    MIN_SHARD_COST = 0
 
     def __init__(self, workers: int = 1,
                  shard_rows: int = DEFAULT_SHARD_ROWS):
@@ -60,9 +77,10 @@ class ExecutorBase:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         self.workers = int(workers)
         self.shard_rows = int(shard_rows)
-        # Per-instance copy so callers (and tests) can tune or disable
-        # the small-work inline fallback.
+        # Per-instance copies so callers (and tests) can tune or disable
+        # the small-work / cheap-shard inline fallbacks.
         self.inline_work_threshold = INLINE_WORK_THRESHOLD
+        self.min_shard_cost = self.MIN_SHARD_COST
         self.stats = EngineStats()
         # Cumulative per-stage wall times; shard workers record into a
         # per-call accumulator which folds in here, exactly like the
@@ -160,7 +178,12 @@ class ExecutorBase:
             call_stats["matmuls"] = 1
             call_timings = SpanTimings()
             t_shards = perf_counter()
-            with span("tile-shards", shards=len(chunks) * plan.t_r):
+            # The spans observe wall time only — no RNG, no numeric state
+            # — so traced and untraced runs are bit-identical.
+            fused = contextlib.nullcontext() if program.compiled is None \
+                else span("fused-execute", layer=layer_id,
+                          backend=program.compiled.backend_name)
+            with fused, span("tile-shards", shards=len(chunks) * plan.t_r):
                 if self._closed:
                     self._run_shards_inline(layer_id, program, qx, chunks,
                                             signs, seq, counts, call_stats,
@@ -202,9 +225,9 @@ class ExecutorBase:
                            counts, call_stats, call_timings) -> None:
         """Serial reference schedule, shared by every backend.
 
-        The parallel backends fall back to it for small matmuls (below
-        :data:`INLINE_WORK_THRESHOLD`) — same shards, same noise keying,
-        so the output is bit-identical to a pooled run.
+        The parallel backends fall back to it for small or cheap matmuls
+        (see :meth:`_should_inline`) — same shards, same noise keying, so
+        the output is bit-identical to a pooled run.
         """
         plan = program.plan
         cache = self._cache_for(layer_id, program)
@@ -213,13 +236,41 @@ class ExecutorBase:
             for tr in range(plan.t_r):
                 adc = shard_adc(plan, seq, tr, chunk_idx)
                 t0 = perf_counter()
-                counts[tr, start:stop] = execute_tile_row(
+                counts[tr, start:stop] = run_tile_row(
                     program, qx_chunk, signs[chunk_idx], tr, adc,
                     cache=cache, stats=call_stats)
                 call_timings.add("shard", perf_counter() - t0)
 
     def _is_small_work(self, plan, qx: np.ndarray) -> bool:
         return qx.size * plan.t_r <= self.inline_work_threshold
+
+    def _should_inline(self, plan, qx: np.ndarray) -> bool:
+        """Run this call inline instead of dispatching to the pool?
+
+        Purely a scheduling decision — the shard decomposition and noise
+        keying are fixed, so inline and pooled runs are bit-identical.
+        Inline wins when (a) the whole call is small (activation elements
+        x tile-rows under ``inline_work_threshold``) or (b) the layer
+        plan's worst-case cost model prices a single shard below the
+        backend's ``min_shard_cost``, where dispatch overhead dominates
+        the shard compute (conv-sized im2col batches clear the bar; the
+        small fully-connected heads that dragged the parallel backends
+        below 1x do not). Setting ``inline_work_threshold <= 0`` disables
+        every inline fallback (tests force pooled execution this way).
+        """
+        if self.inline_work_threshold <= 0:
+            return False
+        if self._is_small_work(plan, qx):
+            return True
+        if self.min_shard_cost > 0 and plan.cost is not None:
+            # cost is per input row (one MVM); scale to one chunk's rows
+            # and divide by the tile-row count for a per-shard estimate.
+            chunk_rows = min(qx.shape[0], self.shard_rows)
+            per_shard = (plan.cost.adc_conversions * chunk_rows
+                         / max(plan.t_r, 1))
+            if per_shard < self.min_shard_cost:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # Lifecycle

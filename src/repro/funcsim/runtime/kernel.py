@@ -110,6 +110,11 @@ def _measure_tile_row(program: LayerProgram, tr: int, stream_levels: list,
     # needed on a cache miss; fully-cached tile-rows skip both.
     voltages = None
     shared = None
+    # Miss patterns repeat across the (sign, slice, tile-column) models,
+    # so the stacked-row selection index is memoised per pattern instead
+    # of being rebuilt from per-stream aranges for every model.
+    base_rows = None
+    sel_by_pattern: dict = {}
 
     measured = {}
     for sw in plan.sign_present:
@@ -142,9 +147,14 @@ def _measure_tile_row(program: LayerProgram, tr: int, stream_levels: list,
                     if len(missing) == s_count:
                         v_sub, c_sub = voltages, shared
                     else:
-                        sel = np.concatenate(
-                            [np.arange(s * batch, (s + 1) * batch)
-                             for s in missing])
+                        pattern = tuple(missing)
+                        sel = sel_by_pattern.get(pattern)
+                        if sel is None:
+                            if base_rows is None:
+                                base_rows = np.arange(batch)
+                            sel = sel_by_pattern[pattern] = (
+                                np.asarray(missing)[:, None] * batch
+                                + base_rows).ravel()
                         v_sub = voltages[sel]
                         c_sub = shared[sel] \
                             if isinstance(shared, np.ndarray) else shared
@@ -161,30 +171,21 @@ def _measure_tile_row(program: LayerProgram, tr: int, stream_levels: list,
     return measured
 
 
-def execute_tile_row(program: LayerProgram, qx: np.ndarray, x_signs: list,
-                     tr: int, adc: AdcModel, cache=None,
-                     stats=None) -> np.ndarray:
-    """Decoded contribution of tile-row ``tr`` for one quantised chunk.
+def gather_streams(plan: LayerPlan, qx: np.ndarray, x_signs: list,
+                   tr: int, stats: dict) -> tuple:
+    """Non-zero (sign, stream) level blocks of tile-row ``tr``.
 
-    ``qx`` is the full-width padded integer activation chunk; ``x_signs``
-    the activation signs present in it (see :func:`active_signs`).
-    Returns ``(chunk, t_c * cols)`` float counts, already scaled by the
-    shift-and-add and sign factors but *not* by ``value_lsb`` — the merge
-    step applies that together with the accumulator format.
+    Returns ``(stream_levels, stream_info)`` in the fixed (activation
+    sign, stream) order the decode stage consumes them — the interpreted
+    and compiled kernels share this gather, so their zero-stream skip
+    decisions (and the ``skipped_zero_streams`` statistics) are
+    identical by construction.
     """
-    plan = program.plan
     cfg = plan.sim_config
-    rows, cols = plan.rows, plan.cols
-    if stats is None:
-        stats = new_stat_counts()
-    batch = qx.shape[0]
-    block = qx[:, tr * rows:(tr + 1) * rows]
+    block = qx[:, tr * plan.rows:(tr + 1) * plan.rows]
     parts = sign_split(block)
     per_stream_models = len(plan.sign_present) * cfg.n_slices * plan.t_c
     mag_bits = cfg.activation_format.magnitude_bits
-
-    # Gather the non-zero stream blocks of this tile-row in the
-    # (sign, stream) order the decode below consumes them.
     stream_levels = []
     stream_info = []
     for sx in x_signs:
@@ -197,6 +198,31 @@ def execute_tile_row(program: LayerProgram, qx: np.ndarray, x_signs: list,
                 continue
             stream_levels.append(levels)
             stream_info.append((sx, m))
+    return stream_levels, stream_info
+
+
+def execute_tile_row(program: LayerProgram, qx: np.ndarray, x_signs: list,
+                     tr: int, adc: AdcModel, cache=None,
+                     stats=None) -> np.ndarray:
+    """Decoded contribution of tile-row ``tr`` for one quantised chunk.
+
+    ``qx`` is the full-width padded integer activation chunk; ``x_signs``
+    the activation signs present in it (see :func:`active_signs`).
+    Returns ``(chunk, t_c * cols)`` float counts, already scaled by the
+    shift-and-add and sign factors but *not* by ``value_lsb`` — the merge
+    step applies that together with the accumulator format.
+
+    This is the interpreted *reference* kernel; :func:`run_tile_row`
+    dispatches to the compiled fused kernel when the program carries one
+    and falls back here (bit-identically) when it does not.
+    """
+    plan = program.plan
+    cfg = plan.sim_config
+    cols = plan.cols
+    if stats is None:
+        stats = new_stat_counts()
+    batch = qx.shape[0]
+    stream_levels, stream_info = gather_streams(plan, qx, x_signs, tr, stats)
 
     tr_counts = np.zeros((batch, plan.out_width))
     if not stream_levels:
@@ -221,6 +247,36 @@ def execute_tile_row(program: LayerProgram, qx: np.ndarray, x_signs: list,
     return tr_counts
 
 
+def run_tile_row(program: LayerProgram, qx: np.ndarray, x_signs: list,
+                 tr: int, adc: AdcModel, cache=None,
+                 stats=None) -> np.ndarray:
+    """Execute one (tile-row, chunk) shard: compiled when possible.
+
+    Programs lowered by :func:`repro.funcsim.compiler.compile_program`
+    run through the fused kernel (counted as ``fused_calls``); programs
+    without a compiled form — compilation disabled, an unfusible tile
+    kind, or the fused kernel declining a shard (memory guard) — run
+    through the interpreted reference kernel, counted as
+    ``fallback_calls`` when compilation had been requested. Both paths
+    are bit-identical, so the dispatch is purely a performance decision.
+    """
+    if stats is None:
+        stats = new_stat_counts()
+    compiled = getattr(program, "compiled", None)
+    if compiled is not None:
+        from repro.funcsim.compiler import execute_tile_row_fused
+
+        out = execute_tile_row_fused(program, qx, x_signs, tr, adc,
+                                     cache=cache, stats=stats)
+        if out is not None:
+            stats["fused_calls"] += 1
+            return out
+    if getattr(program, "compile_requested", False):
+        stats["fallback_calls"] += 1
+    return execute_tile_row(program, qx, x_signs, tr, adc, cache=cache,
+                            stats=stats)
+
+
 def merge_tile_rows(plan: LayerPlan, counts: np.ndarray) -> np.ndarray:
     """Accumulate per-tile-row counts ``(t_r, B, t_c * cols)`` digitally.
 
@@ -242,7 +298,8 @@ def merge_tile_rows(plan: LayerPlan, counts: np.ndarray) -> np.ndarray:
 #: never drift apart (a new counter added here is automatically counted,
 #: merged, snapshotted and serialised everywhere).
 STAT_FIELDS = ("matmuls", "readouts", "skipped_zero_streams",
-               "adc_conversions", "cache_hits")
+               "adc_conversions", "cache_hits", "fused_calls",
+               "fallback_calls")
 
 
 def new_stat_counts() -> dict:

@@ -32,8 +32,8 @@ from repro.errors import ConfigError
 from repro.funcsim.runtime.base import ExecutorBase
 from repro.funcsim.runtime.kernel import (
     DEFAULT_SHARD_ROWS,
-    execute_tile_row,
     new_stat_counts,
+    run_tile_row,
     shard_adc,
 )
 from repro.obs import SpanTimings
@@ -85,7 +85,7 @@ def _worker_run(layer_id: str, in_name: str, in_shape: tuple,
         for chunk_idx, start, stop, tr in tasks:
             adc = shard_adc(plan, seq, tr, chunk_idx)
             t0 = perf_counter()
-            counts[tr, start:stop] = execute_tile_row(
+            counts[tr, start:stop] = run_tile_row(
                 program, qx[start:stop], signs[chunk_idx], tr, adc,
                 cache=cache, stats=stats)
             timings.add("shard", perf_counter() - t0)
@@ -99,6 +99,11 @@ class ProcessExecutor(ExecutorBase):
     """Shard execution across a ``ProcessPoolExecutor`` with shared memory."""
 
     name = "process"
+
+    #: Worker dispatch pays shared-memory segment setup plus pickle IPC
+    #: per call, so a shard must carry far more compute than in the
+    #: thread backend before the pool wins.
+    MIN_SHARD_COST = 1 << 17
 
     def __init__(self, workers: int = 2,
                  shard_rows: int = DEFAULT_SHARD_ROWS):
@@ -142,7 +147,7 @@ class ProcessExecutor(ExecutorBase):
     def _run_shards(self, layer_id, program, qx, chunks, signs, seq, counts,
                     call_stats, call_timings) -> None:
         plan = program.plan
-        if self._is_small_work(plan, qx):
+        if self._should_inline(plan, qx):
             # Shared-memory setup and submit IPC would dwarf the compute;
             # same shards, same noise keying, identical results.
             self._run_shards_inline(layer_id, program, qx, chunks, signs,

@@ -20,8 +20,8 @@ from time import perf_counter
 from repro.funcsim.runtime.base import ExecutorBase
 from repro.funcsim.runtime.kernel import (
     DEFAULT_SHARD_ROWS,
-    execute_tile_row,
     new_stat_counts,
+    run_tile_row,
     shard_adc,
 )
 
@@ -30,6 +30,10 @@ class ThreadExecutor(ExecutorBase):
     """Shard execution across a ``ThreadPoolExecutor``."""
 
     name = "threads"
+
+    #: Thread dispatch is cheap (no IPC), but a shard still has to out-run
+    #: futures bookkeeping and result handling to be worth queuing.
+    MIN_SHARD_COST = 1 << 14
 
     def __init__(self, workers: int = 2,
                  shard_rows: int = DEFAULT_SHARD_ROWS):
@@ -52,7 +56,7 @@ class ThreadExecutor(ExecutorBase):
     def _run_shards(self, layer_id, program, qx, chunks, signs, seq, counts,
                     call_stats, call_timings) -> None:
         plan = program.plan
-        if self._is_small_work(plan, qx):
+        if self._should_inline(plan, qx):
             # Pool dispatch would cost more than the compute; same shards,
             # same noise keying, identical results.
             self._run_shards_inline(layer_id, program, qx, chunks, signs,
@@ -67,7 +71,7 @@ class ThreadExecutor(ExecutorBase):
             adc = shard_adc(plan, seq, tr, chunk_idx)
             t0 = perf_counter()
             # Disjoint (tr, chunk) slab: safe to write without a lock.
-            counts[tr, start:stop] = execute_tile_row(
+            counts[tr, start:stop] = run_tile_row(
                 program, qx[start:stop], signs[chunk_idx], tr, adc,
                 cache=cache, stats=local)
             # SpanTimings.add is internally locked, so worker threads

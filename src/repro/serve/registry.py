@@ -119,7 +119,8 @@ class ModelRegistry:
     def __init__(self, zoo: GeniexZoo | None = None, *,
                  max_models: int = 8, max_crossbars: int = 128,
                  max_engines: int = 16, max_mitigated: int = 8,
-                 tile_cache_size: int = 256, engine_workers: int = 1):
+                 tile_cache_size: int = 256, engine_workers: int = 1,
+                 backend: str | None = None):
         self.zoo = zoo or GeniexZoo()
         self.tile_cache_size = int(tile_cache_size)
         # > 1 shards every prepared engine's matmuls over the funcsim
@@ -127,6 +128,11 @@ class ModelRegistry:
         # executor threads running the batched calls; process pools per
         # cached engine would be far too heavy for a serving tier).
         self.engine_workers = max(1, int(engine_workers))
+        # Array backend of the compiled fused kernel for every warm
+        # engine (None resolves through $REPRO_BACKEND to numpy);
+        # bit-identity across backends keeps responses byte-stable, so
+        # this is server policy, not part of any cache key.
+        self.backend = backend
         self._models = LruDict(max_models)      # model key -> emulator
         self._crossbars = LruDict(max_crossbars)
         # Evicted engines release their sharded-runtime worker pools
@@ -302,6 +308,7 @@ class ModelRegistry:
             "tile_cache_size": self.tile_cache_size,
             "executor": "threads" if self.engine_workers > 1 else None,
             "workers": self.engine_workers,
+            "backend": self.backend,
         })
 
     async def engine_from_spec(self, spec: EmulationSpec,
