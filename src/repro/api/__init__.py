@@ -38,6 +38,7 @@ from repro.api.spec import (
     DeviceSpec,
     EmulationSpec,
     EmulatorSpec,
+    FleetSpec,
     RuntimeSpec,
     SimSpec,
     XbarSpec,
@@ -64,6 +65,7 @@ __all__ = [
     "MitigationSpec",
     "NoiseTrainSpec",
     "CalibrationSpec",
+    "FleetSpec",
     "RuntimeSpec",
     "Session",
     "open_session",

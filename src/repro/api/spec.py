@@ -184,6 +184,26 @@ class EmulatorSpec:
 
 
 @dataclass(frozen=True)
+class FleetSpec:
+    """Fleet routing policy for this spec when served behind a front-end.
+
+    ``replication`` asks the fleet front-end to spread this model's
+    traffic over that many distinct workers (capped by the fleet size);
+    the front-end picks the least-loaded replica per request. Purely a
+    routing hint: like every runtime knob except ``batch_invariant``, it
+    never enters ``model_key()``/``key()`` or any cache digest, and a
+    single-process server ignores it entirely.
+    """
+
+    replication: int = 1
+
+    def __post_init__(self):
+        if self.replication < 1:
+            raise ConfigError(
+                f"fleet replication must be >= 1, got {self.replication}")
+
+
+@dataclass(frozen=True)
 class RuntimeSpec:
     """Execution policy: how a resolved engine runs, not what it computes.
 
@@ -205,6 +225,8 @@ class RuntimeSpec:
             values are bit-identical, so — like every knob but
             ``batch_invariant`` — the choice never enters ``spec.key()``
             or cache digests.
+        fleet: Fleet routing policy (:class:`FleetSpec`); a digest-
+            neutral hint consumed only by the fleet front-end.
     """
 
     executor: str | None = None
@@ -213,6 +235,7 @@ class RuntimeSpec:
     chunk_rows: int | None = None
     batch_invariant: bool = False
     backend: str | None = None
+    fleet: FleetSpec = FleetSpec()
 
     def __post_init__(self):
         if self.executor not in EXECUTOR_KINDS:
@@ -505,6 +528,7 @@ _SPEC_CHILDREN = {
                     "nonideality": NonidealitySpec,
                     "mitigation": MitigationSpec},
     XbarSpec: {"rram": DeviceSpec},
+    RuntimeSpec: {"fleet": FleetSpec},
     EmulatorSpec: {"sampling": SamplingSpec, "training": TrainSpec},
     MitigationSpec: {"noise": NoiseTrainSpec,
                      "calibration": CalibrationSpec},

@@ -337,6 +337,38 @@ def _cmd_mitigate(args) -> int:
     return 0
 
 
+async def _run_until_sigterm(service, log, what: str) -> None:
+    """Serve until SIGTERM (graceful drain) or cancellation (close).
+
+    Shared by ``repro serve`` and ``repro fleet``: SIGTERM triggers
+    ``service.drain()`` — stop accepting, finish in-flight requests,
+    then close — while Ctrl-C/cancellation closes immediately.
+    """
+    import asyncio
+    import signal
+
+    loop = asyncio.get_running_loop()
+    term = asyncio.Event()
+    try:
+        loop.add_signal_handler(signal.SIGTERM, term.set)
+    except (NotImplementedError, RuntimeError):
+        pass   # non-POSIX loops: Ctrl-C still closes below
+    serve_task = loop.create_task(service.serve_forever())
+    term_task = loop.create_task(term.wait())
+    try:
+        done, _pending = await asyncio.wait(
+            {serve_task, term_task}, return_when=asyncio.FIRST_COMPLETED)
+        if term_task in done:
+            log.info("SIGTERM received; draining %s", what)
+            await service.drain()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        serve_task.cancel()
+        term_task.cancel()
+        await service.close()
+
+
 def _cmd_serve(args) -> int:
     import asyncio
     import logging
@@ -364,12 +396,7 @@ def _cmd_serve(args) -> int:
         await server.start(args.host, args.port)
         log.info("serve options: max_batch=%d flush_deadline=%g ms",
                  args.max_batch, args.flush_deadline_ms)
-        try:
-            await server.serve_forever()
-        except asyncio.CancelledError:
-            pass
-        finally:
-            await server.close()
+        await _run_until_sigterm(server, log, "server")
 
     try:
         asyncio.run(run())
@@ -378,10 +405,61 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    import asyncio
+    import logging
+
+    from repro.core.zoo import default_cache_dir
+    from repro.fleet import FleetFrontend, FleetSupervisor
+
+    log = logging.getLogger("repro.cli")
+    cache_dir = args.cache_dir or default_cache_dir()
+    worker_args = ["--max-batch", str(args.max_batch),
+                   "--max-models", str(args.max_models),
+                   "--engine-workers", str(args.engine_workers)]
+    frontend = FleetFrontend(
+        replication=args.replication, vnodes=args.vnodes,
+        max_inflight=args.max_inflight,
+        quota_rate=args.quota_rate, quota_burst=args.quota_burst,
+        health_interval_s=args.health_interval)
+    supervisor = FleetSupervisor(args.workers, cache_dir,
+                                 worker_args=worker_args,
+                                 respawn=args.respawn)
+
+    class _Fleet:
+        """One drain/close surface over front-end + supervisor."""
+
+        async def serve_forever(self):
+            await frontend.serve_forever()
+
+        async def drain(self):
+            await frontend.drain()
+            await supervisor.stop()
+
+        async def close(self):
+            await supervisor.stop()
+            await frontend.close()
+
+    async def run() -> None:
+        await frontend.start(args.host, args.port)
+        await supervisor.start(frontend)
+        log.info("fleet: %d worker(s), replication %d, shared cache %s",
+                 args.workers, args.replication, cache_dir)
+        await _run_until_sigterm(_Fleet(), log, "fleet")
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        log.info("shutting down fleet")
+    return 0
+
+
 def _cmd_obs(args) -> int:
     from repro.errors import ConfigError
     from repro.obs import format_stage_report, stage_report
 
+    if args.fleet:
+        return _cmd_obs_fleet(args)
     if args.input:
         with open(args.input) as handle:
             payload = json.load(handle)
@@ -401,6 +479,35 @@ def _cmd_obs(args) -> int:
     else:
         print(f"{len(traces)} traces")
         print(format_stage_report(report))
+    return 0
+
+
+def _cmd_obs_fleet(args) -> int:
+    from repro.errors import ConfigError
+    from repro.obs import fleet_report, format_fleet_report
+
+    if args.input:
+        with open(args.input) as handle:
+            metrics = json.load(handle)
+    else:
+        from repro.serve.client import ServeClient
+        with ServeClient(args.host, args.port) as client:
+            metrics = client.metrics()
+    if not isinstance(metrics, dict) or "workers" not in metrics:
+        raise ConfigError(
+            "expected a fleet front-end /metrics JSON shape (with a "
+            "'workers' section); point --host/--port at the front-end, "
+            "not a worker")
+    report = fleet_report(metrics)
+    if args.json:
+        print(json.dumps({"fleet": metrics.get("fleet", {}),
+                          "workers": report}, indent=2))
+    else:
+        shed = metrics.get("fleet", {}).get("shed", {})
+        print(f"{len(report)} worker(s), "
+              f"{len(metrics.get('ring', {}).get('members', []))} in ring"
+              + (f", shed {shed}" if shed else ""))
+        print(format_fleet_report(report))
     return 0
 
 
@@ -508,6 +615,44 @@ def build_parser() -> argparse.ArgumentParser:
                               "$REPRO_CACHE_DIR or ~/.cache/repro/geniex)")
     p_serve.set_defaults(func=_cmd_serve)
 
+    p_fleet = sub.add_parser(
+        "fleet", help="run a consistent-hash front-end over N serve "
+                      "workers sharing one artifact store")
+    p_fleet.add_argument("--workers", type=int, default=2,
+                         help="serve worker processes to spawn")
+    p_fleet.add_argument("--host", default="127.0.0.1",
+                         help="front-end bind address (workers stay on "
+                              "loopback)")
+    p_fleet.add_argument("--port", type=int, default=8000,
+                         help="front-end port; 0 picks a free port")
+    p_fleet.add_argument("--replication", type=int, default=1,
+                         help="default workers per routing key (hot keys "
+                              "can raise it via spec.runtime.fleet)")
+    p_fleet.add_argument("--vnodes", type=int, default=64,
+                         help="virtual nodes per worker on the hash ring")
+    p_fleet.add_argument("--max-inflight", type=int, default=256,
+                         help="global in-flight bound before 429")
+    p_fleet.add_argument("--quota-rate", type=float, default=None,
+                         help="per-tenant requests/s (X-Repro-Tenant "
+                              "header); default: no quotas")
+    p_fleet.add_argument("--quota-burst", type=float, default=None,
+                         help="per-tenant burst size (default: the rate)")
+    p_fleet.add_argument("--health-interval", type=float, default=2.0,
+                         help="seconds between per-worker health probes")
+    p_fleet.add_argument("--respawn", action="store_true",
+                         help="respawn and re-admit workers that die")
+    p_fleet.add_argument("--max-batch", type=int, default=64,
+                         help="worker rows per coalesced microbatch")
+    p_fleet.add_argument("--max-models", type=int, default=8,
+                         help="warm emulators per worker (LRU)")
+    p_fleet.add_argument("--engine-workers", type=int, default=1,
+                         help="runtime threads per worker engine")
+    p_fleet.add_argument("--cache-dir", default=None,
+                         help="shared GENIEx zoo directory — the fleet's "
+                              "artifact store (default: $REPRO_CACHE_DIR "
+                              "or ~/.cache/repro/geniex)")
+    p_fleet.set_defaults(func=_cmd_fleet)
+
     p_obs = sub.add_parser(
         "obs", help="per-stage latency report from serve traces")
     p_obs.add_argument("--input", default=None, metavar="FILE",
@@ -518,6 +663,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs.add_argument("--port", type=int, default=8000)
     p_obs.add_argument("--json", action="store_true",
                        help="emit the report as JSON instead of a table")
+    p_obs.add_argument("--fleet", action="store_true",
+                       help="per-worker fleet table (point --host/--port "
+                            "at a fleet front-end, or --input at its "
+                            "saved /metrics JSON)")
     p_obs.set_defaults(func=_cmd_obs)
     return parser
 

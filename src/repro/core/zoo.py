@@ -10,11 +10,17 @@ self-contained.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import os
 import tempfile
 import threading
+
+try:
+    import fcntl
+except ImportError:   # non-POSIX: per-process locks only
+    fcntl = None
 
 import numpy as np
 
@@ -117,6 +123,33 @@ class GeniexZoo:
 
     def _path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"geniex-{key}.npz")
+
+    @contextlib.contextmanager
+    def _file_lock(self, path: str):
+        """Cross-process single-writer lock for one artifact path.
+
+        Fleet workers share one cache directory; an ``flock`` on a
+        sidecar ``.lock`` file extends the per-key thread lock across
+        processes, so exactly one worker fleet-wide pays the training
+        run while the others block briefly and then disk-load the
+        persisted artifact. Degrades to the thread lock alone where
+        ``fcntl`` is unavailable (the atomic-rename writer keeps even
+        racing trainers safe there — just not single-writer).
+        """
+        if fcntl is None:
+            yield
+            return
+        os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+        handle = open(path + ".lock", "a+b")
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            yield
+        finally:
+            # Unlock-then-close keeps the release explicit; the sidecar
+            # file is left in place (deleting it would race a waiter that
+            # already opened it, splitting the lock identity).
+            fcntl.flock(handle, fcntl.LOCK_UN)
+            handle.close()
 
     def _mitigated_path(self, key: str) -> str:
         return os.path.join(self.cache_dir, f"mitigated-{key}.npz")
@@ -270,25 +303,29 @@ class GeniexZoo:
                     self._count("memory_hits")
                     return cached
                 path = self._path(key)
-                emulator = self._load_if_present(path)
-                if emulator is None:
-                    _log.log(
-                        logging.INFO if (self.verbose or progress)
-                        else logging.DEBUG,
-                        "training model for %dx%d r_on=%g onoff=%g v=%g "
-                        "(key %s)", config.rows, config.cols,
-                        config.r_on_ohm, config.onoff_ratio,
-                        config.v_supply_v, key)
-                    dataset = build_geniex_dataset(config, sampling,
-                                                   mode=mode,
-                                                   progress=progress)
-                    model, _ = train_geniex(dataset, training,
-                                            verbose=progress)
-                    self.save_model(model, path)
-                    emulator = GeniexEmulator(model)
-                    self._count("trains")
-                else:
-                    self._count("disk_loads")
+                with self._file_lock(path):
+                    # Re-check under the *file* lock too: another process
+                    # (a fleet worker sharing this cache dir) may have
+                    # trained and persisted the artifact while we waited.
+                    emulator = self._load_if_present(path)
+                    if emulator is None:
+                        _log.log(
+                            logging.INFO if (self.verbose or progress)
+                            else logging.DEBUG,
+                            "training model for %dx%d r_on=%g onoff=%g "
+                            "v=%g (key %s)", config.rows, config.cols,
+                            config.r_on_ohm, config.onoff_ratio,
+                            config.v_supply_v, key)
+                        dataset = build_geniex_dataset(config, sampling,
+                                                       mode=mode,
+                                                       progress=progress)
+                        model, _ = train_geniex(dataset, training,
+                                                verbose=progress)
+                        self.save_model(model, path)
+                        emulator = GeniexEmulator(model)
+                        self._count("trains")
+                    else:
+                        self._count("disk_loads")
                 self._memory.put(key, emulator)
                 return emulator
         finally:

@@ -1,0 +1,37 @@
+"""repro.fleet — consistent-hash routing over a multi-process serve fleet.
+
+Scales :mod:`repro.serve` horizontally without touching its wire
+protocol: a stdlib-only asyncio front-end (:mod:`repro.fleet.frontend`)
+routes each request by its resolved model identity over a consistent-hash
+ring (:mod:`repro.fleet.ring`) to worker processes running the unmodified
+single-process server, supervised by :mod:`repro.fleet.supervisor`.
+Workers share one content-addressed artifact store (the zoo's
+``--cache-dir``), so a model trained through any worker is served by all
+of them — exactly one training run fleet-wide per model key.
+
+``python -m repro fleet --workers N`` boots the whole topology; a
+:class:`~repro.serve.client.ServeClient` pointed at the front-end works
+unchanged.
+"""
+
+from repro.fleet.frontend import FleetFrontend, FleetMetrics, WorkerState
+from repro.fleet.ring import HashRing
+from repro.fleet.routing import TokenBucket, fallback_key, \
+    requested_replication, routing_key
+from repro.fleet.supervisor import FleetError, FleetSupervisor, \
+    FleetThread, WorkerProcess
+
+__all__ = [
+    "FleetError",
+    "FleetFrontend",
+    "FleetMetrics",
+    "FleetSupervisor",
+    "FleetThread",
+    "HashRing",
+    "TokenBucket",
+    "WorkerProcess",
+    "WorkerState",
+    "fallback_key",
+    "requested_replication",
+    "routing_key",
+]

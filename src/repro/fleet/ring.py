@@ -1,0 +1,96 @@
+"""Consistent-hash ring with virtual nodes.
+
+Routing keys are spec digests (``EmulationSpec.model_key()``), so the
+ring maps the *model identity* space onto worker processes: every request
+for one trained model lands on the same worker (warm registry tiers and
+microbatch queues stay shard-local), and adding or removing a worker only
+remaps the ``1/N`` slice of keys adjacent to its virtual points instead
+of reshuffling the whole key space (the classic consistent-hashing
+property — what makes worker death survivable without a fleet-wide cold
+start).
+
+Virtual nodes smooth the partition: each member owns ``vnodes`` points
+pseudo-randomly spread over the ring (SHA-256 of ``"{node}#{i}"``), so
+the expected load imbalance shrinks as vnodes grow. :meth:`lookup` with
+``n > 1`` returns the first *n distinct* members clockwise from the key —
+the replica set for hot keys; the front-end picks the least-loaded of
+them per request.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+
+def _point(data: str) -> int:
+    """A 64-bit ring position from a string (stable across processes)."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over opaque member names."""
+
+    def __init__(self, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = int(vnodes)
+        self._members: set = set()
+        self._points: list = []    # sorted (position, member) pairs
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def members(self) -> list:
+        return sorted(self._members)
+
+    # ------------------------------------------------------------------
+    def add(self, member: str) -> None:
+        """Insert a member (idempotent)."""
+        if member in self._members:
+            return
+        self._members.add(member)
+        for i in range(self.vnodes):
+            position = _point(f"{member}#{i}")
+            # Ties between different members are astronomically unlikely
+            # (64-bit positions) but the tuple sort breaks them stably.
+            self._points.append((position, member))
+        self._points.sort()
+
+    def remove(self, member: str) -> None:
+        """Drop a member (idempotent); its key slice remaps to neighbours."""
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        self._points = [p for p in self._points if p[1] != member]
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: str, n: int = 1) -> list:
+        """The first ``n`` *distinct* members clockwise from ``key``.
+
+        Returns fewer than ``n`` when the ring has fewer members, and an
+        empty list when it is empty. ``lookup(k, 1)[0]`` is the key's
+        owner; the tail entries are its replica candidates.
+        """
+        if not self._points or n < 1:
+            return []
+        n = min(n, len(self._members))
+        start = bisect_right(self._points, (_point(key), chr(0x10FFFF)))
+        found: list = []
+        for offset in range(len(self._points)):
+            member = self._points[(start + offset) % len(self._points)][1]
+            if member not in found:
+                found.append(member)
+                if len(found) == n:
+                    break
+        return found
+
+    def describe(self) -> dict:
+        """Topology summary for ``/v1/fleet`` and tests."""
+        return {"members": self.members(), "vnodes": self.vnodes,
+                "points": len(self._points)}

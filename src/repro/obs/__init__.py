@@ -31,7 +31,12 @@ from repro.obs.metrics import (
     get_registry,
 )
 from repro.obs.prometheus import render_prometheus
-from repro.obs.report import format_stage_report, stage_report
+from repro.obs.report import (
+    fleet_report,
+    format_fleet_report,
+    format_stage_report,
+    stage_report,
+)
 from repro.obs.trace import (
     Span,
     SpanTimings,
@@ -55,6 +60,8 @@ __all__ = [
     "counter_family",
     "current_trace",
     "deactivate",
+    "fleet_report",
+    "format_fleet_report",
     "format_stage_report",
     "gauge_family",
     "get_registry",

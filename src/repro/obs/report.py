@@ -62,23 +62,78 @@ def stage_report(traces) -> dict:
     return report
 
 
+def _render_table(rows) -> str:
+    """Fixed-width table; first row is the header."""
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    lines = []
+    for idx, row in enumerate(rows):
+        cells = [row[0].ljust(widths[0])]
+        cells += [row[i].rjust(widths[i]) for i in range(1, len(row))]
+        lines.append("  ".join(cells).rstrip())
+        if idx == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
 def format_stage_report(report: dict) -> str:
     """Fixed-width table, stages sorted by total time descending."""
-    headers = ("stage", "count", "total_ms", "mean_ms", "p50_ms",
-               "p95_ms", "p99_ms", "max_ms")
-    rows = [headers]
+    rows = [("stage", "count", "total_ms", "mean_ms", "p50_ms",
+             "p95_ms", "p99_ms", "max_ms")]
     ordered = sorted(report.items(), key=lambda kv: -kv[1]["total_ms"])
     for name, stats in ordered:
         rows.append((name, str(stats["count"]),
                      f"{stats['total_ms']:.3f}", f"{stats['mean_ms']:.3f}",
                      f"{stats['p50_ms']:.3f}", f"{stats['p95_ms']:.3f}",
                      f"{stats['p99_ms']:.3f}", f"{stats['max_ms']:.3f}"))
-    widths = [max(len(row[i]) for row in rows) for i in range(len(headers))]
-    lines = []
-    for idx, row in enumerate(rows):
-        cells = [row[0].ljust(widths[0])]
-        cells += [row[i].rjust(widths[i]) for i in range(1, len(headers))]
-        lines.append("  ".join(cells).rstrip())
-        if idx == 0:
-            lines.append("  ".join("-" * w for w in widths))
-    return "\n".join(lines)
+    return _render_table(rows)
+
+
+def fleet_report(metrics: dict) -> dict:
+    """Per-worker rows from a fleet front-end's JSON ``/metrics`` shape.
+
+    The front-end federates each worker's ``/v1/debug/obs`` summary into
+    the ``workers`` section; this distils it to the operator's
+    at-a-glance figures: health, queue pressure, warm-object counts
+    (summed over the registry's LRU tiers), zoo training runs and the
+    worker-local HTTP p95. A worker the front-end could not scrape
+    (dead, or mid-restart) still gets a row — with its health flag and
+    dashes in the table — rather than vanishing from the report.
+    """
+    report: dict = {}
+    for wid in sorted(metrics.get("workers", {})):
+        entry = metrics["workers"][wid]
+        row = {"healthy": bool(entry.get("healthy")),
+               "address": f"{entry.get('host', '?')}:"
+                          f"{entry.get('port', '?')}"}
+        scraped = "queue_rows" in entry
+        row["scraped"] = scraped
+        if scraped:
+            registry = entry.get("registry", {})
+            zoo = entry.get("zoo", {})
+            latency = entry.get("latency", {}).get("http", {})
+            row.update({
+                "inflight": int(entry.get("inflight", 0)),
+                "queue_rows": int(entry.get("queue_rows", 0)),
+                "warm_keys": sum(int(tier.get("size", 0))
+                                 for tier in registry.values()),
+                "trains": int(zoo.get("trains", 0)),
+                "p95_ms": float(latency.get("p95_ms", 0.0)),
+            })
+        report[wid] = row
+    return report
+
+
+def format_fleet_report(report: dict) -> str:
+    """Fixed-width per-worker table for ``repro obs --fleet``."""
+    rows = [("worker", "healthy", "address", "inflight", "queue_rows",
+             "warm_keys", "trains", "p95_ms")]
+    for wid, row in report.items():
+        if row.get("scraped"):
+            tail = (str(row["inflight"]), str(row["queue_rows"]),
+                    str(row["warm_keys"]), str(row["trains"]),
+                    f"{row['p95_ms']:.3f}")
+        else:
+            tail = ("-",) * 5
+        rows.append((wid, "yes" if row["healthy"] else "NO",
+                     row["address"], *tail))
+    return _render_table(rows)

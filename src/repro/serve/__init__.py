@@ -13,16 +13,26 @@ Layers:
 * :mod:`repro.serve.metrics` — thread-safe serving counters/histograms;
 * :mod:`repro.serve.scheduler` — per-key dynamic microbatching;
 * :mod:`repro.serve.registry` — warm-model LRU over :class:`GeniexZoo`;
+* :mod:`repro.serve.httpio` — shared HTTP/1.1 parsing/encoding (also
+  used by the :mod:`repro.fleet` front-end);
 * :mod:`repro.serve.server` — the asyncio HTTP server;
 * :mod:`repro.serve.client` — a small blocking HTTP client.
 """
 
-from repro.serve.client import ServeClient, ServerBusyError, ServerError
+from repro.serve.client import (
+    ClientConnectionError,
+    ClientTimeoutError,
+    ServeClient,
+    ServerBusyError,
+    ServerError,
+)
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import MicrobatchScheduler, QueueFullError
 from repro.serve.server import EmulationServer, ServerThread
 
 __all__ = [
+    "ClientConnectionError",
+    "ClientTimeoutError",
     "EmulationServer",
     "MicrobatchScheduler",
     "ModelRegistry",

@@ -1,15 +1,26 @@
 """Small blocking HTTP client for the emulation service.
 
-Wraps :class:`http.client.HTTPConnection` with keep-alive, one reconnect
-retry (servers may drop idle persistent connections), JSON encoding and
-numpy conversion. Each :class:`ServeClient` owns one connection and is not
-thread-safe; give each load-generator worker its own instance.
+Wraps :class:`http.client.HTTPConnection` with keep-alive, reconnect
+retries, per-request timeouts, JSON encoding and numpy conversion. Each
+:class:`ServeClient` owns one connection and is not thread-safe; give
+each load-generator worker its own instance.
+
+Retry policy — a request is re-sent exactly once, and only when it
+provably never executed: the keep-alive socket died before the bytes
+went out, or the connection was refused outright (a worker restarting
+behind the fleet front-end). Every endpoint is content-addressed and
+idempotent (predict/matmul are pure; registrations re-register), so the
+one-shot retry is safe. Timeouts are *never* retried — the server may be
+executing the request — and surface as :class:`ClientTimeoutError`
+naming the endpoint; unreachable services surface as
+:class:`ClientConnectionError` the same way.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 
 import numpy as np
 
@@ -27,6 +38,15 @@ class ServerError(ReproError, RuntimeError):
 
 class ServerBusyError(ServerError):
     """HTTP 429 — the microbatching queue is full; retry later."""
+
+
+class ClientConnectionError(ReproError, ConnectionError):
+    """The service could not be reached (the request never executed)."""
+
+
+class ClientTimeoutError(ReproError, TimeoutError):
+    """No answer within the timeout (the request may still be executing,
+    so it is deliberately not retried)."""
 
 
 def _identity_payload(payload: dict, model: dict | None, spec, *,
@@ -91,36 +111,69 @@ class ServeClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, payload: dict | None = None):
+    def _endpoint(self, method: str, path: str) -> str:
+        return f"{method} {path} on {self.host}:{self.port}"
+
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 *, timeout: float | None = None):
         body = None
         headers = {"Connection": "keep-alive"}
         if payload is not None:
             body = json.dumps(payload)
             headers["Content-Type"] = "application/json"
+        request_timeout = self.timeout if timeout is None else float(timeout)
         for attempt in (0, 1):
             conn = self._connection()
+            conn.timeout = request_timeout
+            if conn.sock is not None:
+                conn.sock.settimeout(request_timeout)
             try:
                 conn.request(method, path, body=body, headers=headers)
-            except (http.client.HTTPException, ConnectionError, OSError):
+            except ConnectionRefusedError as exc:
+                # Nothing is listening (a worker restarting, a front-end
+                # not yet bound): the request never executed, so one
+                # short-fuse retry, then a clear error.
+                self.close()
+                if attempt:
+                    raise ClientConnectionError(
+                        f"{self._endpoint(method, path)}: connection "
+                        f"refused (after one retry); is the service "
+                        f"running?") from exc
+                time.sleep(0.05)
+                continue
+            except (http.client.HTTPException, ConnectionError,
+                    OSError) as exc:
                 # The request never went out (dead keep-alive socket):
                 # safe to reconnect and re-send, even for POSTs.
                 self.close()
                 if attempt:
-                    raise
+                    raise ClientConnectionError(
+                        f"{self._endpoint(method, path)}: send failed "
+                        f"after reconnect: {exc}") from exc
                 continue
             try:
                 response = conn.getresponse()
                 data = response.read()
                 break
+            except TimeoutError as exc:
+                # NEVER retried: the server may be executing the request,
+                # and repeating a POST would double the work.
+                self.close()
+                raise ClientTimeoutError(
+                    f"{self._endpoint(method, path)}: no response within "
+                    f"{request_timeout:g}s (not retried — the request "
+                    f"may still be executing)") from exc
             except (http.client.RemoteDisconnected,
-                    ConnectionResetError, BrokenPipeError):
+                    ConnectionResetError, BrokenPipeError) as exc:
                 # Server closed the idle connection as our bytes arrived —
-                # the one failure mode where re-sending is safe. Timeouts
-                # and other errors are NOT retried: the request may be
-                # executing, and repeating a POST would double the work.
+                # the one failure mode where re-sending is safe. Other
+                # errors are NOT retried: the request may be executing.
                 self.close()
                 if attempt:
-                    raise
+                    raise ClientConnectionError(
+                        f"{self._endpoint(method, path)}: peer closed "
+                        f"the connection mid-request (after one "
+                        f"retry): {exc}") from exc
             except (http.client.HTTPException, OSError):
                 self.close()
                 raise
@@ -139,11 +192,11 @@ class ServeClient:
     # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
-    def health(self) -> dict:
-        return self._request("GET", "/healthz")
+    def health(self, *, timeout: float | None = None) -> dict:
+        return self._request("GET", "/healthz", timeout=timeout)
 
-    def metrics(self) -> dict:
-        return self._request("GET", "/metrics")
+    def metrics(self, *, timeout: float | None = None) -> dict:
+        return self._request("GET", "/metrics", timeout=timeout)
 
     def prometheus_metrics(self) -> str:
         """The ``/metrics`` endpoint in Prometheus text exposition.
@@ -166,15 +219,17 @@ class ServeClient:
             raise ServerError(response.status, data.decode(errors="replace"))
         return data.decode()
 
-    def traces(self) -> list:
+    def traces(self, *, timeout: float | None = None) -> list:
         """Recent request traces from ``/v1/debug/traces``."""
-        return self._request("GET", "/v1/debug/traces")["traces"]
+        return self._request("GET", "/v1/debug/traces",
+                             timeout=timeout)["traces"]
 
-    def models(self) -> list:
-        return self._request("GET", "/v1/models")["models"]
+    def models(self, *, timeout: float | None = None) -> list:
+        return self._request("GET", "/v1/models",
+                             timeout=timeout)["models"]
 
     def load_model(self, model: dict | None = None, *,
-                   spec=None) -> dict:
+                   spec=None, timeout: float | None = None) -> dict:
         """Train (or load) a model spec into the server's warm registry.
 
         Takes the flat ``model`` wire object or a declarative ``spec``
@@ -182,22 +237,25 @@ class ServeClient:
         shape).
         """
         return self._request("POST", "/v1/models",
-                             _identity_payload({}, model, spec))
+                             _identity_payload({}, model, spec),
+                             timeout=timeout)
 
     def register_crossbar(self, model: dict | None = None,
-                          conductances=None, *, spec=None) -> str:
+                          conductances=None, *, spec=None,
+                          timeout: float | None = None) -> str:
         """Program a conductance matrix; returns its ``crossbar_key``."""
         if conductances is None:
             raise ValueError("conductances are required")
         payload = _identity_payload(
             {"conductances": np.asarray(conductances).tolist()},
             model, spec)
-        return self._request("POST", "/v1/crossbars",
-                             payload)["crossbar_key"]
+        return self._request("POST", "/v1/crossbars", payload,
+                             timeout=timeout)["crossbar_key"]
 
     def _predict(self, path: str, field: str, voltages, *,
                  model: dict | None = None, conductances=None,
-                 crossbar_key: str | None = None, spec=None) -> np.ndarray:
+                 crossbar_key: str | None = None, spec=None,
+                 timeout: float | None = None) -> np.ndarray:
         voltages = np.asarray(voltages)
         payload: dict = {"voltages": voltages.tolist()}
         if crossbar_key is not None:
@@ -213,7 +271,8 @@ class ServeClient:
                     "pass either crossbar_key or model/spec + conductances")
             payload = _identity_payload(payload, model, spec)
             payload["conductances"] = np.asarray(conductances).tolist()
-        return np.asarray(self._request("POST", path, payload)[field])
+        return np.asarray(self._request("POST", path, payload,
+                                        timeout=timeout)[field])
 
     def predict_fr(self, voltages, **kwargs) -> np.ndarray:
         """Distortion ratios fR; see :meth:`predict_currents` for kwargs."""
@@ -228,7 +287,8 @@ class ServeClient:
 
     def register_weights(self, model: dict | None = None, weights=None, *,
                          engine: str | None = None,
-                         sim: dict | None = None, spec=None) -> str:
+                         sim: dict | None = None, spec=None,
+                         timeout: float | None = None) -> str:
         """Prepare an MVM engine for a weight matrix; returns its key.
 
         A declarative ``spec`` replaces the ``model``/``engine``/``sim``
@@ -244,12 +304,14 @@ class ServeClient:
         payload = _identity_payload(
             {"weights": np.asarray(weights).tolist()}, model, spec,
             engine=engine, sim=sim, default_engine="geniex")
-        return self._request("POST", "/v1/weights", payload)["weights_key"]
+        return self._request("POST", "/v1/weights", payload,
+                             timeout=timeout)["weights_key"]
 
     def matmul(self, x, *, weights_key: str | None = None,
                model: dict | None = None, weights=None,
                engine: str | None = None,
-               sim: dict | None = None, spec=None) -> np.ndarray:
+               sim: dict | None = None, spec=None,
+               timeout: float | None = None) -> np.ndarray:
         """Bit-sliced crossbar product for ``x`` (``(K,)`` or ``(B, K)``).
 
         Address the engine by ``weights_key=`` (from
@@ -274,10 +336,12 @@ class ServeClient:
             payload = _identity_payload(payload, model, spec,
                                         engine=engine, sim=sim,
                                         default_engine="geniex")
-        return np.asarray(self._request("POST", "/v1/matmul", payload)["y"])
+        return np.asarray(self._request("POST", "/v1/matmul", payload,
+                                        timeout=timeout)["y"])
 
     def mitigate(self, *, spec, dataset, hidden=None,
-                 seed: int | None = None) -> dict:
+                 seed: int | None = None,
+                 timeout: float | None = None) -> dict:
         """Run the spec's mitigation recipe server-side on a dataset.
 
         ``spec`` must carry a non-identity ``mitigation`` node with
@@ -298,12 +362,15 @@ class ServeClient:
             net["seed"] = int(seed)
         if net:
             payload["net"] = net
-        return self._request("POST", "/v1/mitigate", payload)
+        return self._request("POST", "/v1/mitigate", payload,
+                             timeout=timeout)
 
-    def mitigated_predict(self, x, *, mitigated_key: str) -> np.ndarray:
+    def mitigated_predict(self, x, *, mitigated_key: str,
+                          timeout: float | None = None) -> np.ndarray:
         """Mitigated logits for ``x`` (``(F,)`` or ``(B, F)``) from a
         warm mitigated model (key from :meth:`mitigate`)."""
         payload = {"mitigated_key": mitigated_key,
                    "x": np.asarray(x).tolist()}
         return np.asarray(self._request(
-            "POST", "/v1/mitigated_predict", payload)["logits"])
+            "POST", "/v1/mitigated_predict", payload,
+            timeout=timeout)["logits"])

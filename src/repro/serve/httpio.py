@@ -1,0 +1,122 @@
+"""Minimal HTTP/1.1 plumbing shared by the server and the fleet front-end.
+
+One place owns the request parser (request line, headers, ``Content-Length``
+body, keep-alive) and the matching asyncio client side, so the emulation
+server (:mod:`repro.serve.server`) and the fleet front-end
+(:mod:`repro.fleet.frontend`) — which must speak byte-identical HTTP to
+proxy requests verbatim — can never drift apart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.errors import ReproError
+
+REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+           405: "Method Not Allowed", 413: "Payload Too Large",
+           429: "Too Many Requests", 500: "Internal Server Error",
+           502: "Bad Gateway", 503: "Service Unavailable"}
+
+
+class PayloadTooLarge(ReproError, ValueError):
+    """The declared request body exceeds the configured limit (HTTP 413)."""
+
+
+async def read_request(reader: asyncio.StreamReader,
+                       max_body_bytes: int):
+    """Parse one HTTP/1.1 request off ``reader``.
+
+    Returns ``(method, path, body, keep_alive, headers)`` with the header
+    names lower-cased, or ``None`` on a clean EOF / malformed request line
+    (the caller drops the connection). Raises :class:`PayloadTooLarge`
+    *before* reading an oversized body so the caller can answer 413 and
+    close without buffering it.
+    """
+    request_line = await reader.readline()
+    if not request_line or request_line.strip() == b"":
+        return None
+    try:
+        method, target, _version = \
+            request_line.decode("latin-1").split(None, 2)
+    except ValueError:
+        return None
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+        if len(headers) > 128:
+            return None
+    length = int(headers.get("content-length", "0") or "0")
+    if length < 0:
+        return None
+    if length > max_body_bytes:
+        raise PayloadTooLarge(
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit")
+    body = await reader.readexactly(length) if length else b""
+    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    path = target.split("?", 1)[0]
+    return method.upper(), path, body, keep_alive, headers
+
+
+def encode_response(status: int, body: bytes, content_type: str,
+                    *, keep_alive: bool = True,
+                    extra_headers: dict | None = None) -> bytes:
+    """One full HTTP/1.1 response (head + body) as bytes."""
+    head = (f"HTTP/1.1 {status} {REASONS.get(status, 'Error')}"
+            f"\r\nContent-Type: {content_type}"
+            f"\r\nContent-Length: {len(body)}"
+            f"\r\nConnection: {'keep-alive' if keep_alive else 'close'}")
+    if status == 429:
+        head += "\r\nRetry-After: 1"
+    for name, value in (extra_headers or {}).items():
+        head += f"\r\n{name}: {value}"
+    return head.encode() + b"\r\n\r\n" + body
+
+
+def encode_request(method: str, path: str, body: bytes = b"",
+                   headers: dict | None = None) -> bytes:
+    """One full HTTP/1.1 request as bytes (keep-alive by default)."""
+    head = f"{method} {path} HTTP/1.1\r\nHost: fleet"
+    merged = {"Connection": "keep-alive"}
+    merged.update(headers or {})
+    if body:
+        merged.setdefault("Content-Type", "application/json")
+    merged["Content-Length"] = str(len(body))
+    for name, value in merged.items():
+        head += f"\r\n{name}: {value}"
+    return head.encode() + b"\r\n\r\n" + body
+
+
+async def read_response(reader: asyncio.StreamReader):
+    """Parse one HTTP/1.1 response off ``reader``.
+
+    Returns ``(status, headers, body, keep_alive)``; raises
+    ``ConnectionError`` on EOF before a full response (the caller decides
+    whether a retry is safe).
+    """
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionResetError("peer closed before the status line")
+    parts = status_line.decode("latin-1").split(None, 2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ConnectionResetError(
+            f"malformed status line {status_line!r}")
+    status = int(parts[1])
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n"):
+            break
+        if line == b"":
+            raise ConnectionResetError("peer closed mid-headers")
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    body = await reader.readexactly(length) if length else b""
+    keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+    return status, headers, body, keep_alive

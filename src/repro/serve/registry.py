@@ -113,6 +113,23 @@ class _CacheStats:
         self.misses = 0
 
 
+def _close_off_loop(warm) -> None:
+    """Close a warm object off the event loop thread.
+
+    Eviction hooks fire inside ``LruDict.put``; when the put happens on
+    the event loop (the mitigated tier's does), running the session
+    close inline would stall every in-flight request behind runtime-pool
+    teardown. With a running loop the close is handed to the default
+    executor; on a plain thread (tests, shutdown paths) it runs inline.
+    """
+    try:
+        loop = asyncio.get_running_loop()
+    except RuntimeError:
+        warm.close(wait=False)
+        return
+    loop.run_in_executor(None, lambda: warm.close(wait=False))
+
+
 class ModelRegistry:
     """LRU registry of warm emulators, crossbars and prepared engines."""
 
@@ -142,10 +159,13 @@ class ModelRegistry:
             max_engines, on_evict=lambda _key, warm: warm.close(wait=False))
         # Mitigated models own a whole session; eviction releases its
         # runtime workers the same way (the zoo artifact survives, so a
-        # re-request rebuilds from disk, not from scratch).
+        # re-request rebuilds from disk, not from scratch). Unlike the
+        # engines tier — whose puts happen on executor threads — the
+        # mitigated tier is populated from the event loop, so the close
+        # is pushed to the executor instead of stalling the loop.
         self._mitigated = LruDict(
             max_mitigated,
-            on_evict=lambda _key, warm: warm.close(wait=False))
+            on_evict=lambda _key, warm: _close_off_loop(warm))
         self._stats = {"models": _CacheStats(), "crossbars": _CacheStats(),
                        "engines": _CacheStats(),
                        "mitigated": _CacheStats()}

@@ -59,6 +59,9 @@ from repro.errors import ConfigError, ReproError, ShapeError
 from repro.obs import Trace, TraceBuffer, activate, deactivate, span
 from repro.obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from repro.obs.prometheus import render_prometheus
+from repro.serve.httpio import REASONS as _REASONS
+from repro.serve.httpio import PayloadTooLarge as _PayloadTooLarge
+from repro.serve.httpio import read_request
 from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (ProtocolError, decode_array, encode_array,
                                   parse_emulation_spec, parse_engine_kind,
@@ -66,10 +69,6 @@ from repro.serve.protocol import (ProtocolError, decode_array, encode_array,
                                   parse_sim_config, reject_mixed_identity)
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import MicrobatchScheduler, QueueFullError
-
-_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 413: "Payload Too Large",
-            429: "Too Many Requests", 500: "Internal Server Error"}
 
 _log = logging.getLogger("repro.serve")
 _access_log = logging.getLogger("repro.serve.access")
@@ -87,10 +86,6 @@ class RawResponse:
 
 class _NotFound(ReproError, KeyError):
     """A referenced registry key is unknown (HTTP 404)."""
-
-
-class _PayloadTooLarge(ReproError, ValueError):
-    """The declared request body exceeds ``max_body_bytes`` (HTTP 413)."""
 
 
 class EmulationServer:
@@ -126,10 +121,15 @@ class EmulationServer:
         self.host = None
         self.port = None
         self._server = None
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
         self._routes = {
             ("GET", "/healthz"): self._get_healthz,
             ("GET", "/metrics"): self._get_metrics,
             ("GET", "/v1/debug/traces"): self._get_traces,
+            ("GET", "/v1/debug/obs"): self._get_obs,
             ("GET", "/v1/models"): self._get_models,
             ("POST", "/v1/models"): self._post_models,
             ("POST", "/v1/crossbars"): self._post_crossbars,
@@ -161,11 +161,33 @@ class EmulationServer:
             self._server = None
         await self.scheduler.close()
 
+    async def drain(self, grace_s: float = 30.0) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, close.
+
+        New connections are refused immediately (the listener closes);
+        requests already being processed get up to ``grace_s`` seconds to
+        complete and are answered normally. Idle keep-alive connections
+        are not waited for — only requests that have been read count.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        try:
+            await asyncio.wait_for(self._idle.wait(), grace_s)
+        except TimeoutError:
+            _log.warning("drain grace of %.1fs expired with %d "
+                         "request(s) still in flight", grace_s,
+                         self._inflight)
+        await self.scheduler.close()
+
     # ------------------------------------------------------------------
     # HTTP plumbing
     # ------------------------------------------------------------------
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        pending = False
         try:
             while True:
                 try:
@@ -197,6 +219,14 @@ class EmulationServer:
                 if request is None:
                     break
                 method, path, body, keep_alive, headers = request
+                if self._draining:
+                    # Requests already on a keep-alive connection are still
+                    # answered during the grace window, but the connection
+                    # closes after so the client moves elsewhere.
+                    keep_alive = False
+                self._inflight += 1
+                self._idle.clear()
+                pending = True
                 endpoint = f"{method} {path}"
                 rid = next(self._request_ids)
                 t0 = perf_counter()
@@ -261,6 +291,8 @@ class EmulationServer:
                     head += "\r\nRetry-After: 1"
                 writer.write(head.encode() + b"\r\n\r\n" + data)
                 await writer.drain()
+                pending = False
+                self._request_done()
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.IncompleteReadError,
@@ -271,42 +303,21 @@ class EmulationServer:
             # it as a normal close instead of surfacing a stack trace.
             pass
         finally:
+            if pending:
+                self._request_done()
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
+    def _request_done(self) -> None:
+        self._inflight -= 1
+        if self._inflight <= 0:
+            self._idle.set()
+
     async def _read_request(self, reader: asyncio.StreamReader):
-        request_line = await reader.readline()
-        if not request_line or request_line.strip() == b"":
-            return None
-        try:
-            method, target, _version = \
-                request_line.decode("latin-1").split(None, 2)
-        except ValueError:
-            return None
-        headers = {}
-        while True:
-            line = await reader.readline()
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, _, value = line.decode("latin-1").partition(":")
-            headers[name.strip().lower()] = value.strip()
-            if len(headers) > 128:
-                return None
-        length = int(headers.get("content-length", "0") or "0")
-        if length < 0:
-            return None
-        if length > self.max_body_bytes:
-            raise _PayloadTooLarge(
-                f"request body of {length} bytes exceeds the "
-                f"{self.max_body_bytes}-byte limit")
-        body = await reader.readexactly(length) if length else b""
-        keep_alive = headers.get("connection", "keep-alive").lower() \
-            != "close"
-        path = target.split("?", 1)[0]
-        return method.upper(), path, body, keep_alive, headers
+        return await read_request(reader, self.max_body_bytes)
 
     async def _dispatch(self, method: str, path: str, body: bytes,
                         headers: dict):
@@ -366,6 +377,25 @@ class EmulationServer:
 
     async def _get_traces(self, headers: dict) -> dict:
         return {"traces": self.traces.snapshot()}
+
+    async def _get_obs(self, headers: dict) -> dict:
+        """Raw obs-registry snapshot (families + collectors).
+
+        The fleet front-end scrapes this to federate per-worker metric
+        families into its own ``/metrics`` under a ``worker=`` label.
+        """
+        return {"families": self.metrics.registry.snapshot(),
+                "summary": {
+                    "inflight": self._inflight,
+                    "queue_rows": self.scheduler.queue_rows,
+                    "queue_depths": self.scheduler.queue_depths(),
+                    "registry": self.registry.stats(),
+                    "zoo": self.registry.zoo.counters(),
+                    "latency": {
+                        "http": self.metrics._latency_summary(
+                            self.metrics._http_seconds),
+                    },
+                }}
 
     async def _get_models(self, headers: dict) -> dict:
         return {"models": self.registry.list_models()}

@@ -113,7 +113,8 @@ class TestConcurrentGetOrTrain:
         # All callers got the same in-memory emulator and exactly one
         # artifact landed on disk.
         assert all(r is results[0] for r in results)
-        assert len(os.listdir(tmp_path)) == 1
+        assert len([f for f in os.listdir(tmp_path)
+                    if f.endswith(".npz")]) == 1
 
     def test_tolerates_corrupt_artifact_from_crashed_writer(self, tmp_path):
         zoo = GeniexZoo(cache_dir=str(tmp_path))

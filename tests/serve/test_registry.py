@@ -48,7 +48,8 @@ class TestEmulatorTier:
         emulators = [emulator for _, emulator in results]
         assert len(keys) == 1
         assert all(e is emulators[0] for e in emulators)
-        assert len(os.listdir(registry.zoo.cache_dir)) == 1
+        assert len([f for f in os.listdir(registry.zoo.cache_dir)
+                    if f.endswith(".npz")]) == 1
         stats = registry.stats()["models"]
         assert stats["misses"] >= 1 and stats["size"] == 1
 
