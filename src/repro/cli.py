@@ -382,6 +382,7 @@ def _cmd_serve(args) -> int:
         GeniexZoo(cache_dir=args.cache_dir, verbose=True,
                   max_memory_entries=args.max_models),
         max_models=args.max_models,
+        max_nets=args.max_nets,
         tile_cache_size=args.tile_cache,
         engine_workers=args.engine_workers,
         backend=args.backend)
@@ -416,6 +417,7 @@ def _cmd_fleet(args) -> int:
     cache_dir = args.cache_dir or default_cache_dir()
     worker_args = ["--max-batch", str(args.max_batch),
                    "--max-models", str(args.max_models),
+                   "--max-nets", str(args.max_nets),
                    "--engine-workers", str(args.engine_workers)]
     frontend = FleetFrontend(
         replication=args.replication, vnodes=args.vnodes,
@@ -601,6 +603,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="executor threads running batched model calls")
     p_serve.add_argument("--max-models", type=int, default=8,
                          help="warm emulators kept in memory (LRU)")
+    p_serve.add_argument("--max-nets", type=int, default=8,
+                         help="compiled network programs kept in memory "
+                              "(LRU)")
     p_serve.add_argument("--tile-cache", type=int, default=256,
                          help="per-engine tile-result LRU size; 0 disables")
     p_serve.add_argument("--engine-workers", type=int, default=1,
@@ -645,6 +650,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker rows per coalesced microbatch")
     p_fleet.add_argument("--max-models", type=int, default=8,
                          help="warm emulators per worker (LRU)")
+    p_fleet.add_argument("--max-nets", type=int, default=8,
+                         help="compiled network programs per worker (LRU)")
     p_fleet.add_argument("--engine-workers", type=int, default=1,
                          help="runtime threads per worker engine")
     p_fleet.add_argument("--cache-dir", default=None,

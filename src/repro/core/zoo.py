@@ -31,6 +31,7 @@ from repro.core.sampling import SamplingSpec
 from repro.core.trainer import TrainSpec, train_geniex
 from repro.errors import SerializationError
 from repro.utils.cache import LruDict
+from repro.utils.npz import load_npz
 from repro.xbar.config import CrossbarConfig
 
 _log = logging.getLogger("repro.zoo")
@@ -48,9 +49,15 @@ class GeniexZoo:
     """Train-once cache of :class:`GeniexEmulator` instances."""
 
     def __init__(self, cache_dir: str | None = None, verbose: bool = False,
-                 max_memory_entries: int = 32):
+                 max_memory_entries: int = 32, mmap: bool = True):
         self.cache_dir = cache_dir or default_cache_dir()
         self.verbose = verbose
+        # Zero-copy artifact loads (see repro.utils.npz): fleet workers
+        # sharing one cache dir map weight blobs out of the page cache
+        # instead of each holding a private copy. ``mmap=False`` (or
+        # REPRO_ZOO_MMAP=0, honoured inside load_npz) restores copying
+        # loads for callers that mutate loaded arrays in place.
+        self.mmap = bool(mmap)
         # Bounded LRU: evicted emulators reload from disk in milliseconds,
         # while an unbounded dict would pin every trained network a
         # long-running process (e.g. the serving registry) ever touched.
@@ -203,14 +210,16 @@ class GeniexZoo:
         GeniexZoo._atomic_savez(path, arrays)
 
     @staticmethod
-    def load_model(path: str) -> GeniexNet:
+    def load_model(path: str, mmap: bool = True) -> GeniexNet:
         if not os.path.exists(path):
             raise SerializationError(f"no GENIEx artifact at {path}")
         try:
-            with np.load(path) as archive:
-                meta = json.loads(bytes(archive["meta_json"]).decode())
-                state = {k[len("param::"):]: archive[k]
-                         for k in archive.files if k.startswith("param::")}
+            # Memory-mapped state arrays are safe here: load_state_dict
+            # copies into the model's own parameter storage.
+            archive = load_npz(path, mmap=mmap)
+            meta = json.loads(bytes(archive["meta_json"]).decode())
+            state = {k[len("param::"):]: archive[k]
+                     for k in archive if k.startswith("param::")}
             # Construction stays inside the wrapper: a schema-mismatched
             # artifact (missing meta key, wrong parameter shapes) is just
             # as unusable as a truncated one and must also surface as
@@ -260,11 +269,81 @@ class GeniexZoo:
         if not os.path.exists(path):
             return None
         try:
-            with np.load(path) as archive:
-                meta = json.loads(bytes(archive["meta_json"]).decode())
-                state = {k[len("param::"):]: archive[k]
-                         for k in archive.files if k.startswith("param::")}
+            # Mitigated state is read-only downstream (loaded into model
+            # parameters by copy); memory-mapping it is safe. Callers
+            # that resume training should construct the zoo with
+            # ``mmap=False`` (the copy-on-write escape hatch).
+            archive = load_npz(path, mmap=self.mmap)
+            meta = json.loads(bytes(archive["meta_json"]).decode())
+            state = {k[len("param::"):]: archive[k]
+                     for k in archive if k.startswith("param::")}
             return state, meta
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------
+    # Compiled-network artifacts (model-level serving)
+    # ------------------------------------------------------------------
+    def _net_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"netprog-{key}.npz")
+
+    def save_net_program(self, key: str, wire: dict, meta: dict) -> None:
+        """Atomically persist one uploaded-network artifact.
+
+        ``key`` is the warm-program key (net digest + serving-spec
+        identity); ``wire`` is a ``repro-net/1`` layer-list dict (state
+        entries may be JSON-encoded or raw arrays); ``meta`` is a small
+        JSON record (spec dict, net digest, model key) that lets any
+        fleet worker rebuild and recompile the network from disk without
+        ever having seen the original upload.
+        """
+        from repro.nn.serialization import decode_state_array
+        layers_meta = []
+        arrays = {}
+        for i, entry in enumerate(wire["layers"]):
+            state = entry.get("state", {})
+            layers_meta.append({"kind": entry["kind"],
+                                "config": entry.get("config", {}),
+                                "state": sorted(state)})
+            for name, value in state.items():
+                arrays[f"param::{i}::{name}"] = decode_state_array(value)
+        record = {"format": wire["format"], "layers": layers_meta,
+                  "input_shape": wire.get("input_shape"), "meta": meta}
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(record).encode(), dtype=np.uint8)
+        path = self._net_path(key)
+        with self._file_lock(path):
+            # Artifacts are content-addressed: an existing file is the
+            # same bytes re-uploaded, so the first writer wins fleet-wide.
+            if not os.path.exists(path):
+                self._atomic_savez(path, arrays)
+
+    def load_net_program(self, key: str) -> tuple[dict, dict] | None:
+        """Load an uploaded-network artifact as ``(wire, meta)``.
+
+        Returns ``None`` when absent or unreadable (the caller answers
+        404 / recompiles from a fresh upload). State arrays come back
+        raw — memory-mapped when enabled — not JSON-encoded.
+        """
+        path = self._net_path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            arrays = load_npz(path, mmap=self.mmap)
+            record = json.loads(bytes(arrays["meta_json"]).decode())
+            layers = []
+            for i, layer_meta in enumerate(record["layers"]):
+                entry = {"kind": layer_meta["kind"],
+                         "config": layer_meta["config"]}
+                if layer_meta["state"]:
+                    entry["state"] = {
+                        name: arrays[f"param::{i}::{name}"]
+                        for name in layer_meta["state"]}
+                layers.append(entry)
+            wire = {"format": record["format"], "layers": layers}
+            if record.get("input_shape") is not None:
+                wire["input_shape"] = record["input_shape"]
+            return wire, record["meta"]
         except Exception:
             return None
 
@@ -348,6 +427,6 @@ class GeniexZoo:
         if not os.path.exists(path):
             return None
         try:
-            return GeniexEmulator(self.load_model(path))
+            return GeniexEmulator(self.load_model(path, mmap=self.mmap))
         except SerializationError:
             return None

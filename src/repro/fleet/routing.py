@@ -28,17 +28,18 @@ from repro.serve.protocol import ModelSpec, parse_emulation_spec
 #: POST endpoints the front-end routes to workers.
 ROUTED_ENDPOINTS = ("/v1/models", "/v1/crossbars", "/v1/predict_fr",
                     "/v1/predict_currents", "/v1/weights", "/v1/matmul",
-                    "/v1/mitigate", "/v1/mitigated_predict")
+                    "/v1/mitigate", "/v1/mitigated_predict", "/v1/nets",
+                    "/v1/net_predict")
 
 #: Response fields that name warm objects derived from a model key; the
 #: front-end learns ``derived key -> routing key`` from these.
-KEY_FIELDS = ("crossbar_key", "weights_key", "mitigated_key")
+KEY_FIELDS = ("crossbar_key", "weights_key", "mitigated_key", "net_key")
 
 #: Registration endpoints with small responses, safe to parse on the
 #: event loop for key learning (predict/matmul responses carry the same
 #: fields but multi-MB arrays too — not worth the loop stall).
 LEARN_ENDPOINTS = ("/v1/models", "/v1/crossbars", "/v1/weights",
-                   "/v1/mitigate")
+                   "/v1/mitigate", "/v1/nets")
 
 
 def routing_key(body: dict) -> tuple:

@@ -115,12 +115,15 @@ class ServeClient:
         return f"{method} {path} on {self.host}:{self.port}"
 
     def _request(self, method: str, path: str, payload: dict | None = None,
-                 *, timeout: float | None = None):
+                 *, timeout: float | None = None, accept: str | None = None,
+                 raw: bool = False, ndjson: bool = False):
         body = None
         headers = {"Connection": "keep-alive"}
         if payload is not None:
             body = json.dumps(payload)
             headers["Content-Type"] = "application/json"
+        if accept is not None:
+            headers["Accept"] = accept
         request_timeout = self.timeout if timeout is None else float(timeout)
         for attempt in (0, 1):
             conn = self._connection()
@@ -177,8 +180,18 @@ class ServeClient:
             except (http.client.HTTPException, OSError):
                 self.close()
                 raise
+        if raw and 200 <= response.status < 300:
+            return data.decode()
         try:
-            parsed = json.loads(data.decode() or "{}")
+            if ndjson and 200 <= response.status < 300:
+                # Streamed responses are NDJSON (http.client already
+                # de-chunked the transfer encoding); one list entry per
+                # line, in stream order.
+                parsed = [json.loads(line)
+                          for line in data.decode().splitlines()
+                          if line.strip()]
+            else:
+                parsed = json.loads(data.decode() or "{}")
         except (UnicodeDecodeError, json.JSONDecodeError):
             parsed = {"error": data.decode(errors="replace")}
         if not 200 <= response.status < 300:
@@ -198,26 +211,16 @@ class ServeClient:
     def metrics(self, *, timeout: float | None = None) -> dict:
         return self._request("GET", "/metrics", timeout=timeout)
 
-    def prometheus_metrics(self) -> str:
+    def prometheus_metrics(self, *, timeout: float | None = None) -> str:
         """The ``/metrics`` endpoint in Prometheus text exposition.
 
         Sends ``Accept: text/plain`` (the content-negotiation trigger)
         and returns the raw exposition text; :meth:`metrics` keeps the
-        default JSON shape.
+        default JSON shape. Goes through the shared request path, so
+        typed errors and the idempotent reconnect retry apply here too.
         """
-        conn = self._connection()
-        try:
-            conn.request("GET", "/metrics",
-                         headers={"Connection": "keep-alive",
-                                  "Accept": "text/plain"})
-            response = conn.getresponse()
-            data = response.read()
-        except (http.client.HTTPException, ConnectionError, OSError):
-            self.close()
-            raise
-        if not 200 <= response.status < 300:
-            raise ServerError(response.status, data.decode(errors="replace"))
-        return data.decode()
+        return self._request("GET", "/metrics", timeout=timeout,
+                             accept="text/plain", raw=True)
 
     def traces(self, *, timeout: float | None = None) -> list:
         """Recent request traces from ``/v1/debug/traces``."""
@@ -374,3 +377,69 @@ class ServeClient:
         return np.asarray(self._request(
             "POST", "/v1/mitigated_predict", payload,
             timeout=timeout)["logits"])
+
+    def upload_net(self, net, *, spec, input_shape=None,
+                   timeout: float | None = None) -> dict:
+        """Upload a network for model-level serving; returns the response.
+
+        ``net`` is a :class:`repro.nn.Module` (serialized client-side
+        via :func:`repro.nn.serialization.net_to_wire`) or an
+        already-encoded wire dict. ``spec`` picks the emulation the
+        server compiles against. ``input_shape`` (per-sample, e.g.
+        ``(1, 28, 28)``) is required for models whose first layers are
+        spatial. The response's ``net_key`` addresses
+        :meth:`net_predict`; uploads are content-addressed, so
+        re-uploading the same net + spec is a cache hit.
+        """
+        if isinstance(net, dict):
+            wire = net
+        else:
+            from repro.nn.serialization import net_to_wire
+            wire = net_to_wire(net, input_shape=input_shape)
+        payload = _identity_payload({}, None, spec)
+        payload["net"] = wire
+        return self._request("POST", "/v1/nets", payload, timeout=timeout)
+
+    def net_predict(self, x, *, net_key: str, stream: bool = False,
+                    chunk_rows: int | None = None,
+                    timeout: float | None = None) -> np.ndarray:
+        """Whole-network logits for ``x`` (``(F,)`` or ``(B, F)``).
+
+        ``net_key`` comes from :meth:`upload_net`. With ``stream=True``
+        the server answers chunked NDJSON (``chunk_rows`` rows per
+        chunk); the chunks are reassembled here into one array, so the
+        result is identical either way — streaming only bounds peak
+        memory for large batches.
+        """
+        x = np.asarray(x)
+        single = x.ndim == 1
+        payload: dict = {"net_key": net_key, "x": x.tolist()}
+        if chunk_rows is not None:
+            payload["chunk_rows"] = int(chunk_rows)
+        if not stream:
+            return np.asarray(self._request(
+                "POST", "/v1/net_predict", payload,
+                timeout=timeout)["logits"])
+        payload["stream"] = True
+        lines = self._request("POST", "/v1/net_predict", payload,
+                              timeout=timeout, ndjson=True)
+        if not isinstance(lines, list):
+            raise ServerError(200, f"malformed stream response: {lines!r}")
+        chunks = []
+        done = False
+        for line in lines:
+            if not isinstance(line, dict):
+                raise ServerError(200, f"malformed stream line: {line!r}")
+            if "error" in line:
+                raise ServerError(200, line["error"])
+            if line.get("done"):
+                done = True
+            elif "logits" in line:
+                chunks.append(np.asarray(line["logits"]))
+        if not done or not chunks:
+            raise ClientConnectionError(
+                f"{self._endpoint('POST', '/v1/net_predict')}: stream "
+                f"ended without a terminal 'done' line (connection lost "
+                f"mid-stream?)")
+        result = np.concatenate(chunks, axis=0)
+        return result[0] if single else result

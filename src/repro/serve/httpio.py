@@ -97,7 +97,10 @@ async def read_response(reader: asyncio.StreamReader):
 
     Returns ``(status, headers, body, keep_alive)``; raises
     ``ConnectionError`` on EOF before a full response (the caller decides
-    whether a retry is safe).
+    whether a retry is safe). Chunked transfer encoding (the streaming
+    ``net_predict`` answer) is de-chunked into one body — the front-end
+    forwards it with a plain ``Content-Length`` — so the pooled
+    connection is left clean either way.
     """
     status_line = await reader.readline()
     if not status_line:
@@ -116,7 +119,33 @@ async def read_response(reader: asyncio.StreamReader):
             raise ConnectionResetError("peer closed mid-headers")
         name, _, value = line.decode("latin-1").partition(":")
         headers[name.strip().lower()] = value.strip()
-    length = int(headers.get("content-length", "0") or "0")
-    body = await reader.readexactly(length) if length else b""
+    if headers.get("transfer-encoding", "").lower() == "chunked":
+        body = await _read_chunked(reader)
+    else:
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
     keep_alive = headers.get("connection", "keep-alive").lower() != "close"
     return status, headers, body, keep_alive
+
+
+async def _read_chunked(reader: asyncio.StreamReader) -> bytes:
+    """Read a chunked body to its terminal frame; returns it de-chunked."""
+    parts = []
+    while True:
+        size_line = await reader.readline()
+        if not size_line:
+            raise ConnectionResetError("peer closed mid-chunked-body")
+        try:
+            size = int(size_line.split(b";", 1)[0].strip(), 16)
+        except ValueError:
+            raise ConnectionResetError(
+                f"malformed chunk size {size_line!r}") from None
+        if size == 0:
+            # Trailer section (we send none, but eat it to spec).
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            return b"".join(parts)
+        parts.append(await reader.readexactly(size))
+        await reader.readexactly(2)   # CRLF after each chunk's data

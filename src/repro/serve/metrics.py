@@ -70,10 +70,33 @@ class ServeMetrics:
             "repro_queue_rows", "Rows currently queued for batching.")
         self._queue_rows_peak = reg.gauge(
             "repro_queue_rows_peak", "High-water mark of queued rows.")
+        # Model-level serving (uploaded networks / compiled programs).
+        self._net_uploads = reg.counter(
+            "repro_net_uploads_total",
+            "Network uploads, by outcome (compiled/memory_hit/disk_hit).",
+            labelnames=("outcome",))
+        self._net_requests = reg.counter(
+            "repro_net_predict_requests_total",
+            "net_predict requests accepted.")
+        self._net_rows = reg.counter(
+            "repro_net_predict_rows_total",
+            "Input rows (images) served through net_predict.")
+        self._net_compile_seconds = reg.histogram(
+            "repro_net_compile_seconds",
+            "Server-side network compile time (rebuild + convert_to_mvm "
+            "+ compile_network).")
+        self._net_layer_execs = reg.counter(
+            "repro_net_layer_executions_total",
+            "Fused kernel calls: one per MVM layer per flushed net batch.")
+        self._net_layer_rows = reg.histogram(
+            "repro_net_layer_rows",
+            "Rows per MVM-layer execution (cross-request coalescing shows "
+            "as rows > 1).", buckets=BATCH_ROWS_BUCKETS)
         # Memoised label children (hot path: one dict hit, no kwargs).
         self._by_endpoint: dict = {}
         self._by_status: dict = {}
         self._by_reason: dict = {}
+        self._by_net_outcome: dict = {}
         self._lat_by_endpoint: dict = {}
         # The queue gauge needs read-modify-write for the peak; small
         # dedicated lock rather than abusing an instrument's.
@@ -124,6 +147,29 @@ class ServeMetrics:
         with self._rows_exact_lock:
             self._rows_exact[rows] = self._rows_exact.get(rows, 0) + 1
 
+    def record_net_upload(self, outcome: str) -> None:
+        child = self._by_net_outcome.get(outcome)
+        if child is None:
+            child = self._by_net_outcome[outcome] = \
+                self._net_uploads.labels(outcome=outcome)
+        child.inc()
+
+    def record_net_compile(self, duration_s: float) -> None:
+        self._net_compile_seconds.observe(duration_s)
+
+    def record_net_predict(self, rows: int) -> None:
+        self._net_requests.inc()
+        self._net_rows.inc(rows)
+
+    def record_net_layers(self, n_layers: int, rows: int) -> None:
+        """Account one flushed net batch: ``n_layers`` fused kernel calls,
+        each over ``rows`` stacked rows."""
+        if n_layers <= 0:
+            return
+        self._net_layer_execs.inc(n_layers)
+        for _ in range(n_layers):
+            self._net_layer_rows.observe(rows)
+
     def record_queue_delta(self, delta_rows: int) -> None:
         with self._queue_lock:
             rows = self._queue_rows._default.value + delta_rows
@@ -167,6 +213,8 @@ class ServeMetrics:
         batched_requests = self._batched_requests._default.value
         with self._rows_exact_lock:
             rows_exact = dict(self._rows_exact)
+        layer_execs = self._net_layer_execs._default.value
+        layer_rows_agg = self._net_layer_rows.aggregate()
         return {
             "requests": requests,
             "responses": responses,
@@ -185,6 +233,15 @@ class ServeMetrics:
             "queue": {
                 "rows": self.queue_rows,
                 "rows_peak": self.queue_rows_peak,
+            },
+            "net": {
+                "uploads": self._sum_family(self._net_uploads),
+                "requests": self._net_requests._default.value,
+                "rows": self._net_rows._default.value,
+                "layer_executions": layer_execs,
+                "mean_layer_rows": (
+                    layer_rows_agg["sum"] / layer_execs
+                    if layer_execs else 0.0),
             },
             "latency": {
                 "http": self._latency_summary(self._http_seconds),

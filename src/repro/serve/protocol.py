@@ -263,6 +263,61 @@ def parse_mitigate_request(body: dict) -> tuple:
     return spec, dataset, tuple(hidden), model_seed
 
 
+def parse_net_upload(body: dict) -> tuple:
+    """Validate a ``POST /v1/nets`` body; returns ``(wire, spec)``.
+
+    The body carries a ``"net"`` layer-list wire dict (see
+    :func:`repro.nn.serialization.net_to_wire`) and a full ``"spec"``
+    choosing the emulation the network will be compiled against. The
+    wire is validated structurally here — by actually rebuilding the
+    model — so a malformed upload fails with 400 before it can occupy a
+    registry slot or be persisted.
+    """
+    from repro.errors import SerializationError, ShapeError
+    from repro.nn.serialization import net_from_wire
+    reject_mixed_identity(body)
+    spec = parse_emulation_spec(body)
+    if "net" not in body:
+        raise ProtocolError(
+            "request requires a \"net\" object (the repro-net/1 "
+            "layer-list wire format; see repro.nn.serialization)")
+    wire = body["net"]
+    try:
+        net_from_wire(wire)
+    except (SerializationError, ShapeError, ConfigError) as exc:
+        raise ProtocolError(f"invalid net wire: {exc}") from exc
+    return wire, spec
+
+
+def parse_net_predict(body: dict) -> tuple:
+    """Validate a ``POST /v1/net_predict`` body.
+
+    Returns ``(net_key, x, stream, chunk_rows)``. Identity is by
+    ``net_key`` only (returned by ``/v1/nets``); re-sending the wire on
+    the hot path would defeat the warm-program cache, so it is rejected
+    like any other mixed identity.
+    """
+    reject_mixed_identity(body, key_field="net_key")
+    if "net" in body:
+        raise ProtocolError(
+            "net_predict takes a \"net_key\" (from POST /v1/nets), not "
+            "an inline \"net\" wire")
+    net_key = body.get("net_key")
+    if not isinstance(net_key, str) or not net_key:
+        raise ProtocolError(
+            "request requires a \"net_key\" string (from POST /v1/nets)")
+    x = decode_array(body, "x", ndim=(1, 2))
+    stream = body.get("stream", False)
+    if not isinstance(stream, bool):
+        raise ProtocolError("\"stream\" must be a boolean")
+    chunk_rows = body.get("chunk_rows")
+    if chunk_rows is not None and (
+            not isinstance(chunk_rows, int) or isinstance(chunk_rows, bool)
+            or chunk_rows < 1):
+        raise ProtocolError("\"chunk_rows\" must be a positive integer")
+    return net_key, x, stream, chunk_rows
+
+
 def parse_sim_config(body: dict) -> FuncSimConfig:
     """Functional-simulator config from the optional ``sim`` object."""
     return _build_dataclass(FuncSimConfig, body.get("sim"), "sim config")

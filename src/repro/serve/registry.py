@@ -34,6 +34,7 @@ requests — from any client, in any order — land on the same warm object
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,12 +48,14 @@ from repro.api.spec import (
 )
 from repro.core.emulator import GeniexEmulator, MatrixEmulator
 from repro.core.zoo import GeniexZoo
-from repro.errors import ShapeError
+from repro.errors import ConfigError, ShapeError
 from repro.funcsim.config import FuncSimConfig
+from repro.funcsim.convert import compile_network, convert_to_mvm, mvm_layers
 from repro.funcsim.engine import EngineStats
 from repro.mitigation.runner import mitigated_key, run_mitigation
+from repro.nn.serialization import net_digest, net_from_wire
 from repro.nonideal import as_pipeline
-from repro.obs import counter_family, gauge_family
+from repro.obs import counter_family, gauge_family, span
 from repro.serve.protocol import ModelSpec
 from repro.utils.cache import LruDict
 from repro.utils.digest import content_key
@@ -105,6 +108,92 @@ class MitigatedModel:
         self._session.close(wait=wait)
 
 
+@dataclass
+class CompiledNet:
+    """One warm compiled network: converted MVM model + fused programs.
+
+    The whole network shares one engine (every layer's weights prepared
+    on it during :func:`convert_to_mvm`); ``predict`` is row-independent
+    under batch-invariant modes, so microbatched calls are byte-identical
+    to sequential per-request runs.
+    """
+
+    key: str
+    net_digest: str
+    model_key: str
+    spec_key: str
+    engine_kind: str
+    batch_invariant: bool
+    n_layers: int
+    n_mvm_layers: int
+    n_in: int
+    input_shape: tuple | None
+    compile_seconds: float
+    _model: object
+    _engine: object
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Logits for a stacked batch of flat rows (float64 out).
+
+        Runs layer by layer so each MVM layer's fused kernel call gets a
+        ``layer-execute`` span — the scheduler grafts these into every
+        coalesced request's trace (the call genuinely served them all).
+        """
+        from repro.funcsim.layers import Conv2dMVM, LinearMVM
+        from repro.nn.tensor import Tensor, no_grad
+        data = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if self.input_shape is not None:
+            data = data.reshape(data.shape[0], *self.input_shape)
+        rows = data.shape[0]
+        with no_grad():
+            out = Tensor(data)
+            for name, layer in self._model._modules.items():
+                if isinstance(layer, (LinearMVM, Conv2dMVM)):
+                    with span(f"layer-execute:{name}", rows=rows):
+                        out = layer(out)
+                else:
+                    out = layer(out)
+            out = np.asarray(out.data, dtype=np.float64)
+        return out.reshape(out.shape[0], -1)
+
+    def close(self, wait: bool = True) -> None:
+        """Release the engine's runtime workers (degrades inline)."""
+        self._engine.close(wait=wait)
+
+
+def _net_input_features(wire: dict) -> tuple:
+    """``(n_in, input_shape)`` a net expects per request row.
+
+    ``input_shape`` (per-sample, e.g. ``[1, 8, 8]``) is authoritative
+    when present — request rows are folded back into it before the
+    forward pass. Without it the first layer must pin the feature count
+    (a linear's ``in_features``); spatial layers ahead of any linear
+    need the shape and are rejected at upload time.
+    """
+    input_shape = wire.get("input_shape")
+    if input_shape is not None:
+        shape = tuple(int(s) for s in input_shape)
+        if not shape or any(s < 1 for s in shape):
+            raise ConfigError("input_shape must be positive dimensions")
+        return int(np.prod(shape)), shape
+    spatial = ("conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
+               "batch_norm2d")
+    for entry in wire["layers"]:
+        kind = entry["kind"]
+        if kind == "linear":
+            return int(entry["config"]["in_features"]), None
+        if kind == "batch_norm1d":
+            return int(entry["config"]["num_features"]), None
+        if kind in spatial:
+            raise ConfigError(
+                f"net starts with spatial layer {kind!r}; the wire needs "
+                f"an \"input_shape\" (per-sample, e.g. [1, 28, 28]) so "
+                f"flat request rows can be folded back into it")
+    raise ConfigError(
+        "cannot infer the net's input width; add an \"input_shape\" to "
+        "the wire")
+
+
 class _CacheStats:
     __slots__ = ("hits", "misses")
 
@@ -136,8 +225,8 @@ class ModelRegistry:
     def __init__(self, zoo: GeniexZoo | None = None, *,
                  max_models: int = 8, max_crossbars: int = 128,
                  max_engines: int = 16, max_mitigated: int = 8,
-                 tile_cache_size: int = 256, engine_workers: int = 1,
-                 backend: str | None = None):
+                 max_nets: int = 8, tile_cache_size: int = 256,
+                 engine_workers: int = 1, backend: str | None = None):
         self.zoo = zoo or GeniexZoo()
         self.tile_cache_size = int(tile_cache_size)
         # > 1 shards every prepared engine's matmuls over the funcsim
@@ -166,9 +255,15 @@ class ModelRegistry:
         self._mitigated = LruDict(
             max_mitigated,
             on_evict=lambda _key, warm: _close_off_loop(warm))
+        # Warm compiled networks (model-level serving). Populated from
+        # the event loop like the mitigated tier, so eviction pushes the
+        # engine close to the executor; the zoo artifact survives and a
+        # re-request disk-loads + recompiles instead of re-uploading.
+        self._nets = LruDict(
+            max_nets, on_evict=lambda _key, warm: _close_off_loop(warm))
         self._stats = {"models": _CacheStats(), "crossbars": _CacheStats(),
                        "engines": _CacheStats(),
-                       "mitigated": _CacheStats()}
+                       "mitigated": _CacheStats(), "nets": _CacheStats()}
         # Per-key locks are only touched from the event loop, so a plain
         # dict is safe; the slow work they guard runs on executor threads.
         self._locks: dict = {}
@@ -436,6 +531,125 @@ class ModelRegistry:
         return self._lookup("mitigated", key)
 
     # ------------------------------------------------------------------
+    # Compiled networks (model-level serving)
+    # ------------------------------------------------------------------
+    def net_key(self, digest: str, spec: EmulationSpec) -> str:
+        """The warm-program key for (net digest, spec).
+
+        The issue-level identity is ``(net_digest, model_key)``; the
+        cache key additionally folds the engine kind, sim precision and
+        batch-invariance through ``serving_spec(spec).key()`` so two
+        specs sharing a trained model but differing in execution can
+        never alias one compiled program.
+        """
+        return content_key("netprog", digest,
+                           self.serving_spec(spec).key())
+
+    async def net(self, wire: dict, spec: EmulationSpec,
+                  persist: bool = True) -> tuple:
+        """Warm (or compile) the network a wire + spec describe.
+
+        Returns ``(warm, outcome)`` where ``outcome`` is one of
+        ``"memory_hit"``, ``"disk_hit"`` or ``"compiled"``. Compilation
+        (rebuild + per-layer weight preparation + program aggregation)
+        runs on an executor thread under a per-key lock; the zoo
+        persists the wire so every other fleet worker — and a restarted
+        server — rebuilds from disk instead of needing the upload again.
+        """
+        digest = net_digest(wire)
+        key = self.net_key(digest, spec)
+        warm = self._lookup("nets", key)
+        if warm is not None:
+            return warm, "memory_hit"
+        try:
+            async with self._lock_for("net:" + key):
+                warm = self._nets.get(key)
+                if warm is not None:
+                    return warm, "memory_hit"
+                on_disk = await asyncio.get_running_loop().run_in_executor(
+                    None, lambda: self.zoo.load_net_program(key) is not None)
+                warm = await self._build_net(key, digest, wire, spec)
+                if persist and not on_disk:
+                    meta = {"spec": spec.to_dict(), "net_digest": digest,
+                            "model_key": spec.model_key()}
+                    await asyncio.get_running_loop().run_in_executor(
+                        None, lambda: self.zoo.save_net_program(
+                            key, wire, meta))
+                self._nets.put(key, warm)
+                return warm, ("disk_hit" if on_disk else "compiled")
+        finally:
+            self._drop_lock("net:" + key)
+
+    async def compiled_net(self, key: str) -> CompiledNet | None:
+        """Warm compiled network by key; falls back to the zoo artifact.
+
+        This is how a fleet worker that never saw the original upload
+        serves ``net_predict`` for a learned route: the shared artifact
+        store holds the wire + spec, so the worker disk-loads and
+        compiles once, then stays warm. ``None`` means the key is
+        unknown fleet-wide (the caller answers 404).
+        """
+        warm = self._lookup("nets", key)
+        if warm is not None:
+            return warm
+        try:
+            async with self._lock_for("net:" + key):
+                warm = self._nets.get(key)
+                if warm is not None:
+                    return warm
+                loaded = await asyncio.get_running_loop().run_in_executor(
+                    None, lambda: self.zoo.load_net_program(key))
+                if loaded is None:
+                    return None
+                wire, meta = loaded
+                spec = EmulationSpec.from_dict(meta["spec"])
+                warm = await self._build_net(key, meta["net_digest"],
+                                             wire, spec)
+                self._nets.put(key, warm)
+                return warm
+        finally:
+            self._drop_lock("net:" + key)
+
+    async def _build_net(self, key: str, digest: str, wire: dict,
+                         spec: EmulationSpec) -> CompiledNet:
+        """Compile a wire into a :class:`CompiledNet` (executor thread).
+
+        Caller holds the per-key lock. The GENIEx emulator is warmed
+        through the model tier first so uploads share it with every
+        other endpoint; the engine itself is dedicated to this network
+        (each layer's weights are prepared on it during conversion).
+        """
+        sspec = self.serving_spec(spec)
+        n_in, input_shape = _net_input_features(wire)
+        emulator = None
+        if sspec.engine == "geniex":
+            _, emulator = await self.emulator(ModelSpec.from_spec(sspec))
+        loop = asyncio.get_running_loop()
+
+        def build() -> CompiledNet:
+            started = time.perf_counter()
+            model = net_from_wire(wire)
+            engine = build_engine(sspec, emulator=emulator)
+            try:
+                converted = convert_to_mvm(
+                    model, engine, chunk_rows=sspec.runtime.chunk_rows)
+                compile_network(converted)
+            except BaseException:
+                engine.close(wait=False)
+                raise
+            return CompiledNet(
+                key=key, net_digest=digest, model_key=sspec.model_key(),
+                spec_key=sspec.key(), engine_kind=sspec.engine,
+                batch_invariant=sspec.runtime.batch_invariant,
+                n_layers=len(wire["layers"]),
+                n_mvm_layers=len(mvm_layers(converted)),
+                n_in=n_in, input_shape=input_shape,
+                compile_seconds=time.perf_counter() - started,
+                _model=converted, _engine=engine)
+
+        return await loop.run_in_executor(None, build)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def list_models(self) -> list:
@@ -474,10 +688,12 @@ class ModelRegistry:
         tiers = self.stats()
         engine_events = dict.fromkeys(EngineStats.FIELDS, 0)
         tile_events = {"hits": 0, "misses": 0}
-        for warm in self._engines.values():
-            for field, value in warm.engine.stats.snapshot().items():
+        warm_engines = [warm.engine for warm in self._engines.values()]
+        warm_engines += [warm._engine for warm in self._nets.values()]
+        for engine in warm_engines:
+            for field, value in engine.stats.snapshot().items():
                 engine_events[field] = engine_events.get(field, 0) + value
-            cache = getattr(warm.engine, "tile_cache", None)
+            cache = getattr(engine, "tile_cache", None)
             if cache is not None:
                 hits, misses = cache.counters()
                 tile_events["hits"] += hits

@@ -26,6 +26,13 @@ Endpoints
 ``POST /v1/mitigate``        run a spec's mitigation recipe on a dataset
                              handle, returns ``mitigated_key`` + metrics
 ``POST /v1/mitigated_predict``  logits from a warm mitigated model
+``POST /v1/nets``            upload a serialized ``repro.nn`` model +
+                             spec; compiles it into a cached
+                             ``NetworkProgram``, returns ``net_key``
+``POST /v1/net_predict``     whole-network logits from a warm compiled
+                             net; concurrent requests share one fused
+                             kernel call per layer (``stream: true``
+                             chunks the response as NDJSON)
 ===========================  ========================================
 
 Every ``POST /v1/*`` body that names a model may either carry the flat
@@ -66,6 +73,7 @@ from repro.serve.metrics import ServeMetrics
 from repro.serve.protocol import (ProtocolError, decode_array, encode_array,
                                   parse_emulation_spec, parse_engine_kind,
                                   parse_mitigate_request, parse_model_spec,
+                                  parse_net_predict, parse_net_upload,
                                   parse_sim_config, reject_mixed_identity)
 from repro.serve.registry import ModelRegistry
 from repro.serve.scheduler import MicrobatchScheduler, QueueFullError
@@ -82,6 +90,22 @@ class RawResponse:
     def __init__(self, content_type: str, body: bytes):
         self.content_type = content_type
         self.body = body
+
+
+class StreamingResponse:
+    """A handler result streamed as chunked NDJSON.
+
+    ``gen`` is an async generator of JSON-encodable payloads; the HTTP
+    layer writes each as one line inside a ``Transfer-Encoding:
+    chunked`` body. An exception mid-stream becomes a final
+    ``{"error": ...}`` line and closes the connection (the 200 status
+    line is already on the wire by then).
+    """
+
+    __slots__ = ("gen",)
+
+    def __init__(self, gen):
+        self.gen = gen
 
 
 class _NotFound(ReproError, KeyError):
@@ -139,6 +163,8 @@ class EmulationServer:
             ("POST", "/v1/matmul"): self._post_matmul,
             ("POST", "/v1/mitigate"): self._post_mitigate,
             ("POST", "/v1/mitigated_predict"): self._post_mitigated_predict,
+            ("POST", "/v1/nets"): self._post_nets,
+            ("POST", "/v1/net_predict"): self._post_net_predict,
         }
 
     # ------------------------------------------------------------------
@@ -270,6 +296,14 @@ class EmulationServer:
                         "slow request id=%d endpoint=%s status=%d "
                         "duration_ms=%.1f%s", rid, endpoint, status,
                         duration_s * 1e3, stages)
+                if isinstance(payload, StreamingResponse):
+                    ok = await self._write_stream(writer, status, payload,
+                                                  keep_alive)
+                    pending = False
+                    self._request_done()
+                    if not keep_alive or not ok:
+                        break
+                    continue
                 if isinstance(payload, RawResponse):
                     content_type = payload.content_type
                     data = payload.body
@@ -315,6 +349,36 @@ class EmulationServer:
         self._inflight -= 1
         if self._inflight <= 0:
             self._idle.set()
+
+    async def _write_stream(self, writer: asyncio.StreamWriter, status: int,
+                            payload: StreamingResponse,
+                            keep_alive: bool) -> bool:
+        """Write a chunked NDJSON body; returns False if the connection
+        must close (an error surfaced after the status line went out)."""
+        connection = "keep-alive" if keep_alive else "close"
+        writer.write(
+            (f"HTTP/1.1 {status} {_REASONS.get(status, 'Error')}"
+             f"\r\nContent-Type: application/x-ndjson"
+             f"\r\nTransfer-Encoding: chunked"
+             f"\r\nConnection: {connection}\r\n\r\n").encode())
+        ok = True
+        try:
+            async for item in payload.gen:
+                line = json.dumps(item).encode() + b"\n"
+                writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            raise
+        except Exception as exc:
+            # Too late for an error status: emit a terminal error line so
+            # the client fails loudly, then close the connection.
+            ok = False
+            line = json.dumps(
+                {"error": f"{type(exc).__name__}: {exc}"}).encode() + b"\n"
+            writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return ok
 
     async def _read_request(self, reader: asyncio.StreamReader):
         return await read_request(reader, self.max_body_bytes)
@@ -526,6 +590,81 @@ class EmulationServer:
         if single:
             result = result[0]
         return {"logits": encode_array(result), "mitigated_key": key}
+
+
+    async def _post_nets(self, body: dict) -> dict:
+        wire, spec = parse_net_upload(body)
+        with span("net-compile"):
+            warm, outcome = await self.registry.net(wire, spec)
+        self.metrics.record_net_upload(outcome)
+        if outcome != "memory_hit":
+            self.metrics.record_net_compile(warm.compile_seconds)
+        return {"net_key": warm.key, "net_digest": warm.net_digest,
+                "model_key": warm.model_key, "spec_key": warm.spec_key,
+                "engine": warm.engine_kind,
+                "batch_invariant": warm.batch_invariant,
+                "n_layers": warm.n_layers,
+                "n_mvm_layers": warm.n_mvm_layers, "n_in": warm.n_in,
+                "from_cache": outcome != "compiled",
+                "compile_seconds": round(warm.compile_seconds, 6)}
+
+    async def _post_net_predict(self, body: dict):
+        net_key, x, stream, chunk_rows = parse_net_predict(body)
+        with span("registry-resolve"):
+            warm = await self.registry.compiled_net(net_key)
+        if warm is None:
+            raise _NotFound(f"unknown net_key {net_key!r}; upload the "
+                            f"net via POST /v1/nets")
+        single = x.ndim == 1
+        if x.shape[-1] != warm.n_in:
+            raise ProtocolError(
+                f"x must have {warm.n_in} entries per row, "
+                f"got shape {x.shape}")
+        x = np.atleast_2d(x)
+        self.metrics.record_net_predict(x.shape[0])
+        batch_fn = self._net_batch_fn(warm)
+        if stream:
+            return StreamingResponse(
+                self._net_stream(warm, x, chunk_rows, batch_fn))
+        result = await self.scheduler.submit(("net", warm.key), x, batch_fn)
+        if single:
+            result = result[0]
+        return {"logits": encode_array(result), "net_key": warm.key}
+
+    def _net_batch_fn(self, warm):
+        """The scheduler batch function for one warm compiled net.
+
+        Wraps ``predict`` with per-flush layer accounting: each flushed
+        batch is one fused kernel call per MVM layer over all coalesced
+        rows, which is exactly what ``repro_net_layer_rows`` records.
+        """
+        metrics = self.metrics
+
+        def run(stacked: np.ndarray) -> np.ndarray:
+            out = warm.predict(stacked)
+            metrics.record_net_layers(warm.n_mvm_layers, stacked.shape[0])
+            return out
+
+        return run
+
+    async def _net_stream(self, warm, x: np.ndarray,
+                          chunk_rows: int | None, batch_fn):
+        """Yield NDJSON payloads for a streamed net_predict.
+
+        Chunks are submitted sequentially, so a huge request holds at
+        most one chunk's logits in flight (bounded memory) while each
+        chunk still coalesces with other requests' rows in the
+        scheduler. The final line carries ``done`` + row count.
+        """
+        step = chunk_rows or self.scheduler.max_batch_rows
+        total = x.shape[0]
+        for index, start in enumerate(range(0, total, step)):
+            chunk = x[start:start + step]
+            result = await self.scheduler.submit(
+                ("net", warm.key), chunk, batch_fn)
+            yield {"chunk": index, "offset": start,
+                   "logits": encode_array(result)}
+        yield {"done": True, "rows": total, "net_key": warm.key}
 
 
 class ServerThread:

@@ -115,7 +115,12 @@ class TestRoutingKey:
         assert set(ROUTED_ENDPOINTS) == {
             "/v1/models", "/v1/crossbars", "/v1/predict_fr",
             "/v1/predict_currents", "/v1/weights", "/v1/matmul",
-            "/v1/mitigate", "/v1/mitigated_predict"}
+            "/v1/mitigate", "/v1/mitigated_predict", "/v1/nets",
+            "/v1/net_predict"}
+
+    def test_net_key_routes_as_derived(self):
+        kind, key = routing_key({"net_key": "netprog-abc", "x": [1.0]})
+        assert kind == "derived" and key == "netprog-abc"
 
 
 class TestRequestedReplication:

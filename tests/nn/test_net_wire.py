@@ -1,0 +1,161 @@
+"""The ``repro-net/1`` wire format: round trips, digests, strict errors.
+
+The serving stack ships whole models over JSON; these tests pin the
+properties the server relies on — a bit-exact forward pass after a
+round trip, a content digest that is stable across re-encoding but
+moves with any weight or structure change, and loud failures for
+anything malformed.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import SerializationError
+from repro.models.mlp import MLP
+from repro.nn.serialization import (
+    NET_WIRE_FORMAT,
+    decode_state_array,
+    encode_state_array,
+    net_digest,
+    net_from_wire,
+    net_to_wire,
+)
+from repro.nn.tensor import Tensor, no_grad
+
+
+def conv_net(seed: int = 0) -> nn.Sequential:
+    """One of everything the wire format supports."""
+    return nn.Sequential(
+        nn.Conv2d(1, 3, 3, padding=1, seed=seed),
+        nn.BatchNorm2d(3),
+        nn.ReLU(),
+        nn.MaxPool2d(2),
+        nn.Conv2d(3, 4, 3, padding=1, seed=seed + 1),
+        nn.LeakyReLU(0.1),
+        nn.AvgPool2d(2),
+        nn.GlobalAvgPool2d(),
+        nn.Flatten(),
+        nn.Identity(),
+        nn.Linear(4, 5, seed=seed + 2),
+        nn.Tanh(),
+        nn.Dropout(0.25),
+        nn.Linear(5, 2, seed=seed + 3),
+        nn.Sigmoid(),
+    )
+
+
+def forward(model, x: np.ndarray) -> np.ndarray:
+    model.eval()
+    with no_grad():
+        return model(Tensor(x)).data.copy()
+
+
+class TestRoundTrip:
+    def test_mlp_round_trips_bit_exact(self):
+        model = MLP([6, 8, 3], seed=1)
+        wire = net_to_wire(model)
+        rebuilt = net_from_wire(wire)
+        x = np.random.default_rng(0).standard_normal((4, 6))
+        np.testing.assert_array_equal(forward(model, x),
+                                      forward(rebuilt, x))
+
+    def test_every_supported_kind_round_trips(self):
+        model = conv_net()
+        wire = net_to_wire(model, input_shape=(1, 8, 8))
+        assert wire["format"] == NET_WIRE_FORMAT
+        assert wire["input_shape"] == [1, 8, 8]
+        rebuilt = net_from_wire(wire)
+        x = np.random.default_rng(1).standard_normal((2, 1, 8, 8))
+        np.testing.assert_array_equal(forward(model, x),
+                                      forward(rebuilt, x))
+
+    def test_wire_is_json_safe(self):
+        import json
+        wire = net_to_wire(MLP([4, 5, 2], seed=0))
+        rebuilt = net_from_wire(json.loads(json.dumps(wire)))
+        x = np.random.default_rng(2).standard_normal((3, 4))
+        np.testing.assert_array_equal(
+            forward(MLP([4, 5, 2], seed=0), x), forward(rebuilt, x))
+
+    def test_batch_norm_buffers_survive(self):
+        bn = nn.BatchNorm1d(4)
+        bn.running_mean[:] = [1.0, 2.0, 3.0, 4.0]
+        bn.running_var[:] = [0.5, 0.5, 2.0, 2.0]
+        rebuilt = net_from_wire(net_to_wire(nn.Sequential(bn)))
+        x = np.random.default_rng(3).standard_normal((5, 4))
+        np.testing.assert_array_equal(forward(nn.Sequential(bn), x),
+                                      forward(rebuilt, x))
+
+
+class TestDigest:
+    def test_digest_stable_across_reencoding(self):
+        model = MLP([4, 6, 2], seed=7)
+        wire = net_to_wire(model)
+        assert net_digest(wire) == net_digest(net_to_wire(
+            net_from_wire(wire)))
+
+    def test_digest_moves_with_weights(self):
+        assert net_digest(net_to_wire(MLP([4, 6, 2], seed=1))) != \
+            net_digest(net_to_wire(MLP([4, 6, 2], seed=2)))
+
+    def test_digest_moves_with_structure(self):
+        assert net_digest(net_to_wire(MLP([4, 6, 2], seed=1))) != \
+            net_digest(net_to_wire(MLP([4, 6, 6, 2], seed=1)))
+
+    def test_digest_moves_with_input_shape(self):
+        model = nn.Sequential(nn.Flatten(), nn.Linear(4, 2, seed=0))
+        assert net_digest(net_to_wire(model, input_shape=(4,))) != \
+            net_digest(net_to_wire(model, input_shape=(2, 2)))
+
+
+class TestStateArrayCodec:
+    def test_round_trip_is_bit_exact_for_float32(self):
+        arr = np.random.default_rng(0).standard_normal(7) \
+            .astype(np.float32)
+        out = decode_state_array(encode_state_array(arr))
+        assert out.dtype == np.float32
+        np.testing.assert_array_equal(out, arr)
+
+    def test_ndarray_passes_through(self):
+        arr = np.arange(4.0)
+        assert decode_state_array(arr) is arr
+
+    def test_non_finite_rejected(self):
+        entry = encode_state_array(np.ones(3, dtype=np.float32))
+        entry["data"][1] = float("nan")
+        with pytest.raises(SerializationError):
+            decode_state_array(entry)
+
+
+class TestStrictErrors:
+    def test_unsupported_leaf_module_named(self):
+        class Exotic(nn.Module):
+            def forward(self, x):
+                return x
+
+        with pytest.raises(SerializationError) as excinfo:
+            net_to_wire(nn.Sequential(nn.Linear(3, 3), Exotic()))
+        assert "Exotic" in str(excinfo.value)
+
+    def test_unknown_kind_named_with_layer_index(self):
+        wire = {"format": NET_WIRE_FORMAT,
+                "layers": [{"kind": "quantum", "config": {}}]}
+        with pytest.raises(SerializationError) as excinfo:
+            net_from_wire(wire)
+        assert "quantum" in str(excinfo.value)
+
+    def test_wrong_format_marker_rejected(self):
+        with pytest.raises(SerializationError):
+            net_from_wire({"format": "repro-net/999", "layers": [
+                {"kind": "relu", "config": {}}]})
+
+    def test_empty_layer_list_rejected(self):
+        with pytest.raises(SerializationError):
+            net_from_wire({"format": NET_WIRE_FORMAT, "layers": []})
+
+    def test_shape_mismatched_state_rejected(self):
+        wire = net_to_wire(nn.Sequential(nn.Linear(3, 2, seed=0)))
+        wire["layers"][0]["state"]["weight"]["shape"] = [1, 1]
+        with pytest.raises(SerializationError):
+            net_from_wire(wire)

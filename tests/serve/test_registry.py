@@ -189,7 +189,7 @@ class TestEngineTier:
     def test_stats_shape(self, registry):
         stats = registry.stats()
         assert set(stats) == {"models", "crossbars", "engines",
-                              "mitigated"}
+                              "mitigated", "nets"}
         for entry in stats.values():
             assert set(entry) == {"size", "capacity", "hits", "misses",
                                   "hit_rate"}
